@@ -1,0 +1,190 @@
+//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! gate-stack variants, analytic vs mesh IR drop, CVS styles, DTM
+//! cost impact, and stack depth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_circuit::sta::TimingContext;
+use np_device::stack::SubthresholdStack;
+use np_device::{GateKind, Mosfet};
+use np_grid::analytic::worst_case_drop;
+use np_grid::mesh::mesh_worst_drop;
+use np_opt::cvs::{cluster_voltage_scale, CvsOptions, CvsStyle};
+use np_roadmap::TechNode;
+use np_thermal::cost::dtm_cooling_saving_dollars;
+use np_units::{Microns, Volts, Watts};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn gate_stack_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gate_stack");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, gate) in [
+        ("poly", GateKind::PolySilicon),
+        ("metal", GateKind::Metal),
+        ("ideal", GateKind::Ideal),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let dev =
+                    Mosfet::for_node_with(TechNode::N35, Volts(0.6), gate).expect("calib");
+                black_box(dev.ioff().0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ir_drop_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_ir_drop");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("analytic", |b| {
+        b.iter(|| {
+            black_box(
+                worst_case_drop(TechNode::N35, Microns(80.0), Microns(4.0))
+                    .expect("drop")
+                    .0,
+            )
+        })
+    });
+    g.bench_function("mesh_sor", |b| {
+        b.iter(|| {
+            black_box(
+                mesh_worst_drop(TechNode::N35, Microns(80.0), Microns(4.0))
+                    .expect("drop")
+                    .0,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn cvs_style_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cvs_style");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for (name, style) in [
+        ("clustered", CvsStyle::Clustered),
+        ("extended", CvsStyle::Extended),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut nl = np_bench::experiments::experiment_netlist(7);
+                let ctx = TimingContext::for_node(TechNode::N100).expect("ctx");
+                let crit = ctx.analyze(&nl).expect("sta").critical_delay();
+                let ctx = ctx.with_clock(crit * 1.3);
+                let opts = CvsOptions { style, ..CvsOptions::default() };
+                black_box(
+                    cluster_voltage_scale(&mut nl, &ctx, &opts)
+                        .expect("cvs")
+                        .fraction_low,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn dtm_cost_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_dtm_cost");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("with_dtm_saving", |b| {
+        b.iter(|| black_box(dtm_cooling_saving_dollars(Watts(100.0), 0.75)))
+    });
+    g.finish();
+}
+
+fn stack_depth_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_stack_depth");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let dev = Mosfet::for_node(TechNode::N70).expect("calib");
+    for depth in [1usize, 2, 3] {
+        g.bench_function(format!("depth_{depth}"), |b| {
+            b.iter(|| {
+                black_box(
+                    SubthresholdStack::uniform(&dev, depth)
+                        .leakage(Volts(0.9))
+                        .expect("leakage")
+                        .0,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    gate_stack_ablation,
+    ir_drop_ablation,
+    cvs_style_ablation,
+    dtm_cost_ablation,
+    stack_depth_ablation
+);
+
+// Appended ablations for the extension modules.
+mod extension_ablations {
+    use super::*;
+    use np_circuit::generate::{generate_netlist, NetlistSpec};
+    use np_circuit::incremental::IncrementalSta;
+    use np_device::mtcmos::MtcmosBlock;
+    use np_device::substrate::Substrate;
+
+    pub fn mtcmos_sizing_ablation(c: &mut Criterion) {
+        let mut g = c.benchmark_group("ablation_mtcmos_sizing");
+        g.sample_size(10).measurement_time(Duration::from_secs(2));
+        let logic = Mosfet::for_node(TechNode::N70).expect("calib");
+        for frac in [0.05f64, 0.1, 0.3] {
+            g.bench_function(format!("sleep_{}pct", (frac * 100.0) as u32), |b| {
+                b.iter(|| {
+                    let blk =
+                        MtcmosBlock::new(logic.clone(), Microns(10_000.0), frac).expect("block");
+                    black_box(blk.standby_reduction())
+                })
+            });
+        }
+        g.finish();
+    }
+
+    pub fn substrate_ablation(c: &mut Criterion) {
+        let mut g = c.benchmark_group("ablation_substrate");
+        g.sample_size(10).measurement_time(Duration::from_secs(2));
+        for (name, sub) in [("bulk", Substrate::Bulk), ("fdsoi", Substrate::FdSoi)] {
+            g.bench_function(name, |b| {
+                b.iter(|| {
+                    let d = Mosfet::for_node(TechNode::N35)
+                        .expect("calib")
+                        .with_substrate(sub);
+                    black_box(d.ioff().0)
+                })
+            });
+        }
+        g.finish();
+    }
+
+    pub fn sta_engine_ablation(c: &mut Criterion) {
+        // Full re-analysis vs incremental cone update for one gate change.
+        let mut g = c.benchmark_group("ablation_sta_engine");
+        g.sample_size(10).measurement_time(Duration::from_secs(3));
+        let nl = generate_netlist(&NetlistSpec::medium(5));
+        let ctx = TimingContext::for_node(TechNode::N100).expect("ctx");
+        let crit = ctx.analyze(&nl).expect("sta").critical_delay();
+        let ctx = ctx.with_clock(crit * 1.2);
+        let victim = nl.ids().nth(nl.len() / 2).expect("gate");
+        g.bench_function("full_sta", |b| {
+            b.iter(|| black_box(ctx.analyze(&nl).expect("sta").critical_delay().0))
+        });
+        g.bench_function("incremental_cone", |b| {
+            let mut inc = IncrementalSta::new(&ctx, &nl);
+            b.iter(|| black_box(inc.reevaluate(&nl, victim)))
+        });
+        g.finish();
+    }
+}
+
+criterion_group!(
+    extension_benches,
+    extension_ablations::mtcmos_sizing_ablation,
+    extension_ablations::substrate_ablation,
+    extension_ablations::sta_engine_ablation
+);
+
+criterion_main!(benches, extension_benches);

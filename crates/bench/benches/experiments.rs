@@ -1,0 +1,45 @@
+//! Criterion benches for the numbered experiments (E1–E7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::experiments;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("experiments");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    g.bench_function("e1_thermal_dtm", |b| {
+        b.iter(|| black_box(experiments::e1_dtm().expect("e1").cost_step_ratio))
+    });
+    g.bench_function("e2_global_signaling", |b| {
+        b.iter(|| black_box(experiments::e2_signaling().expect("e2").rows.len()))
+    });
+    g.bench_function("e3_cvs", |b| {
+        b.iter(|| black_box(experiments::e3_cvs().expect("e3").best_ratio()))
+    });
+    g.bench_function("e4_dual_vth_assign", |b| {
+        b.iter(|| black_box(experiments::e4_dualvth().expect("e4").rows.len()))
+    });
+    g.bench_function("e5_resizing", |b| {
+        b.iter(|| black_box(experiments::e5_resize().expect("e5").resized))
+    });
+    g.bench_function("e6_grid_limits", |b| {
+        b.iter(|| black_box(experiments::e6_grid_limits().expect("e6").mcml_crossover))
+    });
+    g.bench_function("e7_library", |b| {
+        b.iter(|| black_box(experiments::e7_library().expect("e7").generated_saving()))
+    });
+    g.bench_function("e8_leakage_techniques", |b| {
+        b.iter(|| black_box(experiments::e8_leakage_techniques().expect("e8").rows.len()))
+    });
+    g.bench_function("e9_inductive_noise", |b| {
+        b.iter(|| black_box(experiments::e9_inductive_noise().expect("e9").rejection()))
+    });
+    g.bench_function("e10_subambient", |b| {
+        b.iter(|| black_box(experiments::e10_subambient().expect("e10").points.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

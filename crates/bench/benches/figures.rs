@@ -1,0 +1,30 @@
+//! Criterion benches for the paper's figures (F1–F5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::figures;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("fig1_static_dynamic_ratio", |b| {
+        b.iter(|| black_box(figures::fig1().expect("fig1").curves.len()))
+    });
+    g.bench_function("fig2_dual_vth_scaling", |b| {
+        b.iter(|| black_box(figures::fig2().expect("fig2").rows.len()))
+    });
+    g.bench_function("fig3_vdd_vth_policies", |b| {
+        b.iter(|| black_box(figures::fig3().expect("fig3").curves.len()))
+    });
+    g.bench_function("fig4_power_ratio", |b| {
+        b.iter(|| black_box(figures::fig4().expect("fig4").ratio0))
+    });
+    g.bench_function("fig5_ir_drop", |b| {
+        b.iter(|| black_box(figures::fig5().expect("fig5").rows.len()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches for the paper's tables (T1, T2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use np_bench::tables;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    g.bench_function("table1_survey", |b| {
+        b.iter(|| black_box(tables::table1().rows.len()))
+    });
+    g.bench_function("table2_ioff_scaling", |b| {
+        b.iter(|| {
+            let t = tables::table2().expect("table 2");
+            black_box(t.model_ioff_increase())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

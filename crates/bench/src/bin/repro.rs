@@ -1,0 +1,98 @@
+//! `repro` — regenerates every table and figure of Sylvester & Kaul,
+//! DAC 2001, as plain text.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro                 # everything
+//! repro table2 fig5     # selected artifacts
+//! repro --list          # available artifact names
+//! ```
+
+use np_bench::{experiments, figures, tables};
+use std::process::ExitCode;
+
+const ARTIFACTS: &[&str] = &[
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dtm", "signaling", "cvs",
+    "dualvth", "resize", "grid-limits", "library", "leakage-tech", "inductive-noise",
+    "subambient",
+];
+
+fn run_csv(name: &str) -> Option<Result<String, Box<dyn std::error::Error>>> {
+    let out: Result<String, Box<dyn std::error::Error>> = match name {
+        "fig1" => figures::fig1().map(|f| f.csv()).map_err(Into::into),
+        "fig2" => figures::fig2().map(|f| f.csv()).map_err(Into::into),
+        "fig3" => figures::fig3().map(|f| f.csv()).map_err(Into::into),
+        "fig4" => figures::fig4().map(|f| f.csv()).map_err(Into::into),
+        "fig5" => figures::fig5().map(|f| f.csv()).map_err(Into::into),
+        _ => return None,
+    };
+    Some(out)
+}
+
+fn run(name: &str) -> Result<String, Box<dyn std::error::Error>> {
+    Ok(match name {
+        "table1" => tables::table1().render(),
+        "table2" => tables::table2()?.render(),
+        "fig1" => figures::fig1()?.render(),
+        "fig2" => figures::fig2()?.render(),
+        "fig3" => figures::fig3()?.render(),
+        "fig4" => figures::fig4()?.render(),
+        "fig5" => figures::fig5()?.render(),
+        "dtm" => experiments::e1_dtm()?.render(),
+        "signaling" => experiments::e2_signaling()?.render(),
+        "cvs" => experiments::e3_cvs()?.render(),
+        "dualvth" => experiments::e4_dualvth()?.render(),
+        "resize" => experiments::e5_resize()?.render(),
+        "grid-limits" => experiments::e6_grid_limits()?.render(),
+        "library" => experiments::e7_library()?.render(),
+        "leakage-tech" => experiments::e8_leakage_techniques()?.render(),
+        "inductive-noise" => experiments::e9_inductive_noise()?.render(),
+        "subambient" => experiments::e10_subambient()?.render(),
+        other => return Err(format!("unknown artifact `{other}` (try --list)").into()),
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list" || a == "-l") {
+        for a in ARTIFACTS {
+            println!("{a}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let csv = args.iter().any(|a| a == "--csv");
+    args.retain(|a| a != "--csv");
+    let selected: Vec<&str> = if args.is_empty() {
+        ARTIFACTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for name in &selected {
+        if csv {
+            match run_csv(name) {
+                Some(Ok(text)) => {
+                    println!("# {name}");
+                    print!("{text}");
+                    continue;
+                }
+                Some(Err(e)) => {
+                    eprintln!("error regenerating {name}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                None => {} // fall through to text rendering
+            }
+        }
+        match run(name) {
+            Ok(text) => {
+                println!("=== {name} {}", "=".repeat(60usize.saturating_sub(name.len())));
+                println!("{text}");
+            }
+            Err(e) => {
+                eprintln!("error regenerating {name}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

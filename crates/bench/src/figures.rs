@@ -1,0 +1,493 @@
+//! Figures 1–5 of the paper.
+
+use crate::average_wire_cap;
+use nanopower::report::{fmt_sig, TextTable};
+use np_circuit::power::fo4_power;
+use np_circuit::CircuitError;
+use np_device::dualvth::{ioff_penalty_for_gain, ion_gain};
+use np_device::{DeviceError, GateKind, Mosfet};
+use np_grid::plan::{fig5_series, GridPlan};
+use np_grid::GridError;
+use np_opt::policy::{lowest_vdd_at_ratio, policy_curve, PolicyPoint, VthPolicy};
+use np_opt::OptError;
+use np_roadmap::TechNode;
+use np_units::math::{linspace, logspace};
+use np_units::{Celsius, Volts};
+
+/// One curve of Fig. 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Curve {
+    /// Node and supply of the curve ("50nm, Vdd=0.6V" …).
+    pub label: String,
+    /// Switching-activity sample points.
+    pub activity: Vec<f64>,
+    /// `Pstatic / Pdynamic` at each activity.
+    pub ratio: Vec<f64>,
+}
+
+/// F1 — static-to-dynamic power ratio versus switching activity for an
+/// FO4 inverter with average wiring load at 85 °C.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Report {
+    /// The three curves of the figure.
+    pub curves: Vec<Fig1Curve>,
+}
+
+/// Regenerates Fig. 1 (70 nm @ 0.9 V, 50 nm @ 0.7 V, 50 nm @ 0.6 V).
+///
+/// # Errors
+///
+/// Propagates device and power-model errors.
+pub fn fig1() -> Result<Fig1Report, CircuitError> {
+    let activity = logspace(0.003, 0.5, 24);
+    let cases = [
+        (TechNode::N70, Volts(0.9)),
+        (TechNode::N50, Volts(0.7)),
+        (TechNode::N50, Volts(0.6)),
+    ];
+    let mut curves = Vec::new();
+    for (node, vdd) in cases {
+        let dev = Mosfet::for_node_with(node, vdd, GateKind::PolySilicon)?
+            .with_temperature(Celsius(85.0));
+        let wire = average_wire_cap(node);
+        let f = node.params().local_clock;
+        let ratio = activity
+            .iter()
+            .map(|&a| Ok(fo4_power(&dev, vdd, f, a, wire)?.static_fraction()))
+            .collect::<Result<Vec<f64>, CircuitError>>()?;
+        curves.push(Fig1Curve {
+            label: format!("{node}, Vdd={:.1}V", vdd.0),
+            activity: activity.clone(),
+            ratio,
+        });
+    }
+    Ok(Fig1Report { curves })
+}
+
+impl Fig1Report {
+    /// The ratio of one curve at a given activity (nearest sample).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the curve index is out of range.
+    pub fn ratio_at(&self, curve: usize, activity: f64) -> f64 {
+        let c = &self.curves[curve];
+        let i = c
+            .activity
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                (a.1 - activity)
+                    .abs()
+                    .partial_cmp(&(b.1 - activity).abs())
+                    .expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        c.ratio[i]
+    }
+
+    /// CSV series: `activity,<curve1>,<curve2>,<curve3>`.
+    pub fn csv(&self) -> String {
+        let mut out = format!(
+            "activity,{},{},{}\n",
+            self.curves[0].label, self.curves[1].label, self.curves[2].label
+        );
+        for i in 0..self.curves[0].activity.len() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                self.curves[0].activity[i],
+                self.curves[0].ratio[i],
+                self.curves[1].ratio[i],
+                self.curves[2].ratio[i]
+            ));
+        }
+        out
+    }
+
+    /// Plain-text rendering at a few representative activities.
+    pub fn render(&self) -> String {
+        let probes = [0.01, 0.03, 0.1, 0.3];
+        let mut t = TextTable::new(&[
+            "activity",
+            &self.curves[0].label,
+            &self.curves[1].label,
+            &self.curves[2].label,
+        ]);
+        for &a in &probes {
+            t.row(&[
+                &format!("{a}"),
+                &fmt_sig(self.ratio_at(0, a)),
+                &fmt_sig(self.ratio_at(1, a)),
+                &fmt_sig(self.ratio_at(2, a)),
+            ]);
+        }
+        format!(
+            "Figure 1. Pstatic/Pdynamic for an FO4 inverter + average wire, 85 C.\n{}",
+            t.render()
+        )
+    }
+}
+
+/// F2 — dual-Vth scaling: `Ion` gain per 100 mV and `Ioff` cost of +20 %.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Report {
+    /// Per-node `(node, ion_gain_fraction, ioff_penalty_x)`.
+    pub rows: Vec<(TechNode, f64, f64)>,
+}
+
+/// Regenerates Fig. 2.
+///
+/// # Errors
+///
+/// Propagates device errors.
+pub fn fig2() -> Result<Fig2Report, DeviceError> {
+    let mut rows = Vec::new();
+    for node in TechNode::ALL {
+        rows.push((
+            node,
+            ion_gain(node, Volts(0.1))?,
+            ioff_penalty_for_gain(node, 0.20)?,
+        ));
+    }
+    Ok(Fig2Report { rows })
+}
+
+impl Fig2Report {
+    /// CSV series: `node_nm,ion_gain_pct,ioff_penalty_x`.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("node_nm,ion_gain_pct,ioff_penalty_x\n");
+        for (node, gain, penalty) in &self.rows {
+            out.push_str(&format!("{},{},{}\n", node.drawn().0, gain * 100.0, penalty));
+        }
+        out
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "node",
+            "Ion gain, dVth=100mV (%)",
+            "Ioff penalty for +20% Ion (X)",
+        ]);
+        for (node, gain, penalty) in &self.rows {
+            t.row(&[
+                &format!("{node}"),
+                &format!("{:.1}", gain * 100.0),
+                &format!("{:.1}", penalty),
+            ]);
+        }
+        format!(
+            "Figure 2. Dual-Vth scaling (15X Ioff per 100 mV is node-independent).\n{}",
+            t.render()
+        )
+    }
+}
+
+/// F3 — normalized delay versus `Vdd` under the three Vth policies
+/// (35 nm, nominal 0.6 V).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig3Report {
+    /// Per-policy curves over the shared sweep.
+    pub curves: Vec<(VthPolicy, Vec<PolicyPoint>)>,
+}
+
+/// The shared Fig. 3/4 supply sweep, 0.2 → 0.6 V.
+pub fn fig3_sweep() -> Vec<Volts> {
+    linspace(0.2, 0.6, 17).into_iter().map(Volts).collect()
+}
+
+/// Regenerates Fig. 3.
+///
+/// # Errors
+///
+/// Propagates policy-model errors.
+pub fn fig3() -> Result<Fig3Report, OptError> {
+    let dev = Mosfet::for_node(TechNode::N35)?;
+    let sweep = fig3_sweep();
+    let mut curves = Vec::new();
+    for policy in VthPolicy::ALL {
+        curves.push((policy, policy_curve(&dev, policy, &sweep)?));
+    }
+    Ok(Fig3Report { curves })
+}
+
+impl Fig3Report {
+    /// The point of one policy curve nearest a supply.
+    pub fn point_at(&self, policy: VthPolicy, vdd: Volts) -> Option<PolicyPoint> {
+        self.curves
+            .iter()
+            .find(|(p, _)| *p == policy)?
+            .1
+            .iter()
+            .min_by(|a, b| {
+                (a.vdd - vdd)
+                    .abs()
+                    .partial_cmp(&(b.vdd - vdd).abs())
+                    .expect("finite")
+            })
+            .copied()
+    }
+
+    /// CSV series: `vdd,constant_vth,const_pstatic,conservative` delays.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("vdd,constant_vth,const_pstatic,conservative\n");
+        for &vdd in &fig3_sweep() {
+            let d = |p: VthPolicy| {
+                self.point_at(p, vdd).map(|pt| pt.delay).unwrap_or(f64::NAN)
+            };
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                vdd.0,
+                d(VthPolicy::ConstantVth),
+                d(VthPolicy::ConstantStaticPower),
+                d(VthPolicy::Conservative)
+            ));
+        }
+        out
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["Vdd (V)", "constant Vth", "const Pstatic", "conservative"]);
+        for &vdd in &fig3_sweep() {
+            let d = |p: VthPolicy| {
+                self.point_at(p, vdd)
+                    .map(|pt| format!("{:.2}", pt.delay))
+                    .unwrap_or_default()
+            };
+            t.row(&[
+                &format!("{:.2}", vdd.0),
+                &d(VthPolicy::ConstantVth),
+                &d(VthPolicy::ConstantStaticPower),
+                &d(VthPolicy::Conservative),
+            ]);
+        }
+        format!("Figure 3. Normalized delay vs Vdd, 35 nm.\n{}", t.render())
+    }
+}
+
+/// F4 — `Pdynamic/Pstatic` versus `Vdd` at activity 0.1 (35 nm).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Report {
+    /// The nominal-point `Pdyn/Pstat` anchor from the FO4 power model.
+    pub ratio0: f64,
+    /// Per-policy `(vdd, ratio)` series.
+    pub curves: Vec<(VthPolicy, Vec<(Volts, f64)>)>,
+    /// The ITRS-constraint crossing on the constant-Pstatic curve: lowest
+    /// supply with `Pdyn/Pstat >= 10`, and its dynamic saving.
+    pub crossing: Option<(Volts, f64)>,
+}
+
+/// Regenerates Fig. 4. The absolute ratio is anchored by evaluating the
+/// Fig. 1 FO4 power model at the nominal 35 nm point (activity 0.1,
+/// 85 °C), then each policy scales it.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fig4() -> Result<Fig4Report, OptError> {
+    let node = TechNode::N35;
+    let dev = Mosfet::for_node(node)?;
+    let hot = dev.with_temperature(Celsius(85.0));
+    let p = node.params();
+    let anchor = fo4_power(&hot, p.vdd, p.local_clock, 0.1, average_wire_cap(node))
+        .map_err(OptError::Circuit)?;
+    let ratio0 = 1.0 / anchor.static_fraction();
+    let sweep = fig3_sweep();
+    let mut curves = Vec::new();
+    let mut crossing = None;
+    for policy in VthPolicy::ALL {
+        let curve = policy_curve(&dev, policy, &sweep)?;
+        if policy == VthPolicy::ConstantStaticPower {
+            crossing = lowest_vdd_at_ratio(&curve, ratio0, 10.0)
+                .map(|pt| (pt.vdd, 1.0 - pt.dynamic));
+        }
+        curves.push((
+            policy,
+            curve.iter().map(|pt| (pt.vdd, pt.power_ratio(ratio0))).collect(),
+        ));
+    }
+    Ok(Fig4Report { ratio0, curves, crossing })
+}
+
+impl Fig4Report {
+    /// CSV series: `vdd,constant_vth,const_pstatic,conservative` ratios.
+    pub fn csv(&self) -> String {
+        let mut out = String::from("vdd,constant_vth,const_pstatic,conservative\n");
+        for i in 0..self.curves[0].1.len() {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                self.curves[0].1[i].0 .0,
+                self.curves[0].1[i].1,
+                self.curves[1].1[i].1,
+                self.curves[2].1[i].1
+            ));
+        }
+        out
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t =
+            TextTable::new(&["Vdd (V)", "constant Vth", "const Pstatic", "conservative"]);
+        let n = self.curves[0].1.len();
+        for i in 0..n {
+            t.row(&[
+                &format!("{:.2}", self.curves[0].1[i].0 .0),
+                &fmt_sig(self.curves[0].1[i].1),
+                &fmt_sig(self.curves[1].1[i].1),
+                &fmt_sig(self.curves[2].1[i].1),
+            ]);
+        }
+        let crossing = match self.crossing {
+            Some((v, s)) => format!(
+                "Pdyn/Pstat >= 10 attainable down to {:.2} V (dynamic saving {:.0}%)",
+                v.0,
+                s * 100.0
+            ),
+            None => "ITRS 10:1 constraint unreachable below nominal".to_string(),
+        };
+        format!(
+            "Figure 4. Pdynamic/Pstatic vs Vdd at activity 0.1, 35 nm (anchor {:.1}).\n{}\n{}\n",
+            self.ratio0,
+            t.render(),
+            crossing
+        )
+    }
+}
+
+/// F5 — grid plans for every node under both bump assumptions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5Report {
+    /// `(min-pitch plan, ITRS-pads plan)` per node.
+    pub rows: Vec<(GridPlan, GridPlan)>,
+}
+
+/// Regenerates Fig. 5.
+///
+/// # Errors
+///
+/// Propagates grid-model errors.
+pub fn fig5() -> Result<Fig5Report, GridError> {
+    Ok(Fig5Report { rows: fig5_series()? })
+}
+
+impl Fig5Report {
+    /// CSV series per node: both bump assumptions.
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "node_nm,min_pitch_um,width_over_min,rail_pct,itrs_pitch_um,itrs_width_over_min,itrs_routable\n",
+        );
+        for (a, b) in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                a.node.drawn().0,
+                a.bump_pitch.0,
+                a.width_over_min(),
+                a.rail_fraction() * 100.0,
+                b.bump_pitch.0,
+                b.width_over_min(),
+                b.is_routable()
+            ));
+        }
+        out
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "node",
+            "min pitch (um)",
+            "width/min",
+            "rails (%)",
+            "ITRS pitch (um)",
+            "width/min (ITRS)",
+            "routable?",
+        ]);
+        for (a, b) in &self.rows {
+            t.row(&[
+                &format!("{}", a.node),
+                &format!("{:.0}", a.bump_pitch.0),
+                &format!("{:.1}", a.width_over_min()),
+                &format!("{:.1}", a.rail_fraction() * 100.0),
+                &format!("{:.0}", b.bump_pitch.0),
+                &format!("{:.0}", b.width_over_min()),
+                if b.is_routable() { "yes" } else { "NO" },
+            ]);
+        }
+        format!(
+            "Figure 5. IR-drop rail sizing: minimum bump pitch vs ITRS pad counts.\n{}",
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_orders_and_slopes() {
+        let f = fig1().unwrap();
+        assert_eq!(f.curves.len(), 3);
+        // Ordering at activity 0.1: 70nm@0.9 < 50nm@0.7 < 50nm@0.6.
+        let r = [f.ratio_at(0, 0.1), f.ratio_at(1, 0.1), f.ratio_at(2, 0.1)];
+        assert!(r[0] < r[1] && r[1] < r[2], "{r:?}");
+        // "static power can approach and exceed 10% of dynamic" in the
+        // 0.01-0.1 activity band.
+        assert!(f.ratio_at(2, 0.01) > 0.1);
+        // Slope -1 in log-log (nearest-sample lookup tolerated).
+        let tenx = f.ratio_at(0, 0.01) / f.ratio_at(0, 0.1);
+        assert!((7.0..=14.0).contains(&tenx), "got {tenx}");
+    }
+
+    #[test]
+    fn fig2_trends() {
+        let f = fig2().unwrap();
+        assert!(f.rows[0].1 < f.rows[5].1, "Ion gain grows with scaling");
+        assert!(f.rows[0].2 > f.rows[5].2, "Ioff penalty shrinks");
+        assert!(f.rows[5].2 < 20.0, "35 nm penalty near the paper's 7X");
+    }
+
+    #[test]
+    fn fig3_constant_vth_matches_3_7x_anchor() {
+        let f = fig3().unwrap();
+        let pt = f.point_at(VthPolicy::ConstantVth, Volts(0.2)).unwrap();
+        assert!((2.5..=5.5).contains(&pt.delay), "got {:.2}", pt.delay);
+        let scaled = f
+            .point_at(VthPolicy::ConstantStaticPower, Volts(0.2))
+            .unwrap();
+        assert!(scaled.delay < pt.delay / 1.5);
+        assert!((scaled.dynamic - 1.0 / 9.0).abs() < 1e-9, "89% dynamic saving");
+    }
+
+    #[test]
+    fn fig4_crossing_is_near_the_papers_0_44v() {
+        let f = fig4().unwrap();
+        let (v, saving) = f.crossing.expect("crossing exists");
+        assert!(
+            (0.30..=0.55).contains(&v.0),
+            "crossing {v} vs paper's 0.44 V"
+        );
+        assert!((0.2..=0.8).contains(&saving), "saving {saving}");
+    }
+
+    #[test]
+    fn fig5_blowup_is_reproduced() {
+        let f = fig5().unwrap();
+        let (min35, itrs35) = &f.rows[TechNode::N35.index()];
+        assert!(min35.width_over_min() < 40.0);
+        assert!(itrs35.width_over_min() > 500.0);
+        assert!(!itrs35.is_routable());
+    }
+
+    #[test]
+    fn renders_do_not_panic() {
+        assert!(fig1().unwrap().render().contains("Figure 1"));
+        assert!(fig2().unwrap().render().contains("Figure 2"));
+        assert!(fig3().unwrap().render().contains("Figure 3"));
+        assert!(fig4().unwrap().render().contains("Figure 4"));
+        assert!(fig5().unwrap().render().contains("Figure 5"));
+    }
+}

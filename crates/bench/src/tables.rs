@@ -1,0 +1,238 @@
+//! Tables 1 and 2 of the paper.
+
+use nanopower::report::{fmt_sig, TextTable};
+use np_device::{DeviceError, GateKind, Mosfet};
+use np_roadmap::survey::{DeviceReport, SURVEY};
+use np_roadmap::TechNode;
+use np_units::Volts;
+
+/// T1 — the published-device survey of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1Report {
+    /// The survey rows, paper order.
+    pub rows: Vec<&'static DeviceReport>,
+}
+
+/// Regenerates Table 1.
+pub fn table1() -> Table1Report {
+    Table1Report { rows: SURVEY.iter().collect() }
+}
+
+impl Table1Report {
+    /// Plain-text rendering in the paper's column order.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Table 1. Recent NMOS device results, compared with ITRS projections.\n",
+        );
+        out.push_str(
+            "  ref   source          node     Tox            Vdd     Ion        Ioff\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!("{r}\n"));
+        }
+        out.push_str(
+            "\nReading: no published sub-1 V technology meets the ITRS Ion target.\n",
+        );
+        out
+    }
+}
+
+/// One node-row of the Table 2 analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Row {
+    /// The node.
+    pub node: TechNode,
+    /// Electrical oxide capacitance, normalized to 180 nm.
+    pub coxe_norm: f64,
+    /// Physical oxide capacitance, normalized to 180 nm.
+    pub cox_norm: f64,
+    /// `Vth` solved to meet `Ion = 750 µA/µm` (poly gate, nominal Vdd).
+    pub vth: Volts,
+    /// Resulting `Ioff` in nA/µm.
+    pub ioff_na: f64,
+    /// `Ioff` with a metal gate (gate depletion removed), nA/µm.
+    pub ioff_metal_na: f64,
+    /// The ITRS `Ioff` projection, nA/µm.
+    pub ioff_itrs_na: f64,
+    /// The 50 nm parenthetical: `(Vth, Ioff)` at the relaxed 0.7 V supply.
+    pub alt_supply: Option<(Volts, f64)>,
+}
+
+/// T2 — the analytical `Ioff` scaling study of Table 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table2Report {
+    /// One row per node, coarsest first.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Regenerates Table 2: per node, solve `Vth` for the 750 µA/µm target and
+/// evaluate `Ioff` for poly and metal gates; the 50 nm row also carries the
+/// 0.7 V alternative.
+///
+/// # Errors
+///
+/// Propagates device-calibration errors.
+pub fn table2() -> Result<Table2Report, DeviceError> {
+    let t180 = TechNode::N180.params().tox_phys.0;
+    let coxe = |t: f64| (t180 + 0.7) / (t + 0.7);
+    let cox = |t: f64| t180 / t;
+    let mut rows = Vec::new();
+    for node in TechNode::ALL {
+        let p = node.params();
+        let dev = Mosfet::for_node(node)?;
+        let metal = Mosfet::for_node_with(node, p.vdd, GateKind::Metal)?;
+        let alt_supply = match p.vdd_alt {
+            Some(v) => {
+                let alt = Mosfet::for_node_with(node, v, GateKind::PolySilicon)?;
+                Some((alt.vth, alt.ioff().as_nano_per_micron()))
+            }
+            None => None,
+        };
+        rows.push(Table2Row {
+            node,
+            coxe_norm: coxe(p.tox_phys.0),
+            cox_norm: cox(p.tox_phys.0),
+            vth: dev.vth,
+            ioff_na: dev.ioff().as_nano_per_micron(),
+            ioff_metal_na: metal.ioff().as_nano_per_micron(),
+            ioff_itrs_na: p.ioff_itrs.as_nano_per_micron(),
+            alt_supply,
+        });
+    }
+    Ok(Table2Report { rows })
+}
+
+impl Table2Report {
+    /// The roadmap-wide `Ioff` increase of the model (the paper's "152X …
+    /// markedly higher than the ITRS value of 23X").
+    pub fn model_ioff_increase(&self) -> f64 {
+        self.rows[self.rows.len() - 1].ioff_na / self.rows[0].ioff_na
+    }
+
+    /// The roadmap-wide ITRS `Ioff` increase.
+    pub fn itrs_ioff_increase(&self) -> f64 {
+        self.rows[self.rows.len() - 1].ioff_itrs_na / self.rows[0].ioff_itrs_na
+    }
+
+    /// The 35 nm model-vs-ITRS leakage excess (the paper's "2.9X larger").
+    pub fn end_of_roadmap_excess(&self) -> f64 {
+        let last = &self.rows[self.rows.len() - 1];
+        last.ioff_na / last.ioff_itrs_na
+    }
+
+    /// Metal-gate `Ioff` reduction at 35 nm (the paper's "decreases by
+    /// 78%").
+    pub fn metal_gate_reduction(&self) -> f64 {
+        let last = &self.rows[self.rows.len() - 1];
+        1.0 - last.ioff_metal_na / last.ioff_na
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "node",
+            "Coxe (norm)",
+            "Cox (phys)",
+            "Vth (V)",
+            "Ioff (nA/um)",
+            "metal gate",
+            "ITRS Ioff",
+        ]);
+        for r in &self.rows {
+            let vth = match r.alt_supply {
+                Some((v_alt, _)) => format!("{:.3} ({:.2})", r.vth.0, v_alt.0),
+                None => format!("{:.3}", r.vth.0),
+            };
+            let ioff = match r.alt_supply {
+                Some((_, i_alt)) => format!("{} ({})", fmt_sig(r.ioff_na), fmt_sig(i_alt)),
+                None => fmt_sig(r.ioff_na),
+            };
+            t.row(&[
+                &format!("{}", r.node),
+                &format!("{:.2}", r.coxe_norm),
+                &format!("{:.2}", r.cox_norm),
+                &vth,
+                &ioff,
+                &fmt_sig(r.ioff_metal_na),
+                &fmt_sig(r.ioff_itrs_na),
+            ]);
+        }
+        format!(
+            "Table 2. Analytical model results for Ioff scaling.\n{}\nmodel Ioff increase 180->35 nm: {:.0}X (ITRS: {:.0}X); 35 nm model/ITRS: {:.1}X; metal gate: -{:.0}%\n",
+            t.render(),
+            self.model_ioff_increase(),
+            self.itrs_ioff_increase(),
+            self.end_of_roadmap_excess(),
+            self.metal_gate_reduction() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_all_nine_rows() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 9);
+        let s = t.render();
+        assert!(s.contains("[24]"));
+        assert!(s.contains("ITRS"));
+    }
+
+    #[test]
+    fn table2_vth_sequence_tracks_the_paper() {
+        // Paper: 0.30, 0.29, 0.22, 0.14, 0.04, 0.11.
+        let expect = [0.30, 0.29, 0.22, 0.14, 0.04, 0.11];
+        let t = table2().unwrap();
+        for (row, e) in t.rows.iter().zip(expect) {
+            assert!(
+                (row.vth.0 - e).abs() < 0.035,
+                "{}: Vth {:.3} vs paper {e}",
+                row.node,
+                row.vth.0
+            );
+        }
+    }
+
+    #[test]
+    fn table2_headline_ratios() {
+        let t = table2().unwrap();
+        // Paper: 152X model vs 23X ITRS; ours lands in the same regime.
+        assert!(t.model_ioff_increase() > 50.0, "got {:.0}X", t.model_ioff_increase());
+        assert!((20.0..=25.0).contains(&t.itrs_ioff_increase()));
+        assert!(t.model_ioff_increase() > 3.0 * t.itrs_ioff_increase());
+        // Paper: 2.9X at 35 nm.
+        assert!(
+            (1.5..=4.5).contains(&t.end_of_roadmap_excess()),
+            "got {:.1}X",
+            t.end_of_roadmap_excess()
+        );
+        // Paper: metal gate cuts Ioff 78% at 35 nm.
+        assert!(
+            (0.6..=0.95).contains(&t.metal_gate_reduction()),
+            "got {:.0}%",
+            t.metal_gate_reduction() * 100.0
+        );
+    }
+
+    #[test]
+    fn table2_50nm_alt_supply_relaxes_leakage() {
+        let t = table2().unwrap();
+        let n50 = &t.rows[TechNode::N50.index()];
+        let (v_alt, ioff_alt) = n50.alt_supply.expect("50 nm has the 0.7 V variant");
+        assert!(v_alt > n50.vth);
+        // Paper: 3205 -> 432 nA/µm, "reducing off current by nearly 7X".
+        let relief = n50.ioff_na / ioff_alt;
+        assert!((4.0..=25.0).contains(&relief), "got {relief:.1}X");
+    }
+
+    #[test]
+    fn render_contains_all_nodes() {
+        let s = table2().unwrap().render();
+        for node in TechNode::ALL {
+            assert!(s.contains(&format!("{node}")));
+        }
+    }
+}

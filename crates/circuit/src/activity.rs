@@ -1,0 +1,190 @@
+//! Signal-probability and switching-activity propagation.
+//!
+//! The paper's power numbers hinge on the switching-activity factor α
+//! (Fig. 1 sweeps it; CVS and the Fig. 4 analysis fix it at 0.1). Rather
+//! than assuming one α everywhere, this module propagates static signal
+//! probabilities through the netlist (the classic zero-delay model:
+//! independent inputs, `α = 2·p·(1 − p)` per net) so netlist power can be
+//! evaluated with per-gate activities.
+
+use crate::cell::CellKind;
+use crate::error::CircuitError;
+use crate::netlist::{GateId, Netlist};
+use crate::power::PowerReport;
+use crate::sta::TimingContext;
+use np_units::{Hertz, Watts};
+
+/// Static output probability of a gate given its input probabilities
+/// (independence assumption). Inputs beyond the gate's fan-in are ignored;
+/// missing inputs (primary inputs) are taken at probability 0.5.
+pub fn output_probability(kind: CellKind, inputs: &[f64]) -> f64 {
+    let p = |i: usize| inputs.get(i).copied().unwrap_or(0.5);
+    match kind {
+        CellKind::Inverter => 1.0 - p(0),
+        CellKind::Buffer | CellKind::LevelConverter => p(0),
+        CellKind::Nand2 => 1.0 - p(0) * p(1),
+        CellKind::Nand3 => 1.0 - p(0) * p(1) * p(2),
+        CellKind::Nor2 => (1.0 - p(0)) * (1.0 - p(1)),
+        CellKind::Nor3 => (1.0 - p(0)) * (1.0 - p(1)) * (1.0 - p(2)),
+    }
+}
+
+/// Per-gate signal probabilities and activities of a netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityProfile {
+    /// Static probability of each gate's output being 1.
+    pub probability: Vec<f64>,
+    /// Switching activity `2·p·(1 − p)` of each gate's output.
+    pub activity: Vec<f64>,
+}
+
+impl ActivityProfile {
+    /// Propagates probabilities through the netlist with all primary
+    /// inputs at probability `input_probability`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::BadParameter`] when the input probability
+    /// is outside `[0, 1]`.
+    pub fn propagate(netlist: &Netlist, input_probability: f64) -> Result<Self, CircuitError> {
+        if !(0.0..=1.0).contains(&input_probability) {
+            return Err(CircuitError::BadParameter("probability must be in [0, 1]"));
+        }
+        let mut probability = vec![0.5f64; netlist.len()];
+        for &id in netlist.topological_order() {
+            let g = netlist.gate(id);
+            let inputs: Vec<f64> = (0..g.kind.fanin())
+                .map(|i| {
+                    g.fanins
+                        .get(i)
+                        .map(|f| probability[f.index()])
+                        .unwrap_or(input_probability)
+                })
+                .collect();
+            probability[id.index()] = output_probability(g.kind, &inputs);
+        }
+        let activity = probability.iter().map(|&p| 2.0 * p * (1.0 - p)).collect();
+        Ok(Self { probability, activity })
+    }
+
+    /// Activity of one gate's output.
+    pub fn activity_of(&self, id: GateId) -> f64 {
+        self.activity[id.index()]
+    }
+
+    /// Mean activity over the netlist.
+    pub fn mean_activity(&self) -> f64 {
+        self.activity.iter().sum::<f64>() / self.activity.len() as f64
+    }
+}
+
+/// Netlist power with per-gate propagated activities instead of one
+/// uniform α. Leakage is activity-independent and matches
+/// [`crate::power::netlist_power`].
+///
+/// # Errors
+///
+/// Rejects a non-positive frequency; propagates profile mismatches as
+/// [`CircuitError::BadParameter`].
+pub fn netlist_power_with_profile(
+    netlist: &Netlist,
+    ctx: &TimingContext,
+    profile: &ActivityProfile,
+    freq: Hertz,
+) -> Result<PowerReport, CircuitError> {
+    if !(freq.0 > 0.0) {
+        return Err(CircuitError::BadParameter("frequency must be positive"));
+    }
+    if profile.activity.len() != netlist.len() {
+        return Err(CircuitError::BadParameter("profile does not match netlist"));
+    }
+    let mut dynamic = Watts(0.0);
+    let mut leakage = Watts(0.0);
+    let dev = ctx.device();
+    for id in netlist.ids() {
+        let g = netlist.gate(id);
+        let vdd = ctx.supply_voltage(g.supply);
+        let c_load = ctx.load_of(netlist, id);
+        // Clamp activities away from exactly zero so constant nets still
+        // carry a residual (clock feedthrough, glitches).
+        let a = profile.activity_of(id).max(1e-4);
+        dynamic += Watts(a * freq.0 * c_load.0 * vdd.0 * vdd.0);
+        let ioff = dev.with_vth(ctx.threshold_voltage(g.vth)).ioff_at_drain(vdd);
+        leakage += ioff.total(ctx.leak_width(g.kind, g.drive)) * vdd;
+    }
+    Ok(PowerReport { dynamic, leakage })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_netlist, NetlistSpec};
+    use np_roadmap::TechNode;
+
+    #[test]
+    fn gate_probability_identities() {
+        assert_eq!(output_probability(CellKind::Inverter, &[0.3]), 0.7);
+        assert_eq!(output_probability(CellKind::Buffer, &[0.3]), 0.3);
+        assert!((output_probability(CellKind::Nand2, &[0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!((output_probability(CellKind::Nor2, &[0.5, 0.5]) - 0.25).abs() < 1e-12);
+        assert!(
+            (output_probability(CellKind::Nand3, &[0.5, 0.5, 0.5]) - 0.875).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn missing_inputs_default_to_half() {
+        // A NAND2 fed by one primary input and one gate behaves as if the
+        // primary input sat at 0.5.
+        assert!((output_probability(CellKind::Nand2, &[0.5]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn activities_are_bounded_by_half() {
+        let nl = generate_netlist(&NetlistSpec::small(3));
+        let prof = ActivityProfile::propagate(&nl, 0.5).unwrap();
+        for &a in &prof.activity {
+            assert!((0.0..=0.5).contains(&a));
+        }
+        assert!(prof.mean_activity() > 0.05);
+    }
+
+    #[test]
+    fn biased_inputs_reduce_activity() {
+        let nl = generate_netlist(&NetlistSpec::small(4));
+        let balanced = ActivityProfile::propagate(&nl, 0.5).unwrap();
+        let biased = ActivityProfile::propagate(&nl, 0.95).unwrap();
+        assert!(biased.mean_activity() < balanced.mean_activity());
+    }
+
+    #[test]
+    fn profile_power_is_below_uniform_half_activity() {
+        let nl = generate_netlist(&NetlistSpec::small(5));
+        let ctx = TimingContext::for_node(TechNode::N100).unwrap();
+        let f = np_units::Hertz::from_giga(1.0);
+        let prof = ActivityProfile::propagate(&nl, 0.5).unwrap();
+        let with_prof = netlist_power_with_profile(&nl, &ctx, &prof, f).unwrap();
+        let uniform = crate::power::netlist_power(&nl, &ctx, 0.5, f).unwrap();
+        assert!(with_prof.dynamic < uniform.dynamic);
+        assert!((with_prof.leakage.0 / uniform.leakage.0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let nl = generate_netlist(&NetlistSpec::small(6));
+        assert!(ActivityProfile::propagate(&nl, 1.5).is_err());
+        let ctx = TimingContext::for_node(TechNode::N100).unwrap();
+        let prof = ActivityProfile::propagate(&nl, 0.5).unwrap();
+        assert!(
+            netlist_power_with_profile(&nl, &ctx, &prof, np_units::Hertz(0.0)).is_err()
+        );
+        let other = generate_netlist(&NetlistSpec::medium(6));
+        assert!(netlist_power_with_profile(
+            &other,
+            &ctx,
+            &prof,
+            np_units::Hertz::from_giga(1.0)
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Error type for netlist construction and analysis.
+
+use np_device::DeviceError;
+use std::fmt;
+
+/// Error returned by netlist construction, timing, and power analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// A gate references a fan-in that does not exist.
+    UnknownGate {
+        /// The dangling index.
+        index: usize,
+    },
+    /// The netlist contains a combinational cycle through the named gate.
+    CombinationalLoop {
+        /// A gate on the cycle.
+        index: usize,
+    },
+    /// The netlist is empty where an analysis needs gates.
+    EmptyNetlist,
+    /// A parameter is out of range (documented in the message).
+    BadParameter(&'static str),
+    /// The underlying device model failed.
+    Device(DeviceError),
+    /// No cell in the library matches the request.
+    NoMatchingCell {
+        /// Human-readable description of the request.
+        wanted: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::UnknownGate { index } => {
+                write!(f, "gate fan-in references unknown gate {index}")
+            }
+            CircuitError::CombinationalLoop { index } => {
+                write!(f, "combinational loop through gate {index}")
+            }
+            CircuitError::EmptyNetlist => write!(f, "netlist has no gates"),
+            CircuitError::BadParameter(msg) => write!(f, "bad parameter: {msg}"),
+            CircuitError::Device(e) => write!(f, "device model error: {e}"),
+            CircuitError::NoMatchingCell { wanted } => {
+                write!(f, "no cell in library matches {wanted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircuitError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for CircuitError {
+    fn from(e: DeviceError) -> Self {
+        CircuitError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(format!("{}", CircuitError::UnknownGate { index: 3 }).contains('3'));
+        assert!(format!("{}", CircuitError::EmptyNetlist).contains("no gates"));
+        assert!(
+            format!("{}", CircuitError::NoMatchingCell { wanted: "INVX99".into() })
+                .contains("INVX99")
+        );
+    }
+
+    #[test]
+    fn device_error_has_source() {
+        use std::error::Error;
+        let e: CircuitError = DeviceError::BadParameter("x").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,239 @@
+//! Incremental arrival-time maintenance.
+//!
+//! The optimization loops (CVS, dual-Vth, sizing) try thousands of
+//! single-gate changes, each followed by a feasibility check. Re-running
+//! full STA costs `O(gates)` per probe; this engine re-propagates arrivals
+//! only through the *affected cone* — the changed gate, the gates whose
+//! load it alters (its fan-ins), and whatever downstream actually moves —
+//! which is typically a small fraction of the design.
+//!
+//! The engine maintains exact arrivals (identical to
+//! [`TimingContext::analyze`]) and the set of endpoint violations against
+//! the context clock.
+
+use crate::netlist::{GateId, Netlist};
+use crate::sta::TimingContext;
+use np_units::Seconds;
+use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+
+/// Exact incremental arrival tracker over one netlist + timing context.
+#[derive(Debug, Clone)]
+pub struct IncrementalSta<'a> {
+    ctx: &'a TimingContext,
+    /// Topological rank of each gate (for ordered re-propagation).
+    rank: Vec<usize>,
+    /// Current gate delays.
+    delay: Vec<Seconds>,
+    /// Current arrival times.
+    arrival: Vec<Seconds>,
+    /// Indices of the timing endpoints (topology-fixed).
+    endpoints: Vec<usize>,
+}
+
+impl<'a> IncrementalSta<'a> {
+    /// Builds the tracker with a full initial propagation.
+    pub fn new(ctx: &'a TimingContext, netlist: &Netlist) -> Self {
+        let n = netlist.len();
+        let mut rank = vec![0usize; n];
+        for (r, id) in netlist.topological_order().iter().enumerate() {
+            rank[id.index()] = r;
+        }
+        let endpoints = netlist
+            .timing_endpoints()
+            .into_iter()
+            .map(|id| id.index())
+            .collect();
+        let mut this = Self {
+            ctx,
+            rank,
+            delay: vec![Seconds(0.0); n],
+            arrival: vec![Seconds(0.0); n],
+            endpoints,
+        };
+        for &id in netlist.topological_order() {
+            this.delay[id.index()] = ctx.gate_delay(netlist, id);
+            this.arrival[id.index()] = this.arrival_from_fanins(netlist, id);
+        }
+        this
+    }
+
+    /// Current arrival at a gate's output.
+    pub fn arrival_of(&self, id: GateId) -> Seconds {
+        self.arrival[id.index()]
+    }
+
+    /// Current critical (maximum) arrival.
+    pub fn critical_delay(&self) -> Seconds {
+        self.arrival
+            .iter()
+            .copied()
+            .fold(Seconds(0.0), Seconds::max)
+    }
+
+    /// True when every timing endpoint meets the context clock.
+    pub fn is_feasible(&self) -> bool {
+        let clock = self.ctx.clock_period;
+        self.endpoints
+            .iter()
+            .all(|&i| self.arrival[i].0 <= clock.0 + 1e-18)
+    }
+
+    fn arrival_from_fanins(&self, netlist: &Netlist, id: GateId) -> Seconds {
+        let g = netlist.gate(id);
+        let mut at = Seconds(0.0);
+        for &f in &g.fanins {
+            let c = self.arrival[f.index()] + self.ctx.edge_penalty(netlist, f, id);
+            at = at.max(c);
+        }
+        at + self.delay[id.index()]
+    }
+
+    /// Re-propagates after the gate `changed` had its assignment (drive,
+    /// supply, or Vth) mutated in `netlist`. Returns the number of gates
+    /// whose arrival actually moved.
+    ///
+    /// The affected set seeded: the changed gate (its own delay and the
+    /// conversion penalty on its in-edges changed) and its fan-ins (their
+    /// load — and hence delay — changed when the drive changed).
+    pub fn reevaluate(&mut self, netlist: &Netlist, changed: GateId) -> usize {
+        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+        let mut queued = vec![false; netlist.len()];
+        let push = |heap: &mut BinaryHeap<Reverse<(usize, usize)>>,
+                        queued: &mut Vec<bool>,
+                        rank: &Vec<usize>,
+                        id: GateId| {
+            if !queued[id.index()] {
+                queued[id.index()] = true;
+                heap.push(Reverse((rank[id.index()], id.index())));
+            }
+        };
+        // Fan-ins: their load changed; their delay must be refreshed.
+        for &f in &netlist.gate(changed).fanins.clone() {
+            self.delay[f.index()] = self.ctx.gate_delay(netlist, f);
+            push(&mut heap, &mut queued, &self.rank, f);
+        }
+        self.delay[changed.index()] = self.ctx.gate_delay(netlist, changed);
+        push(&mut heap, &mut queued, &self.rank, changed);
+        // Supply changes alter conversion penalties on out-edges too: the
+        // fan-outs' arrivals can move even if their delays do not.
+        for &fo in netlist.fanouts(changed) {
+            push(&mut heap, &mut queued, &self.rank, fo);
+        }
+        let mut moved = 0usize;
+        while let Some(Reverse((_, idx))) = heap.pop() {
+            let id = GateId::from_index(idx);
+            queued[idx] = false;
+            let fresh = self.arrival_from_fanins(netlist, id);
+            if (fresh.0 - self.arrival[idx].0).abs() > 1e-21 {
+                self.arrival[idx] = fresh;
+                moved += 1;
+                for &fo in netlist.fanouts(id) {
+                    push(&mut heap, &mut queued, &self.rank, fo);
+                }
+            }
+        }
+        moved
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{SupplyClass, VthClass};
+    use crate::generate::{generate_netlist, NetlistSpec};
+    use np_roadmap::TechNode;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn setup() -> (Netlist, TimingContext) {
+        let nl = generate_netlist(&NetlistSpec::small(99));
+        let ctx = TimingContext::for_node(TechNode::N100).unwrap();
+        let crit = ctx.analyze(&nl).unwrap().critical_delay();
+        (nl, ctx.with_clock(crit * 1.2))
+    }
+
+    fn assert_matches_full_sta(inc: &IncrementalSta<'_>, netlist: &Netlist, ctx: &TimingContext) {
+        let full = ctx.analyze(netlist).unwrap();
+        for id in netlist.ids() {
+            let a = inc.arrival_of(id).0;
+            let b = full.arrival[id.index()].0;
+            assert!(
+                (a - b).abs() < 1e-18,
+                "{id}: incremental {a} vs full {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn initial_propagation_matches_full_sta() {
+        let (nl, ctx) = setup();
+        let inc = IncrementalSta::new(&ctx, &nl);
+        assert_matches_full_sta(&inc, &nl, &ctx);
+        assert!(inc.is_feasible());
+    }
+
+    #[test]
+    fn random_mutations_stay_exact() {
+        let (mut nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ids: Vec<GateId> = nl.ids().collect();
+        for _ in 0..120 {
+            let id = ids[rng.random_range(0..ids.len())];
+            match rng.random_range(0..4) {
+                0 => nl.gate_mut(id).set_supply(SupplyClass::Low),
+                1 => nl.gate_mut(id).set_supply(SupplyClass::High),
+                2 => nl.gate_mut(id).set_vth(VthClass::High),
+                _ => nl
+                    .gate_mut(id)
+                    .set_drive([0.5, 1.0, 2.0, 4.0][rng.random_range(0..4)]),
+            }
+            inc.reevaluate(&nl, id);
+            assert_matches_full_sta(&inc, &nl, &ctx);
+        }
+    }
+
+    #[test]
+    fn feasibility_tracks_full_sta() {
+        let (mut nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        let ids: Vec<GateId> = nl.ids().collect();
+        for &id in &ids {
+            nl.gate_mut(id).set_supply(SupplyClass::Low);
+            inc.reevaluate(&nl, id);
+            let full = ctx.analyze(&nl).unwrap();
+            assert_eq!(inc.is_feasible(), full.is_feasible(), "diverged at {id}");
+            // Revert to keep the design mostly feasible.
+            if !inc.is_feasible() {
+                nl.gate_mut(id).set_supply(SupplyClass::High);
+                inc.reevaluate(&nl, id);
+            }
+        }
+    }
+
+    #[test]
+    fn touched_cone_is_small() {
+        let (mut nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        // A leaf-level change should move far fewer arrivals than the
+        // whole netlist.
+        let id = nl.timing_endpoints()[0];
+        nl.gate_mut(id).set_vth(VthClass::High);
+        let moved = inc.reevaluate(&nl, id);
+        assert!(moved <= 3, "endpoint change moved {moved} arrivals");
+    }
+
+    #[test]
+    fn critical_delay_matches_full() {
+        let (mut nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        let ids: Vec<GateId> = nl.ids().collect();
+        for &id in ids.iter().take(30) {
+            nl.gate_mut(id).set_drive(2.0);
+            inc.reevaluate(&nl, id);
+        }
+        let full = ctx.analyze(&nl).unwrap();
+        assert!((inc.critical_delay().0 - full.critical_delay().0).abs() < 1e-18);
+    }
+}

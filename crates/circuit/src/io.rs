@@ -1,0 +1,317 @@
+//! Plain-text netlist interchange.
+//!
+//! A minimal, line-oriented structural format so optimized designs can be
+//! saved, diffed, and reloaded:
+//!
+//! ```text
+//! # nanopower netlist v1
+//! gate g0 INV drive=1 wire_ff=2.5
+//! gate g1 ND2 drive=2 wire_ff=1 in=g0
+//! gate g2 INV drive=4 wire_ff=0 in=g1 supply=low vth=high output
+//! ```
+//!
+//! One `gate` statement per line, ids dense and in definition order
+//! (`gN` must be the N-th statement), fan-ins referencing earlier gates
+//! only. `supply`/`vth` default to `high`/`low` (the pre-optimization
+//! state) and are omitted when at default by the writer.
+
+use crate::cell::{CellKind, SupplyClass, VthClass};
+use crate::netlist::{Gate, GateId, Netlist};
+use np_units::Farads;
+use std::fmt;
+
+/// Error from parsing the netlist text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseNetlistError {
+    /// 1-based line number of the offending statement.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseNetlistError {}
+
+fn kind_name(kind: CellKind) -> &'static str {
+    kind.short_name()
+}
+
+fn kind_from_name(s: &str) -> Option<CellKind> {
+    CellKind::ALL.into_iter().find(|k| k.short_name() == s)
+}
+
+/// Serializes a netlist to the text format.
+pub fn write_netlist(netlist: &Netlist) -> String {
+    let mut out = String::from("# nanopower netlist v1\n");
+    for id in netlist.ids() {
+        let g = netlist.gate(id);
+        out.push_str(&format!(
+            "gate g{} {} drive={} wire_ff={}",
+            id.index(),
+            kind_name(g.kind),
+            trim_float(g.drive),
+            trim_float(g.wire_cap.as_femto()),
+        ));
+        if !g.fanins.is_empty() {
+            let ins: Vec<String> =
+                g.fanins.iter().map(|f| format!("g{}", f.index())).collect();
+            out.push_str(&format!(" in={}", ins.join(",")));
+        }
+        if g.supply == SupplyClass::Low {
+            out.push_str(" supply=low");
+        }
+        if g.vth == VthClass::High {
+            out.push_str(" vth=high");
+        }
+        if g.is_output {
+            out.push_str(" output");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn trim_float(x: f64) -> String {
+    if (x.fract()).abs() < 1e-12 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn parse_gate_ref(tok: &str, line: usize, next_id: usize) -> Result<GateId, ParseNetlistError> {
+    let idx: usize = tok
+        .strip_prefix('g')
+        .and_then(|n| n.parse().ok())
+        .ok_or_else(|| ParseNetlistError {
+            line,
+            message: format!("bad gate reference `{tok}`"),
+        })?;
+    if idx >= next_id {
+        return Err(ParseNetlistError {
+            line,
+            message: format!("forward reference to g{idx}"),
+        });
+    }
+    Ok(GateId::from_index(idx))
+}
+
+/// Parses the text format back into a validated netlist.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with the offending line for any syntax
+/// problem, out-of-order id, forward reference, or invalid value; netlist
+/// validation failures (empty file) are reported on line 0.
+pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    let mut gates: Vec<Gate> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("gate") => {}
+            Some(other) => {
+                return Err(ParseNetlistError {
+                    line: line_no,
+                    message: format!("unknown statement `{other}`"),
+                })
+            }
+            None => continue,
+        }
+        let next_id = gates.len();
+        let id_tok = toks.next().ok_or_else(|| ParseNetlistError {
+            line: line_no,
+            message: "missing gate id".into(),
+        })?;
+        let declared = id_tok
+            .strip_prefix('g')
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| ParseNetlistError {
+                line: line_no,
+                message: format!("bad gate id `{id_tok}`"),
+            })?;
+        if declared != next_id {
+            return Err(ParseNetlistError {
+                line: line_no,
+                message: format!("gate ids must be dense and ordered: expected g{next_id}, found g{declared}"),
+            });
+        }
+        let kind_tok = toks.next().ok_or_else(|| ParseNetlistError {
+            line: line_no,
+            message: "missing cell kind".into(),
+        })?;
+        let kind = kind_from_name(kind_tok).ok_or_else(|| ParseNetlistError {
+            line: line_no,
+            message: format!("unknown cell kind `{kind_tok}`"),
+        })?;
+        let mut gate = Gate::new(kind, Vec::new());
+        for tok in toks {
+            if tok == "output" {
+                gate.is_output = true;
+            } else if let Some(v) = tok.strip_prefix("drive=") {
+                let d: f64 = v.parse().map_err(|_| ParseNetlistError {
+                    line: line_no,
+                    message: format!("bad drive `{v}`"),
+                })?;
+                if !(d > 0.0) {
+                    return Err(ParseNetlistError {
+                        line: line_no,
+                        message: "drive must be positive".into(),
+                    });
+                }
+                gate.drive = d;
+            } else if let Some(v) = tok.strip_prefix("wire_ff=") {
+                let c: f64 = v.parse().map_err(|_| ParseNetlistError {
+                    line: line_no,
+                    message: format!("bad wire capacitance `{v}`"),
+                })?;
+                if c < 0.0 {
+                    return Err(ParseNetlistError {
+                        line: line_no,
+                        message: "wire capacitance must be non-negative".into(),
+                    });
+                }
+                gate.wire_cap = Farads::from_femto(c);
+            } else if let Some(v) = tok.strip_prefix("in=") {
+                for r in v.split(',') {
+                    gate.fanins.push(parse_gate_ref(r, line_no, next_id)?);
+                }
+            } else if let Some(v) = tok.strip_prefix("supply=") {
+                gate.supply = match v {
+                    "high" => SupplyClass::High,
+                    "low" => SupplyClass::Low,
+                    other => {
+                        return Err(ParseNetlistError {
+                            line: line_no,
+                            message: format!("unknown supply `{other}`"),
+                        })
+                    }
+                };
+            } else if let Some(v) = tok.strip_prefix("vth=") {
+                gate.vth = match v {
+                    "high" => VthClass::High,
+                    "low" => VthClass::Low,
+                    other => {
+                        return Err(ParseNetlistError {
+                            line: line_no,
+                            message: format!("unknown vth `{other}`"),
+                        })
+                    }
+                };
+            } else {
+                return Err(ParseNetlistError {
+                    line: line_no,
+                    message: format!("unknown attribute `{tok}`"),
+                });
+            }
+        }
+        gates.push(gate);
+    }
+    Netlist::new(gates).map_err(|e| ParseNetlistError {
+        line: 0,
+        message: format!("netlist validation failed: {e}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate_netlist, NetlistSpec};
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut nl = generate_netlist(&NetlistSpec::small(17));
+        // Exercise non-default assignments.
+        let ids: Vec<GateId> = nl.ids().collect();
+        nl.gate_mut(ids[3]).set_supply(SupplyClass::Low);
+        nl.gate_mut(ids[5]).set_vth(VthClass::High);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("parse");
+        assert_eq!(nl.len(), back.len());
+        for id in nl.ids() {
+            let (a, b) = (nl.gate(id), back.gate(id));
+            assert_eq!(a.kind, b.kind, "{id}");
+            assert_eq!(a.drive, b.drive, "{id}");
+            assert_eq!(a.supply, b.supply, "{id}");
+            assert_eq!(a.vth, b.vth, "{id}");
+            assert_eq!(a.fanins, b.fanins, "{id}");
+            assert_eq!(a.is_output, b.is_output, "{id}");
+            // Femtofarad text round-trips the decimal exactly; the
+            // farad-scale f64 may differ in the last ulp.
+            let (ca, cb) = (a.wire_cap.as_femto(), b.wire_cap.as_femto());
+            assert!((ca - cb).abs() <= 1e-9 * ca.abs().max(1.0), "{id}: {ca} vs {cb}");
+        }
+    }
+
+    #[test]
+    fn hand_written_netlist_parses() {
+        let text = "\
+# nanopower netlist v1
+
+gate g0 INV drive=1 wire_ff=2.5
+gate g1 ND2 drive=2 wire_ff=1 in=g0
+gate g2 INV drive=4 wire_ff=0 in=g1 supply=low vth=high output
+";
+        let nl = parse_netlist(text).expect("parse");
+        assert_eq!(nl.len(), 3);
+        let g2 = nl.gate(GateId::from_index(2));
+        assert!(g2.is_output);
+        assert_eq!(g2.supply, SupplyClass::Low);
+        assert_eq!(g2.vth, VthClass::High);
+        assert_eq!(g2.fanins, vec![GateId::from_index(1)]);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases = [
+            ("gate g1 INV", "expected g0"),
+            ("gate g0 XYZ", "unknown cell kind"),
+            ("gate g0 INV drive=0", "drive must be positive"),
+            ("gate g0 INV wire_ff=-1", "non-negative"),
+            ("gate g0 INV in=g5", "forward reference"),
+            ("wire g0", "unknown statement"),
+            ("gate g0 INV frobnicate=1", "unknown attribute"),
+            ("gate g0 INV supply=medium", "unknown supply"),
+        ];
+        for (text, needle) in cases {
+            let err = parse_netlist(text).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "`{text}` -> `{err}` (wanted `{needle}`)"
+            );
+            assert_eq!(err.line, 1);
+        }
+    }
+
+    #[test]
+    fn self_reference_rejected() {
+        let text = "gate g0 INV in=g0";
+        let err = parse_netlist(text).unwrap_err();
+        assert!(err.to_string().contains("forward reference"));
+        let err = parse_netlist("gate g0 INV in=zzz").unwrap_err();
+        assert!(err.to_string().contains("bad gate reference"));
+    }
+
+    #[test]
+    fn empty_file_reports_validation_error() {
+        let err = parse_netlist("# nothing\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("validation"));
+    }
+
+    #[test]
+    fn all_cell_kinds_round_trip_names() {
+        for kind in CellKind::ALL {
+            assert_eq!(kind_from_name(kind.short_name()), Some(kind));
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Combinational netlist DAGs with per-gate drive / supply / threshold
+//! assignments — the objects the paper's CVS, dual-Vth, and re-sizing
+//! optimizations act on.
+
+use crate::cell::{CellKind, SupplyClass, VthClass};
+use crate::error::CircuitError;
+use np_units::Farads;
+use std::fmt;
+
+/// Identifier of a gate inside one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(usize);
+
+impl GateId {
+    /// Creates an id referring to the gate at `index` in the gate vector
+    /// passed to [`Netlist::new`] (which validates that every referenced
+    /// index exists).
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index)
+    }
+
+    /// The gate's index in [`Netlist::gates`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// The cell function.
+    pub kind: CellKind,
+    /// Drive strength (multiple of the unit inverter). Mutated by the
+    /// re-sizing optimization.
+    pub drive: f64,
+    /// Supply assignment. Mutated by CVS.
+    pub supply: SupplyClass,
+    /// Threshold assignment. Mutated by dual-Vth insertion.
+    pub vth: VthClass,
+    /// Fan-in gates; inputs not listed here are primary inputs (arrival 0).
+    pub fanins: Vec<GateId>,
+    /// Interconnect capacitance on the gate's output net.
+    pub wire_cap: Farads,
+    /// True when the gate drives a register or primary output (its arrival
+    /// is checked against the clock period).
+    pub is_output: bool,
+}
+
+impl Gate {
+    /// A drive-1, high-supply, low-Vth gate of `kind` with the given
+    /// fan-ins — the state every optimization starts from.
+    pub fn new(kind: CellKind, fanins: Vec<GateId>) -> Self {
+        Gate {
+            kind,
+            drive: 1.0,
+            supply: SupplyClass::High,
+            vth: VthClass::Low,
+            fanins,
+            wire_cap: Farads(0.0),
+            is_output: false,
+        }
+    }
+
+    /// Builder-style wire-capacitance setter.
+    pub fn with_wire_cap(mut self, cap: Farads) -> Self {
+        self.wire_cap = cap;
+        self
+    }
+
+    /// Builder-style drive setter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not positive.
+    pub fn with_drive(mut self, drive: f64) -> Self {
+        assert!(drive > 0.0, "drive must be positive");
+        self.drive = drive;
+        self
+    }
+
+    /// Builder-style output marker.
+    pub fn as_output(mut self) -> Self {
+        self.is_output = true;
+        self
+    }
+}
+
+/// A validated combinational netlist.
+///
+/// Construction checks that all fan-in references exist and that the graph
+/// is acyclic; the topological order and fan-out lists are cached. Gate
+/// *assignments* (drive, supply, Vth) are mutable; the *topology* is not.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), np_circuit::CircuitError> {
+/// use np_circuit::{CellKind, Gate, Netlist};
+///
+/// // inv0 -> nand1 -> inv2 (output)
+/// let netlist = Netlist::new(vec![
+///     Gate::new(CellKind::Inverter, vec![]),
+///     Gate::new(CellKind::Nand2, vec![]),
+///     Gate::new(CellKind::Inverter, vec![]).as_output(),
+/// ])?;
+/// assert_eq!(netlist.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    gates: Vec<Gate>,
+    topo: Vec<GateId>,
+    fanouts: Vec<Vec<GateId>>,
+}
+
+impl Netlist {
+    /// Validates and builds a netlist.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::EmptyNetlist`] for no gates,
+    /// [`CircuitError::UnknownGate`] for dangling fan-ins, and
+    /// [`CircuitError::CombinationalLoop`] for cycles.
+    pub fn new(gates: Vec<Gate>) -> Result<Self, CircuitError> {
+        if gates.is_empty() {
+            return Err(CircuitError::EmptyNetlist);
+        }
+        let n = gates.len();
+        for g in &gates {
+            for f in &g.fanins {
+                if f.0 >= n {
+                    return Err(CircuitError::UnknownGate { index: f.0 });
+                }
+            }
+        }
+        let mut fanouts: Vec<Vec<GateId>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (i, g) in gates.iter().enumerate() {
+            indeg[i] = g.fanins.len();
+            for f in &g.fanins {
+                fanouts[f.0].push(GateId(i));
+            }
+        }
+        // Kahn's algorithm.
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            topo.push(GateId(i));
+            for f in &fanouts[i] {
+                indeg[f.0] -= 1;
+                if indeg[f.0] == 0 {
+                    queue.push(f.0);
+                }
+            }
+        }
+        if topo.len() != n {
+            let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle exists");
+            return Err(CircuitError::CombinationalLoop { index: stuck });
+        }
+        Ok(Self { gates, topo, fanouts })
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Always false: construction rejects empty netlists.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// All gates, indexable by [`GateId::index`].
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is from another netlist (out of range).
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0]
+    }
+
+    /// Mutable access to a gate's assignment fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn gate_mut(&mut self, id: GateId) -> GateAssignment<'_> {
+        GateAssignment { gate: &mut self.gates[id.0] }
+    }
+
+    /// Gate ids in a valid topological order (fan-ins first).
+    pub fn topological_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// The gates driven by `id`.
+    pub fn fanouts(&self, id: GateId) -> &[GateId] {
+        &self.fanouts[id.0]
+    }
+
+    /// Iterator over all gate ids in index order.
+    pub fn ids(&self) -> impl Iterator<Item = GateId> + '_ {
+        (0..self.gates.len()).map(GateId)
+    }
+
+    /// Gates whose arrival is checked against the clock: gates marked
+    /// `is_output` plus any gate with no fan-outs.
+    pub fn timing_endpoints(&self) -> Vec<GateId> {
+        self.ids()
+            .filter(|&id| self.gates[id.0].is_output || self.fanouts[id.0].is_empty())
+            .collect()
+    }
+
+    /// Gates with no gate fan-ins (driven by primary inputs).
+    pub fn entry_gates(&self) -> Vec<GateId> {
+        self.ids().filter(|&id| self.gates[id.0].fanins.is_empty()).collect()
+    }
+}
+
+/// Mutable view of a gate restricted to its assignment fields, so the
+/// topology caches can never be invalidated.
+#[derive(Debug)]
+pub struct GateAssignment<'a> {
+    gate: &'a mut Gate,
+}
+
+impl GateAssignment<'_> {
+    /// Sets the drive strength.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drive` is not positive.
+    pub fn set_drive(&mut self, drive: f64) {
+        assert!(drive > 0.0, "drive must be positive");
+        self.gate.drive = drive;
+    }
+
+    /// Sets the supply class.
+    pub fn set_supply(&mut self, supply: SupplyClass) {
+        self.gate.supply = supply;
+    }
+
+    /// Sets the threshold class.
+    pub fn set_vth(&mut self, vth: VthClass) {
+        self.gate.vth = vth;
+    }
+
+    /// Sets the output-net wire capacitance.
+    pub fn set_wire_cap(&mut self, cap: Farads) {
+        self.gate.wire_cap = cap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> Netlist {
+        let gates: Vec<Gate> = (0..n)
+            .map(|i| {
+                let fanins = if i == 0 { vec![] } else { vec![GateId(i - 1)] };
+                let g = Gate::new(CellKind::Inverter, fanins);
+                if i == n - 1 {
+                    g.as_output()
+                } else {
+                    g
+                }
+            })
+            .collect();
+        Netlist::new(gates).expect("valid chain")
+    }
+
+    #[test]
+    fn chain_has_linear_topology() {
+        let nl = chain(5);
+        assert_eq!(nl.len(), 5);
+        assert_eq!(nl.entry_gates(), vec![GateId(0)]);
+        assert_eq!(nl.timing_endpoints(), vec![GateId(4)]);
+        assert_eq!(nl.fanouts(GateId(2)), &[GateId(3)]);
+        // Topological order respects edges.
+        let pos: Vec<usize> = {
+            let mut pos = vec![0; 5];
+            for (rank, id) in nl.topological_order().iter().enumerate() {
+                pos[id.index()] = rank;
+            }
+            pos
+        };
+        for i in 1..5 {
+            assert!(pos[i - 1] < pos[i]);
+        }
+    }
+
+    #[test]
+    fn empty_netlist_rejected() {
+        assert!(matches!(Netlist::new(vec![]), Err(CircuitError::EmptyNetlist)));
+    }
+
+    #[test]
+    fn dangling_fanin_rejected() {
+        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(7)])])
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::UnknownGate { index: 7 }));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let err = Netlist::new(vec![
+            Gate::new(CellKind::Inverter, vec![GateId(1)]),
+            Gate::new(CellKind::Inverter, vec![GateId(0)]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, CircuitError::CombinationalLoop { .. }));
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(0)])])
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::CombinationalLoop { index: 0 }));
+    }
+
+    #[test]
+    fn assignment_mutation_preserves_topology() {
+        let mut nl = chain(3);
+        nl.gate_mut(GateId(1)).set_drive(8.0);
+        nl.gate_mut(GateId(1)).set_supply(SupplyClass::Low);
+        nl.gate_mut(GateId(1)).set_vth(VthClass::High);
+        nl.gate_mut(GateId(1)).set_wire_cap(Farads::from_femto(3.0));
+        let g = nl.gate(GateId(1));
+        assert_eq!(g.drive, 8.0);
+        assert_eq!(g.supply, SupplyClass::Low);
+        assert_eq!(g.vth, VthClass::High);
+        assert_eq!(nl.fanouts(GateId(0)), &[GateId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "drive must be positive")]
+    fn non_positive_drive_panics() {
+        let mut nl = chain(2);
+        nl.gate_mut(GateId(0)).set_drive(0.0);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let g = Gate::new(CellKind::Nand2, vec![])
+            .with_drive(4.0)
+            .with_wire_cap(Farads::from_femto(2.0))
+            .as_output();
+        assert_eq!(g.drive, 4.0);
+        assert!(g.is_output);
+        assert!((g.wire_cap.as_femto() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gate_id_display() {
+        assert_eq!(format!("{}", GateId(12)), "g12");
+    }
+
+    #[test]
+    fn diamond_topology_fanouts() {
+        //      0
+        //    /   \
+        //   1     2
+        //    \   /
+        //      3
+        let nl = Netlist::new(vec![
+            Gate::new(CellKind::Inverter, vec![]),
+            Gate::new(CellKind::Inverter, vec![GateId(0)]),
+            Gate::new(CellKind::Inverter, vec![GateId(0)]),
+            Gate::new(CellKind::Nand2, vec![GateId(1), GateId(2)]).as_output(),
+        ])
+        .unwrap();
+        assert_eq!(nl.fanouts(GateId(0)).len(), 2);
+        assert_eq!(nl.gate(GateId(3)).fanins.len(), 2);
+    }
+}

@@ -1,0 +1,493 @@
+//! Static timing analysis.
+//!
+//! Arrival times propagate forward through the netlist DAG, required times
+//! backward from the clock period at the timing endpoints; slack is their
+//! difference. Gate delay uses the logical-effort stage model scaled by the
+//! technology time constant `τ` and the device-model delay multiplier for
+//! the gate's (supply, threshold) assignment — so CVS and dual-Vth moves
+//! are timed with the same compact model that generates the paper's
+//! Figs. 2–4.
+//!
+//! Level conversion (Section 2.4): an edge from a low-supply gate into a
+//! high-supply gate passes through a level converter, which adds a fixed
+//! delay penalty on that edge (and energy, accounted in
+//! [`crate::power`]).
+
+use crate::cell::{CellKind, SupplyClass, VthClass};
+use crate::error::CircuitError;
+use crate::library::UNIT_INV_WIDTH_PER_DRAWN;
+use crate::netlist::{GateId, Netlist};
+use np_device::delay::fo4_delay;
+use np_device::Mosfet;
+use np_roadmap::TechNode;
+use np_units::{Farads, Microns, Seconds, Volts};
+
+/// Default ratio `Vdd,l / Vdd,h` — "Vdd,l should be around 0.6 to 0.7
+/// times Vdd,h to maximize power savings" (Section 2.4).
+pub const DEFAULT_VDD_RATIO: f64 = 0.65;
+
+/// Default threshold offset of the high-Vth implant over the low-Vth one
+/// (Section 3.2.2 considers a 100 mV offset).
+pub const DEFAULT_VTH_OFFSET: Volts = Volts(0.1);
+
+/// Level-converter delay in units of the technology `τ` (a converting
+/// flip-flop/latch stage costs a few FO1 delays).
+pub const LEVEL_CONVERTER_TAU_UNITS: f64 = 4.0;
+
+/// Technology- and assignment-aware delay evaluation context.
+#[derive(Debug, Clone)]
+pub struct TimingContext {
+    /// The roadmap node.
+    pub node: TechNode,
+    /// The high (nominal) supply.
+    pub vdd_high: Volts,
+    /// The reduced supply used by CVS.
+    pub vdd_low: Volts,
+    /// The fast (baseline) threshold.
+    pub vth_low: Volts,
+    /// The slow, low-leakage threshold.
+    pub vth_high: Volts,
+    /// Clock period timing endpoints are checked against.
+    pub clock_period: Seconds,
+    /// Technology time constant (FO4/5) at (`vdd_high`, `vth_low`).
+    tau: Seconds,
+    /// Unit-inverter input capacitance.
+    unit_cap: Farads,
+    /// Unit-inverter total transistor width.
+    unit_width: Microns,
+    /// Calibrated device (threshold field = `vth_low`).
+    device: Mosfet,
+    /// Cached delay multipliers indexed by [supply][vth].
+    multipliers: [[f64; 2]; 2],
+}
+
+impl TimingContext {
+    /// Builds a context for `node` with the default CVS supply ratio and
+    /// dual-Vth offset. The clock period defaults to the node's local
+    /// clock; tighten or relax it with [`TimingContext::with_clock`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-calibration failures.
+    pub fn for_node(node: TechNode) -> Result<Self, CircuitError> {
+        let p = node.params();
+        Self::with_supplies(node, p.vdd, p.vdd * DEFAULT_VDD_RATIO, DEFAULT_VTH_OFFSET)
+    }
+
+    /// Builds a context with explicit CVS supplies and Vth offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::BadParameter`] for a non-positive or
+    /// inverted supply pair, and propagates device errors (e.g. the low
+    /// supply dropping below the low threshold).
+    pub fn with_supplies(
+        node: TechNode,
+        vdd_high: Volts,
+        vdd_low: Volts,
+        vth_offset: Volts,
+    ) -> Result<Self, CircuitError> {
+        if !(vdd_low.0 > 0.0) || vdd_low > vdd_high {
+            return Err(CircuitError::BadParameter(
+                "require 0 < vdd_low <= vdd_high",
+            ));
+        }
+        if !(vth_offset.0 > 0.0) {
+            return Err(CircuitError::BadParameter("vth offset must be positive"));
+        }
+        let device = Mosfet::for_node(node)?;
+        let vth_low = device.vth;
+        let vth_high = vth_low + vth_offset;
+        let tau = Seconds(fo4_delay(&device, vdd_high)?.0 / 5.0);
+        let unit_width =
+            Microns(UNIT_INV_WIDTH_PER_DRAWN * node.drawn().to_microns().0);
+        let unit_cap = Farads(device.gate_cap_per_um().0 * unit_width.0);
+        let reference = vdd_high.0 / device.ion(vdd_high)?.0;
+        let mut multipliers = [[1.0f64; 2]; 2];
+        for (si, &vdd) in [vdd_high, vdd_low].iter().enumerate() {
+            for (vi, &vth) in [vth_low, vth_high].iter().enumerate() {
+                let ion = device.with_vth(vth).ion(vdd)?;
+                multipliers[si][vi] = (vdd.0 / ion.0) / reference;
+            }
+        }
+        Ok(Self {
+            node,
+            vdd_high,
+            vdd_low,
+            vth_low,
+            vth_high,
+            clock_period: node.params().local_clock.period(),
+            tau,
+            unit_cap,
+            unit_width,
+            device,
+            multipliers,
+        })
+    }
+
+    /// Returns a copy with a different clock period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is not positive.
+    pub fn with_clock(mut self, period: Seconds) -> Self {
+        assert!(period.0 > 0.0, "clock period must be positive");
+        self.clock_period = period;
+        self
+    }
+
+    /// The technology time constant `τ` (one fifth of the FO4 delay).
+    pub fn tau(&self) -> Seconds {
+        self.tau
+    }
+
+    /// Unit-inverter input capacitance.
+    pub fn unit_cap(&self) -> Farads {
+        self.unit_cap
+    }
+
+    /// Unit-inverter total transistor width.
+    pub fn unit_width(&self) -> Microns {
+        self.unit_width
+    }
+
+    /// The calibrated device backing the delay multipliers.
+    pub fn device(&self) -> &Mosfet {
+        &self.device
+    }
+
+    /// The supply voltage of a supply class.
+    pub fn supply_voltage(&self, supply: SupplyClass) -> Volts {
+        match supply {
+            SupplyClass::High => self.vdd_high,
+            SupplyClass::Low => self.vdd_low,
+        }
+    }
+
+    /// The threshold voltage of a threshold class.
+    pub fn threshold_voltage(&self, vth: VthClass) -> Volts {
+        match vth {
+            VthClass::Low => self.vth_low,
+            VthClass::High => self.vth_high,
+        }
+    }
+
+    /// Delay multiplier of an assignment relative to (high supply,
+    /// low Vth).
+    pub fn delay_multiplier(&self, supply: SupplyClass, vth: VthClass) -> f64 {
+        let si = match supply {
+            SupplyClass::High => 0,
+            SupplyClass::Low => 1,
+        };
+        let vi = match vth {
+            VthClass::Low => 0,
+            VthClass::High => 1,
+        };
+        self.multipliers[si][vi]
+    }
+
+    /// Input capacitance of a gate (one pin).
+    pub fn input_cap(&self, kind: CellKind, drive: f64) -> Farads {
+        Farads(self.unit_cap.0 * kind.logical_effort() * drive)
+    }
+
+    /// Total leaking transistor width of a gate.
+    pub fn leak_width(&self, kind: CellKind, drive: f64) -> Microns {
+        Microns(self.unit_width.0 * kind.relative_width() * drive)
+    }
+
+    /// Capacitive load on a gate's output: fan-out input pins plus wire.
+    pub fn load_of(&self, netlist: &Netlist, id: GateId) -> Farads {
+        let mut c = netlist.gate(id).wire_cap;
+        for &f in netlist.fanouts(id) {
+            let fg = netlist.gate(f);
+            c += self.input_cap(fg.kind, fg.drive);
+        }
+        // Endpoints drive a register pin comparable to a 4x inverter.
+        if netlist.fanouts(id).is_empty() || netlist.gate(id).is_output {
+            c += Farads(self.unit_cap.0 * 4.0);
+        }
+        c
+    }
+
+    /// Propagation delay of one gate under its current assignment.
+    pub fn gate_delay(&self, netlist: &Netlist, id: GateId) -> Seconds {
+        let g = netlist.gate(id);
+        let h = self.load_of(netlist, id).0 / self.input_cap(g.kind, g.drive).0
+            * g.kind.logical_effort();
+        let units = g.kind.parasitic_delay() + h;
+        self.tau * (units * self.delay_multiplier(g.supply, g.vth))
+    }
+
+    /// The level-converter delay added on a `Low → High` supply crossing.
+    pub fn level_converter_delay(&self) -> Seconds {
+        self.tau * LEVEL_CONVERTER_TAU_UNITS
+    }
+
+    /// Extra delay on the edge `from → to` (zero unless it crosses from
+    /// the low to the high supply domain).
+    pub fn edge_penalty(&self, netlist: &Netlist, from: GateId, to: GateId) -> Seconds {
+        let (f, t) = (netlist.gate(from), netlist.gate(to));
+        if f.supply == SupplyClass::Low && t.supply == SupplyClass::High {
+            self.level_converter_delay()
+        } else {
+            Seconds(0.0)
+        }
+    }
+
+    /// Runs full STA against the context's clock period.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid netlists; the `Result` is kept for
+    /// future load-dependent model failures ([`CircuitError`]).
+    pub fn analyze(&self, netlist: &Netlist) -> Result<TimingReport, CircuitError> {
+        let n = netlist.len();
+        let mut delay = vec![Seconds(0.0); n];
+        for id in netlist.ids() {
+            delay[id.index()] = self.gate_delay(netlist, id);
+        }
+        let mut arrival = vec![Seconds(0.0); n];
+        for &id in netlist.topological_order() {
+            let g = netlist.gate(id);
+            let mut at = Seconds(0.0);
+            for &f in &g.fanins {
+                let candidate =
+                    arrival[f.index()] + self.edge_penalty(netlist, f, id);
+                at = at.max(candidate);
+            }
+            arrival[id.index()] = at + delay[id.index()];
+        }
+        let clock = self.clock_period;
+        let mut required = vec![Seconds(f64::INFINITY); n];
+        for id in netlist.timing_endpoints() {
+            required[id.index()] = clock;
+        }
+        for &id in netlist.topological_order().iter().rev() {
+            let req_here = required[id.index()];
+            for &f in &netlist.gate(id).fanins {
+                let budget =
+                    req_here - delay[id.index()] - self.edge_penalty(netlist, f, id);
+                required[f.index()] = required[f.index()].min(budget);
+            }
+        }
+        let slack: Vec<Seconds> = (0..n)
+            .map(|i| required[i] - arrival[i])
+            .collect();
+        Ok(TimingReport { arrival, required, slack, delay, clock })
+    }
+}
+
+/// The result of one STA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Arrival time at each gate's output.
+    pub arrival: Vec<Seconds>,
+    /// Required time at each gate's output.
+    pub required: Vec<Seconds>,
+    /// Slack (`required − arrival`) at each gate.
+    pub slack: Vec<Seconds>,
+    /// Propagation delay of each gate at analysis time.
+    pub delay: Vec<Seconds>,
+    /// The clock period analyzed against.
+    pub clock: Seconds,
+}
+
+impl TimingReport {
+    /// The worst (smallest) slack over all gates.
+    pub fn worst_slack(&self) -> Seconds {
+        self.slack
+            .iter()
+            .copied()
+            .fold(Seconds(f64::INFINITY), Seconds::min)
+    }
+
+    /// True when no gate violates timing.
+    pub fn is_feasible(&self) -> bool {
+        self.worst_slack().0 >= -1e-15
+    }
+
+    /// The latest arrival over all gates (the critical-path delay).
+    pub fn critical_delay(&self) -> Seconds {
+        self.arrival
+            .iter()
+            .copied()
+            .fold(Seconds(0.0), Seconds::max)
+    }
+
+    /// Slack of one gate.
+    pub fn slack_of(&self, id: GateId) -> Seconds {
+        self.slack[id.index()]
+    }
+
+    /// Path slack at each timing endpoint of `netlist`, the distribution
+    /// Section 2.4 reasons about.
+    pub fn endpoint_slacks(&self, netlist: &Netlist) -> Vec<Seconds> {
+        netlist
+            .timing_endpoints()
+            .into_iter()
+            .map(|id| self.slack[id.index()])
+            .collect()
+    }
+
+    /// The gates of (one) critical path, input to output.
+    pub fn critical_path(&self, netlist: &Netlist) -> Vec<GateId> {
+        // Walk back from the endpoint with the smallest slack.
+        let end = netlist
+            .timing_endpoints()
+            .into_iter()
+            .min_by(|a, b| {
+                self.slack[a.index()]
+                    .partial_cmp(&self.slack[b.index()])
+                    .expect("finite slack")
+            })
+            .expect("netlists are non-empty");
+        let mut path = vec![end];
+        let mut cur = end;
+        loop {
+            let g = netlist.gate(cur);
+            let Some(&worst) = g.fanins.iter().max_by(|a, b| {
+                self.arrival[a.index()]
+                    .partial_cmp(&self.arrival[b.index()])
+                    .expect("finite arrival")
+            }) else {
+                break;
+            };
+            path.push(worst);
+            cur = worst;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netlist::Gate;
+
+    fn chain(n: usize) -> Netlist {
+        let gates: Vec<Gate> = (0..n)
+            .map(|i| {
+                let fanins = if i == 0 {
+                    vec![]
+                } else {
+                    vec![GateId::from_index(i - 1)]
+                };
+                let g = Gate::new(CellKind::Inverter, fanins);
+                if i == n - 1 {
+                    g.as_output()
+                } else {
+                    g
+                }
+            })
+            .collect();
+        Netlist::new(gates).expect("valid")
+    }
+
+    fn ctx() -> TimingContext {
+        TimingContext::for_node(TechNode::N100).expect("calibration")
+    }
+
+    #[test]
+    fn chain_arrival_is_sum_of_delays() {
+        let nl = chain(4);
+        let ctx = ctx().with_clock(Seconds::from_nano(10.0));
+        let rep = ctx.analyze(&nl).unwrap();
+        let ids: Vec<GateId> = nl.ids().collect();
+        let total: Seconds = ids.iter().map(|&id| rep.delay[id.index()]).sum();
+        assert!((rep.critical_delay().0 - total.0).abs() < 1e-18);
+        assert!(rep.is_feasible());
+    }
+
+    #[test]
+    fn slack_decreases_with_tighter_clock() {
+        let nl = chain(6);
+        let loose = ctx().with_clock(Seconds::from_nano(5.0)).analyze(&nl).unwrap();
+        let tight = ctx()
+            .with_clock(Seconds::from_pico(50.0))
+            .analyze(&nl)
+            .unwrap();
+        assert!(loose.worst_slack() > tight.worst_slack());
+    }
+
+    #[test]
+    fn infeasible_clock_is_detected() {
+        let nl = chain(10);
+        let rep = ctx().with_clock(Seconds::from_pico(1.0)).analyze(&nl).unwrap();
+        assert!(!rep.is_feasible());
+    }
+
+    #[test]
+    fn low_supply_slows_gates() {
+        let c = ctx();
+        let m = c.delay_multiplier(SupplyClass::Low, VthClass::Low);
+        assert!(m > 1.1, "Vdd,l = 0.65 Vdd,h must cost real delay, got {m}");
+        assert_eq!(c.delay_multiplier(SupplyClass::High, VthClass::Low), 1.0);
+    }
+
+    #[test]
+    fn high_vth_slows_gates() {
+        let c = ctx();
+        let m = c.delay_multiplier(SupplyClass::High, VthClass::High);
+        assert!(m > 1.02, "got {m}");
+        let m_both = c.delay_multiplier(SupplyClass::Low, VthClass::High);
+        assert!(m_both > m);
+    }
+
+    #[test]
+    fn cvs_assignment_changes_arrival_and_adds_conversion() {
+        let mut nl = chain(3);
+        let ids: Vec<GateId> = nl.ids().collect();
+        let c = ctx().with_clock(Seconds::from_nano(10.0));
+        let before = c.analyze(&nl).unwrap().critical_delay();
+        // Put the *first* gate on the low supply: its fan-out is High, so
+        // a level-converter penalty appears on the edge, plus the slower
+        // gate itself.
+        nl.gate_mut(ids[0]).set_supply(SupplyClass::Low);
+        let after = c.analyze(&nl).unwrap().critical_delay();
+        assert!(after.0 > before.0 + c.level_converter_delay().0 * 0.9);
+    }
+
+    #[test]
+    fn critical_path_spans_the_chain() {
+        let nl = chain(5);
+        let rep = ctx().with_clock(Seconds::from_nano(10.0)).analyze(&nl).unwrap();
+        let path = rep.critical_path(&nl);
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn endpoint_slack_distribution_has_one_entry_per_endpoint() {
+        let nl = chain(4);
+        let rep = ctx().with_clock(Seconds::from_nano(10.0)).analyze(&nl).unwrap();
+        assert_eq!(rep.endpoint_slacks(&nl).len(), 1);
+    }
+
+    #[test]
+    fn bad_supply_pair_rejected() {
+        let p = TechNode::N100.params();
+        assert!(TimingContext::with_supplies(
+            TechNode::N100,
+            p.vdd,
+            Volts(0.0),
+            Volts(0.1)
+        )
+        .is_err());
+        assert!(TimingContext::with_supplies(
+            TechNode::N100,
+            p.vdd,
+            p.vdd * 1.1,
+            Volts(0.1)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tau_is_a_fifth_of_fo4() {
+        let c = ctx();
+        let dev = c.device().clone();
+        let fo4 = fo4_delay(&dev, c.vdd_high).unwrap();
+        assert!((c.tau().0 - fo4.0 / 5.0).abs() < 1e-18);
+    }
+}

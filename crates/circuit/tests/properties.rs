@@ -1,0 +1,159 @@
+//! Property-based tests on netlist generation, STA, and power invariants.
+
+use np_circuit::cell::{SupplyClass, VthClass};
+use np_circuit::generate::{generate_netlist, NetlistSpec};
+use np_circuit::power::netlist_power;
+use np_circuit::sta::TimingContext;
+use np_roadmap::TechNode;
+use np_units::{Hertz, Seconds};
+use proptest::prelude::*;
+
+fn spec(seed: u64, gates: usize, depth: usize) -> NetlistSpec {
+    NetlistSpec {
+        gates,
+        depth,
+        seed,
+        output_fraction: 0.1,
+        mean_wire_cap_ff: 3.0,
+        balanced_depth: false,
+    }
+}
+
+fn ctx() -> TimingContext {
+    TimingContext::for_node(TechNode::N100).expect("calibration")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_netlists_are_valid_dags(
+        seed in 0u64..1000,
+        gates in 20usize..150,
+        depth in 3usize..15,
+    ) {
+        let nl = generate_netlist(&spec(seed, gates, depth));
+        prop_assert_eq!(nl.len(), gates);
+        // Construction validates acyclicity; also check fan-in ordering.
+        for id in nl.ids() {
+            for f in &nl.gate(id).fanins {
+                prop_assert!(f.index() < id.index());
+            }
+        }
+        prop_assert!(!nl.timing_endpoints().is_empty());
+    }
+
+    #[test]
+    fn arrival_times_are_monotone_along_edges(seed in 0u64..500) {
+        let nl = generate_netlist(&spec(seed, 80, 8));
+        let c = ctx().with_clock(Seconds::from_nano(100.0));
+        let rep = c.analyze(&nl).unwrap();
+        for id in nl.ids() {
+            for f in &nl.gate(id).fanins {
+                prop_assert!(
+                    rep.arrival[id.index()] > rep.arrival[f.index()],
+                    "arrival must grow along edges"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slack_is_bounded_by_endpoint_slack(seed in 0u64..500) {
+        let nl = generate_netlist(&spec(seed, 80, 8));
+        let c = ctx().with_clock(Seconds::from_nano(100.0));
+        let rep = c.analyze(&nl).unwrap();
+        let worst = rep.worst_slack();
+        for id in nl.ids() {
+            prop_assert!(rep.slack[id.index()] >= worst);
+        }
+    }
+
+    #[test]
+    fn relaxing_the_clock_never_reduces_slack(seed in 0u64..300, extra in 0.01..2.0f64) {
+        let nl = generate_netlist(&spec(seed, 60, 8));
+        let base = ctx().with_clock(Seconds::from_nano(1.0));
+        let relaxed = ctx().with_clock(Seconds::from_nano(1.0 + extra));
+        let a = base.analyze(&nl).unwrap();
+        let b = relaxed.analyze(&nl).unwrap();
+        for id in nl.ids() {
+            prop_assert!(b.slack[id.index()].0 >= a.slack[id.index()].0 - 1e-18);
+        }
+    }
+
+    #[test]
+    fn slowing_any_gate_never_improves_arrival(seed in 0u64..200, pick in 0usize..60) {
+        let mut nl = generate_netlist(&spec(seed, 60, 8));
+        let c = ctx().with_clock(Seconds::from_nano(100.0));
+        let before = c.analyze(&nl).unwrap().critical_delay();
+        let ids: Vec<_> = nl.ids().collect();
+        let victim = ids[pick % ids.len()];
+        nl.gate_mut(victim).set_vth(VthClass::High);
+        let after = c.analyze(&nl).unwrap().critical_delay();
+        prop_assert!(after.0 >= before.0 - 1e-18);
+    }
+
+    #[test]
+    fn low_supply_assignment_only_reduces_power(seed in 0u64..200, pick in 0usize..60) {
+        let mut nl = generate_netlist(&spec(seed, 60, 8));
+        let c = ctx();
+        let f = Hertz::from_giga(1.0);
+        let before = netlist_power(&nl, &c, 0.1, f).unwrap();
+        let ids: Vec<_> = nl.ids().collect();
+        let victim = ids[pick % ids.len()];
+        nl.gate_mut(victim).set_supply(SupplyClass::Low);
+        let after = netlist_power(&nl, &c, 0.1, f).unwrap();
+        // Leakage always falls; dynamic falls unless the level-converter
+        // energy on new Low->High edges outweighs it, so check the total
+        // conservative bound: leakage strictly improves.
+        prop_assert!(after.leakage < before.leakage);
+    }
+
+    #[test]
+    fn power_scales_linearly_with_frequency(seed in 0u64..200, k in 1.1..8.0f64) {
+        let nl = generate_netlist(&spec(seed, 60, 8));
+        let c = ctx();
+        let base = netlist_power(&nl, &c, 0.1, Hertz::from_giga(1.0)).unwrap();
+        let scaled = netlist_power(&nl, &c, 0.1, Hertz(1e9 * k)).unwrap();
+        prop_assert!((scaled.dynamic.0 / base.dynamic.0 / k - 1.0).abs() < 1e-9);
+        prop_assert!((scaled.leakage.0 - base.leakage.0).abs() < 1e-15);
+    }
+}
+
+mod io_properties {
+    use super::*;
+    use np_circuit::io::{parse_netlist, write_netlist};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn parser_never_panics_on_arbitrary_text(text in ".{0,400}") {
+            // Any input must produce Ok or a typed error, never a panic.
+            let _ = parse_netlist(&text);
+        }
+
+        #[test]
+        fn parser_never_panics_on_gate_shaped_lines(
+            id in 0usize..20,
+            kind in "[A-Z]{2,4}",
+            attr in "[a-z_]{1,8}=[-0-9a-z.]{1,8}",
+        ) {
+            let text = format!("gate g{id} {kind} {attr}\n");
+            let _ = parse_netlist(&text);
+        }
+
+        #[test]
+        fn write_parse_round_trips_generated_netlists(seed in 0u64..500) {
+            let nl = generate_netlist(&spec(seed, 60, 8));
+            let text = write_netlist(&nl);
+            let back = parse_netlist(&text).expect("own output must parse");
+            prop_assert_eq!(nl.len(), back.len());
+            for id in nl.ids() {
+                prop_assert_eq!(nl.gate(id).kind, back.gate(id).kind);
+                prop_assert_eq!(&nl.gate(id).fanins, &back.gate(id).fanins);
+                prop_assert_eq!(nl.gate(id).is_output, back.gate(id).is_output);
+            }
+        }
+    }
+}

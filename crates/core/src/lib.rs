@@ -1,0 +1,53 @@
+//! # nanopower
+//!
+//! A nanometer-design power/performance modeling toolkit — an open-source
+//! reproduction of *Future Performance Challenges in Nanometer Design*
+//! (D. Sylvester and H. Kaul, DAC 2001).
+//!
+//! This facade crate re-exports the whole workspace and adds the
+//! [`chip::Chip`] scenario builder that ties the models together:
+//!
+//! | crate | paper section | what it models |
+//! |---|---|---|
+//! | [`units`] | — | typed physical quantities, numerics |
+//! | [`roadmap`] | Tables 1–2 inputs | ITRS-2000 nodes, device survey, packaging |
+//! | [`device`] | §3.1, Eqs. 2–4 | compact MOSFET I–V and leakage model |
+//! | [`circuit`] | §2.3–2.4 | cells, libraries, netlists, STA, power |
+//! | [`interconnect`] | §2.2 | wires, repeaters, low-swing signaling |
+//! | [`thermal`] | §2.1 | θja, DTM, cooling cost |
+//! | [`grid`] | §4 | bump arrays, IR drop, wake-up transients, MCML |
+//! | [`opt`] | §2.4, §3.2–3.3 | CVS, dual-Vth, sizing, Vdd/Vth policies |
+//!
+//! # Quickstart
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use nanopower::chip::Chip;
+//! use nanopower::roadmap::TechNode;
+//!
+//! let chip = Chip::at_node(TechNode::N70);
+//! let budget = chip.power_budget()?;
+//! // The ITRS caps static power at 10% of the chip budget (Section 3.1);
+//! // the unconstrained projection blows through it.
+//! assert!(budget.projected_leakage > budget.static_limit);
+//! println!("{budget}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod report;
+
+pub use np_circuit as circuit;
+pub use np_device as device;
+pub use np_grid as grid;
+pub use np_interconnect as interconnect;
+pub use np_opt as opt;
+pub use np_roadmap as roadmap;
+pub use np_thermal as thermal;
+pub use np_units as units;
+
+pub use chip::Chip;

@@ -1,0 +1,169 @@
+//! `Ion`-based gate-delay model.
+//!
+//! The Vdd/Vth policy studies of the paper's Figs. 3–4 need only the
+//! standard first-order switching-delay metric
+//!
+//! ```text
+//! t_d = k_d · C_load · Vdd / (Ion(Vdd, Vth) · W)
+//! ```
+//!
+//! with a constant load: all of Fig. 3 is *normalized* delay, so `k_d`,
+//! `C_load` and `W` cancel. Absolute delays (for FO4 sanity checks and the
+//! circuit crate) use `k_d = 0.69`, the step-response constant of a
+//! first-order RC stage.
+
+use crate::error::DeviceError;
+use crate::model::Mosfet;
+use np_units::{Farads, Microns, Seconds, Volts};
+
+/// First-order delay constant `k_d`.
+pub const DELAY_K: f64 = 0.69;
+
+/// Fan-out-of-4 effective fan-out including parasitics, used by
+/// [`fo4_delay`].
+pub const FO4_EFFECTIVE_FANOUT: f64 = 5.0;
+
+/// Switching delay of a device of width `width` driving `c_load` at
+/// supply `vdd`.
+///
+/// # Errors
+///
+/// Propagates drive-model errors, and rejects non-positive loads or widths
+/// via [`DeviceError::BadParameter`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), np_device::DeviceError> {
+/// use np_device::{delay::switching_delay, Mosfet};
+/// use np_roadmap::TechNode;
+/// use np_units::{Farads, Microns};
+///
+/// let dev = Mosfet::for_node(TechNode::N100)?;
+/// let t = switching_delay(&dev, dev.nominal_vdd(), Farads::from_femto(10.0), Microns(2.0))?;
+/// assert!(t.as_pico() > 0.1 && t.as_pico() < 100.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn switching_delay(
+    dev: &Mosfet,
+    vdd: Volts,
+    c_load: Farads,
+    width: Microns,
+) -> Result<Seconds, DeviceError> {
+    if !(c_load.0 > 0.0) {
+        return Err(DeviceError::BadParameter("load capacitance must be positive"));
+    }
+    if !(width.0 > 0.0) {
+        return Err(DeviceError::BadParameter("device width must be positive"));
+    }
+    let ion = dev.ion(vdd)?; // µA/µm
+    let drive = ion.total(width); // A
+    Ok(Seconds(DELAY_K * c_load.0 * vdd.0 / drive.0))
+}
+
+/// Delay of the device normalized to its delay at reference conditions:
+/// `[Vdd/Ion(Vdd,Vth)] / [Vdd0/Ion(Vdd0,Vth0)]` (fixed load) — the y-axis
+/// of the paper's Fig. 3.
+///
+/// # Errors
+///
+/// Propagates drive-model errors from either operating point.
+pub fn normalized_delay(
+    dev: &Mosfet,
+    vdd: Volts,
+    vth: Volts,
+    vdd_ref: Volts,
+    vth_ref: Volts,
+) -> Result<f64, DeviceError> {
+    let at = dev.with_vth(vth).ion(vdd)?;
+    let reference = dev.with_vth(vth_ref).ion(vdd_ref)?;
+    Ok((vdd.0 / at.0) / (vdd_ref.0 / reference.0))
+}
+
+/// The fan-out-of-4 inverter delay of a calibrated device: the device
+/// drives four copies of its own gate capacitance (plus parasitics,
+/// folded into [`FO4_EFFECTIVE_FANOUT`]).
+///
+/// A classic technology metric: ≈ 90 ps at 180 nm, falling towards ≈15 ps
+/// at the end of the roadmap in this model.
+///
+/// # Errors
+///
+/// Propagates drive-model errors.
+pub fn fo4_delay(dev: &Mosfet, vdd: Volts) -> Result<Seconds, DeviceError> {
+    // Per-µm width cancels: C ∝ W, I ∝ W.
+    let width = Microns(1.0);
+    let c_load = Farads(dev.gate_cap_per_um().0 * FO4_EFFECTIVE_FANOUT * width.0);
+    switching_delay(dev, vdd, c_load, width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_roadmap::TechNode;
+
+    #[test]
+    fn delay_scales_inversely_with_width() {
+        let dev = Mosfet::for_node(TechNode::N100).unwrap();
+        let c = Farads::from_femto(20.0);
+        let v = dev.nominal_vdd();
+        let t1 = switching_delay(&dev, v, c, Microns(1.0)).unwrap();
+        let t2 = switching_delay(&dev, v, c, Microns(2.0)).unwrap();
+        assert!((t1.0 / t2.0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn delay_scales_with_load() {
+        let dev = Mosfet::for_node(TechNode::N100).unwrap();
+        let v = dev.nominal_vdd();
+        let t1 = switching_delay(&dev, v, Farads::from_femto(10.0), Microns(1.0)).unwrap();
+        let t2 = switching_delay(&dev, v, Farads::from_femto(30.0), Microns(1.0)).unwrap();
+        assert!((t2.0 / t1.0 - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fo4_shrinks_along_the_roadmap() {
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let dev = Mosfet::for_node(node).unwrap();
+            let t = fo4_delay(&dev, node.params().vdd).unwrap().as_pico();
+            assert!(t < prev, "{node}: FO4 {t} ps did not shrink");
+            assert!(t > 0.5 && t < 200.0, "{node}: FO4 {t} ps out of band");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn normalized_delay_is_unity_at_reference() {
+        let dev = Mosfet::for_node(TechNode::N35).unwrap();
+        let d = normalized_delay(&dev, Volts(0.6), dev.vth, Volts(0.6), dev.vth).unwrap();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lowering_vdd_at_fixed_vth_slows_the_gate() {
+        // Fig. 3's "constant Vth" curve rises steeply as Vdd drops.
+        let dev = Mosfet::for_node(TechNode::N35).unwrap();
+        let d = normalized_delay(&dev, Volts(0.3), dev.vth, Volts(0.6), dev.vth).unwrap();
+        assert!(d > 1.5, "got {d}");
+    }
+
+    #[test]
+    fn lowering_vth_recovers_speed() {
+        let dev = Mosfet::for_node(TechNode::N35).unwrap();
+        let slow = normalized_delay(&dev, Volts(0.3), dev.vth, Volts(0.6), dev.vth).unwrap();
+        let fast =
+            normalized_delay(&dev, Volts(0.3), dev.vth - Volts(0.06), Volts(0.6), dev.vth)
+                .unwrap();
+        assert!(fast < slow);
+    }
+
+    #[test]
+    fn rejects_bad_load_and_width() {
+        let dev = Mosfet::for_node(TechNode::N100).unwrap();
+        let v = dev.nominal_vdd();
+        assert!(switching_delay(&dev, v, Farads(0.0), Microns(1.0)).is_err());
+        assert!(switching_delay(&dev, v, Farads::from_femto(1.0), Microns(0.0)).is_err());
+    }
+}

@@ -1,0 +1,82 @@
+//! Error type for device-model evaluation and solving.
+
+use np_units::math::SolveError;
+use np_units::Volts;
+use std::fmt;
+
+/// Error returned by device-model evaluation and calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The gate overdrive `Vdd − Vth` is not positive; the saturation-drive
+    /// expressions (Eqs. 2–3) do not apply below threshold.
+    NoOverdrive {
+        /// Supply voltage requested.
+        vdd: Volts,
+        /// Device threshold.
+        vth: Volts,
+    },
+    /// A device parameter is unphysical (documented in the message).
+    BadParameter(&'static str),
+    /// A numerical solve inside the model failed.
+    Solve(SolveError),
+    /// No threshold voltage in the search window can meet the requested
+    /// drive-current target at the given supply.
+    TargetUnreachable {
+        /// The supply voltage used in the solve.
+        vdd: Volts,
+        /// The unreachable Ion target in µA/µm.
+        target_ua_per_um: f64,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::NoOverdrive { vdd, vth } => {
+                write!(f, "no gate overdrive: Vdd {vdd} at or below Vth {vth}")
+            }
+            DeviceError::BadParameter(msg) => write!(f, "unphysical device parameter: {msg}"),
+            DeviceError::Solve(e) => write!(f, "device solve failed: {e}"),
+            DeviceError::TargetUnreachable { vdd, target_ua_per_um } => write!(
+                f,
+                "no Vth meets Ion = {target_ua_per_um} µA/µm at Vdd = {vdd}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeviceError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for DeviceError {
+    fn from(e: SolveError) -> Self {
+        DeviceError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DeviceError::NoOverdrive { vdd: Volts(0.2), vth: Volts(0.3) };
+        assert!(format!("{e}").contains("no gate overdrive"));
+        assert!(format!("{}", DeviceError::BadParameter("x")).contains("unphysical"));
+        let e = DeviceError::TargetUnreachable { vdd: Volts(0.6), target_ua_per_um: 750.0 };
+        assert!(format!("{e}").contains("750"));
+    }
+
+    #[test]
+    fn solve_error_is_source() {
+        use std::error::Error;
+        let e: DeviceError = SolveError::BadArguments("t").into();
+        assert!(e.source().is_some());
+    }
+}

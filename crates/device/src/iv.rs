@@ -1,0 +1,171 @@
+//! I–V characterization sweeps.
+//!
+//! The paper's analysis lives at the `(Vdd, Vth)` operating point, but a
+//! device library needs the standard characterization surfaces too:
+//! `Id(Vgs)` transfer curves (with the subthreshold region stitched to the
+//! strong-inversion Eq. 2/3 drive) and `Id(Vds)` output curves (triode
+//! blended into saturation). These are what an engineer plots first to
+//! sanity-check a model against silicon.
+
+use crate::error::DeviceError;
+use crate::model::Mosfet;
+use crate::stack::subthreshold_current;
+use np_units::{MicroampsPerMicron, Volts};
+
+/// One point of a characterization sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IvPoint {
+    /// Swept voltage (Vgs for transfer curves, Vds for output curves).
+    pub v: Volts,
+    /// Drain current per micron of width.
+    pub id: MicroampsPerMicron,
+}
+
+/// The transfer curve `Id(Vgs)` at drain bias `vds`: subthreshold
+/// exponential below `Vth`, Eq. 2/3 drive above, blended additively (the
+/// standard smooth stitch — both terms are always present, each dominating
+/// its own region).
+///
+/// # Errors
+///
+/// Returns [`DeviceError::BadParameter`] for an empty sweep or
+/// non-positive drain bias.
+pub fn transfer_curve(
+    dev: &Mosfet,
+    vds: Volts,
+    vgs_sweep: &[Volts],
+) -> Result<Vec<IvPoint>, DeviceError> {
+    if vgs_sweep.is_empty() {
+        return Err(DeviceError::BadParameter("sweep must be non-empty"));
+    }
+    if !(vds.0 > 0.0) {
+        return Err(DeviceError::BadParameter("drain bias must be positive"));
+    }
+    let vth = dev.vth_at_temp();
+    let mut out = Vec::with_capacity(vgs_sweep.len());
+    for &vgs in vgs_sweep {
+        // The exponential branch saturates at the threshold crossing; the
+        // strong-inversion drive takes over above it.
+        let sub = subthreshold_current(dev, vgs.min(vth), vds);
+        let strong = dev.ion(vgs).map(|i| i.0).unwrap_or(0.0);
+        out.push(IvPoint {
+            v: vgs,
+            id: MicroampsPerMicron(sub + strong),
+        });
+    }
+    Ok(out)
+}
+
+/// The output curve `Id(Vds)` at gate bias `vgs`: linear (triode) region
+/// `Id = Vds/R_lin` up to the saturation point, clamped at the Eq. 2
+/// saturation current (the standard piecewise long-channel blend, with
+/// both branches from the same calibrated model).
+///
+/// # Errors
+///
+/// Returns [`DeviceError::NoOverdrive`] when `vgs` is below threshold and
+/// [`DeviceError::BadParameter`] for an empty sweep.
+pub fn output_curve(
+    dev: &Mosfet,
+    vgs: Volts,
+    vds_sweep: &[Volts],
+) -> Result<Vec<IvPoint>, DeviceError> {
+    if vds_sweep.is_empty() {
+        return Err(DeviceError::BadParameter("sweep must be non-empty"));
+    }
+    let r_lin = dev.linear_resistance_ohm_um(vgs)?; // Ω·µm
+    let i_sat = dev.ion(vgs)?; // µA/µm
+    let mut out = Vec::with_capacity(vds_sweep.len());
+    for &vds in vds_sweep {
+        let triode_ua = vds.0 / r_lin * 1e6;
+        out.push(IvPoint {
+            v: vds,
+            id: MicroampsPerMicron(triode_ua.min(i_sat.0)),
+        });
+    }
+    Ok(out)
+}
+
+/// The saturation voltage implied by the two output-curve branches: where
+/// the triode line meets the saturation plateau, `Vdsat = Ion · R_lin`.
+///
+/// # Errors
+///
+/// Same conditions as [`output_curve`].
+pub fn vdsat(dev: &Mosfet, vgs: Volts) -> Result<Volts, DeviceError> {
+    let r_lin = dev.linear_resistance_ohm_um(vgs)?;
+    let i_sat = dev.ion(vgs)?;
+    Ok(Volts(i_sat.0 * 1e-6 * r_lin))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_roadmap::TechNode;
+    use np_units::math::linspace;
+
+    fn dev() -> Mosfet {
+        Mosfet::for_node(TechNode::N70).unwrap()
+    }
+
+    fn volts(lo: f64, hi: f64, n: usize) -> Vec<Volts> {
+        linspace(lo, hi, n).into_iter().map(Volts).collect()
+    }
+
+    #[test]
+    fn transfer_curve_is_monotone() {
+        let d = dev();
+        let c = transfer_curve(&d, Volts(0.9), &volts(0.0, 0.9, 19)).unwrap();
+        for w in c.windows(2) {
+            assert!(w[1].id > w[0].id, "Id(Vgs) must be monotone");
+        }
+    }
+
+    #[test]
+    fn transfer_curve_spans_subthreshold_to_drive() {
+        let d = dev();
+        let c = transfer_curve(&d, Volts(0.9), &volts(0.0, 0.9, 10)).unwrap();
+        // At Vgs = 0 we see ~Ioff; at Vgs = Vdd we see ~Ion.
+        assert!((c[0].id.0 / d.ioff().0 - 1.0).abs() < 0.05, "left end ≈ Ioff");
+        let ion = d.ion(Volts(0.9)).unwrap();
+        let right = c[c.len() - 1].id.0;
+        assert!((right / ion.0 - 1.0).abs() < 0.05, "right end ≈ Ion");
+        // Six-plus decades of range across the curve.
+        assert!(right / c[0].id.0 > 1e3);
+    }
+
+    #[test]
+    fn output_curve_has_triode_and_saturation() {
+        let d = dev();
+        let c = output_curve(&d, Volts(0.9), &volts(0.01, 0.9, 30)).unwrap();
+        // Monotone non-decreasing, with a flat tail.
+        for w in c.windows(2) {
+            assert!(w[1].id >= w[0].id);
+        }
+        let sat = d.ion(Volts(0.9)).unwrap();
+        assert!((c[c.len() - 1].id.0 - sat.0).abs() < 1e-9, "plateau at Ion");
+        assert!(c[0].id.0 < sat.0 * 0.5, "triode start well below Ion");
+    }
+
+    #[test]
+    fn vdsat_is_between_zero_and_overdrive() {
+        let d = dev();
+        let v = vdsat(&d, Volts(0.9)).unwrap();
+        let vov = 0.9 - d.vth.0;
+        assert!(v.0 > 0.0 && v.0 < vov * 1.5, "Vdsat {v} vs overdrive {vov}");
+    }
+
+    #[test]
+    fn below_threshold_output_curve_errors() {
+        let d = dev();
+        assert!(output_curve(&d, Volts(0.05), &volts(0.0, 0.9, 5)).is_err());
+    }
+
+    #[test]
+    fn empty_sweeps_rejected() {
+        let d = dev();
+        assert!(transfer_curve(&d, Volts(0.9), &[]).is_err());
+        assert!(output_curve(&d, Volts(0.9), &[]).is_err());
+        assert!(transfer_curve(&d, Volts(0.0), &volts(0.0, 0.9, 3)).is_err());
+    }
+}

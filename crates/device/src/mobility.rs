@@ -1,0 +1,108 @@
+//! Effective carrier mobility.
+//!
+//! Eq. 3's `µeff` "is a function of gate voltage and Tox": we use the
+//! classic first-order vertical-field degradation
+//!
+//! ```text
+//! µeff = µ0 / (1 + θ · (Vgs − Vth)),   θ = θ_k / Tox,e
+//! ```
+//!
+//! where the degradation coefficient scales inversely with the electrical
+//! oxide thickness (thinner oxide → higher vertical field at the same
+//! overdrive). A `(300/T)^1.5` lattice-scattering factor covers the
+//! hot-junction analyses.
+
+use np_units::{Kelvin, Nanometers, Volts};
+
+/// Mobility-degradation constant `θ_k` in nm/V: `θ [1/V] = θ_k / Tox,e [nm]`.
+///
+/// Chosen so that a 180 nm-class device (Tox,e ≈ 3 nm, overdrive 1.5 V)
+/// shows the textbook ~2× high-field mobility reduction.
+pub const THETA_NM_PER_V: f64 = 4.0;
+
+/// Reference temperature for mobility and subthreshold parameters (the
+/// paper quotes room-temperature values).
+pub const T_REF_K: f64 = 300.0;
+
+/// Electron saturation velocity in cm/s.
+pub const VSAT_CM_PER_S: f64 = 1.0e7;
+
+/// Effective mobility in cm²/V·s at overdrive `vov = Vgs − Vth`.
+///
+/// Monotone decreasing in overdrive and in temperature; equals `mu0` at
+/// zero overdrive and `T_REF_K`.
+///
+/// # Panics
+///
+/// Panics if `mu0`, `tox_e` or the absolute temperature is not positive.
+pub fn mu_eff(mu0: f64, vov: Volts, tox_e: Nanometers, temp: Kelvin) -> f64 {
+    assert!(mu0 > 0.0, "mu0 must be positive");
+    assert!(tox_e.0 > 0.0, "electrical oxide must be positive");
+    assert!(temp.0 > 0.0, "absolute temperature must be positive");
+    let theta = THETA_NM_PER_V / tox_e.0;
+    let lattice = (T_REF_K / temp.0).powf(1.5);
+    mu0 * lattice / (1.0 + theta * vov.0.max(0.0))
+}
+
+/// Velocity-saturation critical field `Esat = 2·vsat / µeff`, in V/cm.
+///
+/// # Panics
+///
+/// Panics if `mu_eff` is not positive.
+pub fn esat_v_per_cm(mu_eff: f64) -> f64 {
+    assert!(mu_eff > 0.0, "mobility must be positive");
+    2.0 * VSAT_CM_PER_S / mu_eff
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_overdrive_recovers_mu0() {
+        let m = mu_eff(400.0, Volts(0.0), Nanometers(2.0), Kelvin(300.0));
+        assert!((m - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrades_with_overdrive() {
+        let lo = mu_eff(400.0, Volts(0.5), Nanometers(2.0), Kelvin(300.0));
+        let hi = mu_eff(400.0, Volts(1.5), Nanometers(2.0), Kelvin(300.0));
+        assert!(hi < lo);
+        // θ = 2 /V at 2 nm: 1.5 V overdrive → 1/(1+3) = 4x reduction.
+        assert!((hi - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degrades_faster_for_thinner_oxide() {
+        let thick = mu_eff(400.0, Volts(0.5), Nanometers(3.0), Kelvin(300.0));
+        let thin = mu_eff(400.0, Volts(0.5), Nanometers(1.0), Kelvin(300.0));
+        assert!(thin < thick);
+    }
+
+    #[test]
+    fn hot_junction_reduces_mobility() {
+        let cold = mu_eff(400.0, Volts(0.5), Nanometers(2.0), Kelvin(300.0));
+        let hot = mu_eff(400.0, Volts(0.5), Nanometers(2.0), Kelvin(358.15));
+        assert!(hot < cold);
+        assert!((hot / cold - (300.0f64 / 358.15).powf(1.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_overdrive_clamps() {
+        let m = mu_eff(400.0, Volts(-1.0), Nanometers(2.0), Kelvin(300.0));
+        assert!((m - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn esat_magnitude() {
+        // µeff = 200 cm²/Vs → Esat = 1e5 V/cm = 10 V/µm.
+        assert!((esat_v_per_cm(200.0) - 1e5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "mu0 must be positive")]
+    fn rejects_bad_mu0() {
+        let _ = mu_eff(0.0, Volts(0.1), Nanometers(2.0), Kelvin(300.0));
+    }
+}

@@ -1,0 +1,212 @@
+//! MTCMOS sleep-transistor gating (Section 3.2.1, after Mutoh \[34\]).
+//!
+//! "Multi-Threshold CMOS (MTCMOS) gates a high-Vth transistor with a sleep
+//! mode signal to virtually eliminate leakage current in idle states. The
+//! sleep transistor is placed between ground and fast low-Vth CMOS logic.
+//! As it is in series, it adds delay, which can be reduced by increasing
+//! its area. Disadvantages include no leakage reduction in active mode,
+//! increased device area, and additional overhead for routing sleep
+//! signals."
+//!
+//! The model captures exactly those trade-offs: standby leakage collapses
+//! to the high-Vth sleep device's, active leakage is untouched, the
+//! virtual-ground bounce `I_peak · R_sleep` costs delay inversely in the
+//! sleep transistor's width, and the area/routing overhead is explicit.
+
+use crate::error::DeviceError;
+use crate::model::Mosfet;
+use np_units::{Amps, Microns, Volts};
+use std::fmt;
+
+/// Threshold offset of the sleep device over the fast logic (a strong
+/// high-Vth implant).
+pub const SLEEP_VTH_OFFSET: Volts = Volts(0.15);
+
+/// Fraction of logic devices switching simultaneously in the worst case
+/// (sets the peak current through the sleep transistor).
+pub const SIMULTANEOUS_SWITCHING: f64 = 0.1;
+
+/// Fixed area overhead of routing the sleep signal to every gated row.
+pub const SLEEP_ROUTING_OVERHEAD: f64 = 0.03;
+
+/// A power-gated logic block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MtcmosBlock {
+    /// The fast low-Vth logic device.
+    pub logic: Mosfet,
+    /// The high-Vth sleep device.
+    pub sleep: Mosfet,
+    /// Total switching width of the gated logic.
+    pub logic_width: Microns,
+    /// Width of the sleep transistor.
+    pub sleep_width: Microns,
+}
+
+impl MtcmosBlock {
+    /// Gates `logic_width` of the node-calibrated logic behind a sleep
+    /// transistor sized at `sleep_fraction` of the logic width.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive widths/fractions; propagates calibration
+    /// errors.
+    pub fn new(
+        logic: Mosfet,
+        logic_width: Microns,
+        sleep_fraction: f64,
+    ) -> Result<Self, DeviceError> {
+        if !(logic_width.0 > 0.0) {
+            return Err(DeviceError::BadParameter("logic width must be positive"));
+        }
+        if !(sleep_fraction > 0.0) {
+            return Err(DeviceError::BadParameter("sleep fraction must be positive"));
+        }
+        let sleep = logic.with_vth(logic.vth + SLEEP_VTH_OFFSET);
+        Ok(Self {
+            logic,
+            sleep,
+            logic_width,
+            sleep_width: Microns(logic_width.0 * sleep_fraction),
+        })
+    }
+
+    /// Active-mode leakage: the logic's own (MTCMOS gives "no leakage
+    /// reduction in active mode").
+    pub fn active_leakage(&self) -> Amps {
+        self.logic.ioff().total(self.logic_width)
+    }
+
+    /// Standby leakage: only the (high-Vth, narrower) sleep device leaks.
+    pub fn standby_leakage(&self) -> Amps {
+        self.sleep.ioff().total(self.sleep_width)
+    }
+
+    /// Standby-over-active leakage reduction factor.
+    pub fn standby_reduction(&self) -> f64 {
+        self.active_leakage().0 / self.standby_leakage().0
+    }
+
+    /// Worst-case virtual-ground bounce in active mode: the simultaneous
+    /// switching current through the sleep device's on-resistance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drive-model errors.
+    pub fn virtual_ground_bounce(&self, vdd: Volts) -> Result<Volts, DeviceError> {
+        let i_peak = self
+            .logic
+            .ion(vdd)?
+            .total(Microns(self.logic_width.0 * SIMULTANEOUS_SWITCHING));
+        // The sleep device sits in triode at small Vds.
+        let r_sleep = self.sleep.linear_resistance_ohm_um(vdd)? / self.sleep_width.0;
+        Ok(Volts(i_peak.0 * r_sleep))
+    }
+
+    /// Fractional gate-delay penalty of the series sleep device: the
+    /// bounce eats gate overdrive, `Δd/d ≈ ΔV / (Vdd − Vth)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates drive-model errors.
+    pub fn delay_penalty(&self, vdd: Volts) -> Result<f64, DeviceError> {
+        let bounce = self.virtual_ground_bounce(vdd)?;
+        let vov = (vdd - self.logic.vth_at_temp()).0;
+        if vov <= 0.0 {
+            return Err(DeviceError::NoOverdrive { vdd, vth: self.logic.vth_at_temp() });
+        }
+        Ok(bounce.0 / vov)
+    }
+
+    /// Area overhead: sleep-device width plus sleep-signal routing, as a
+    /// fraction of the logic width.
+    pub fn area_overhead(&self) -> f64 {
+        self.sleep_width.0 / self.logic_width.0 + SLEEP_ROUTING_OVERHEAD
+    }
+}
+
+impl fmt::Display for MtcmosBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MTCMOS block: {:.0} µm logic behind {:.0} µm sleep device ({:.0}x standby saving, +{:.0}% area)",
+            self.logic_width.0,
+            self.sleep_width.0,
+            self.standby_reduction(),
+            self.area_overhead() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::substrate::Substrate;
+    use np_roadmap::TechNode;
+
+    fn block(fraction: f64) -> MtcmosBlock {
+        let logic = Mosfet::for_node(TechNode::N70).expect("calibration");
+        MtcmosBlock::new(logic, Microns(10_000.0), fraction).expect("block")
+    }
+
+    #[test]
+    fn standby_leakage_collapses() {
+        let b = block(0.1);
+        // 0.15 V implant = 10^(0.15/0.085) ≈ 58x per width, times the 10x
+        // width ratio: ~580x total.
+        let r = b.standby_reduction();
+        assert!((100.0..=2000.0).contains(&r), "got {r:.0}x");
+    }
+
+    #[test]
+    fn active_leakage_is_untouched() {
+        let b = block(0.1);
+        let bare = b.logic.ioff().total(b.logic_width);
+        assert!((b.active_leakage().0 / bare.0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_sleep_device_trades_area_for_speed() {
+        let small = block(0.05);
+        let large = block(0.3);
+        let vdd = TechNode::N70.params().vdd;
+        assert!(
+            large.delay_penalty(vdd).unwrap() < small.delay_penalty(vdd).unwrap(),
+            "area buys speed"
+        );
+        assert!(large.area_overhead() > small.area_overhead());
+        assert!(large.standby_leakage() > small.standby_leakage());
+    }
+
+    #[test]
+    fn delay_penalty_is_percent_level_at_sane_sizing() {
+        let b = block(0.15);
+        let p = b.delay_penalty(TechNode::N70.params().vdd).unwrap();
+        assert!((0.005..=0.25).contains(&p), "penalty {:.1}%", p * 100.0);
+    }
+
+    #[test]
+    fn soi_logic_gates_even_better() {
+        // Footnote 3 synergy: an FD-SOI sleep stack (steeper swing) leaks
+        // less at the same implant.
+        let bulk = block(0.1);
+        let logic = Mosfet::for_node(TechNode::N70)
+            .unwrap()
+            .with_substrate(Substrate::FdSoi);
+        let soi = MtcmosBlock::new(logic, Microns(10_000.0), 0.1).unwrap();
+        assert!(soi.standby_reduction() > bulk.standby_reduction());
+    }
+
+    #[test]
+    fn bad_parameters_rejected() {
+        let logic = Mosfet::for_node(TechNode::N70).unwrap();
+        assert!(MtcmosBlock::new(logic.clone(), Microns(0.0), 0.1).is_err());
+        assert!(MtcmosBlock::new(logic, Microns(1.0), 0.0).is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = format!("{}", block(0.1));
+        assert!(s.contains("MTCMOS"));
+        assert!(s.contains("standby"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Calibrated per-node devices.
+//!
+//! The mobility calibration ([`crate::solve::calibrate_mu0`]) runs once per
+//! process and is cached; every node's device is then derived from the
+//! roadmap parameters plus the solved threshold that meets the ITRS
+//! 750 µA/µm target at the node's nominal supply.
+
+use crate::error::DeviceError;
+use crate::model::Mosfet;
+use crate::oxide::GateKind;
+use crate::solve::{calibrate_mu0, solve_vth_for_ion};
+use np_roadmap::TechNode;
+use np_units::{Celsius, Volts};
+use std::sync::OnceLock;
+
+/// Reference junction temperature of the paper's Table 2 analysis
+/// (room temperature, exactly 300 K).
+pub const T_TABLE2: Celsius = Celsius(26.85);
+
+fn template(node: TechNode, gate: GateKind) -> Mosfet {
+    let p = node.params();
+    Mosfet {
+        leff: p.leff,
+        tox_phys: p.tox_phys,
+        gate,
+        vth: Volts(0.0),
+        mu0: calibrated_mu0(),
+        rs_ohm_um: p.rs_ohm_um,
+        temp: T_TABLE2,
+        substrate: crate::substrate::Substrate::Bulk,
+        node: Some(node),
+    }
+}
+
+/// The workspace-wide calibrated low-field mobility (cm²/V·s).
+///
+/// Solved once so that the poly-gate 180 nm device meets 750 µA/µm at
+/// 1.8 V with `Vth = 0.30 V` — the paper's Table 2 anchor.
+///
+/// # Panics
+///
+/// Panics if the calibration cannot converge, which would mean the
+/// roadmap constants are internally inconsistent (a programming error,
+/// not a user error).
+pub fn calibrated_mu0() -> f64 {
+    static MU0: OnceLock<f64> = OnceLock::new();
+    *MU0.get_or_init(|| {
+        let p = TechNode::N180.params();
+        let proto = Mosfet {
+            leff: p.leff,
+            tox_phys: p.tox_phys,
+            gate: GateKind::PolySilicon,
+            vth: Volts(0.0),
+            mu0: 500.0, // overwritten by the calibration
+            rs_ohm_um: p.rs_ohm_um,
+            temp: T_TABLE2,
+            substrate: crate::substrate::Substrate::Bulk,
+            node: Some(TechNode::N180),
+        };
+        calibrate_mu0(&proto, p.vdd).expect("180 nm mobility calibration must converge")
+    })
+}
+
+impl Mosfet {
+    /// A calibrated poly-gate device for `node`, with `Vth` solved so that
+    /// `Ion` meets the ITRS target at the node's nominal supply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeviceError::TargetUnreachable`] when the node's
+    /// nominal supply cannot reach the target (does not occur for the six
+    /// ITRS nodes, but can for user-modified targets).
+    pub fn for_node(node: TechNode) -> Result<Mosfet, DeviceError> {
+        Mosfet::for_node_with(node, node.params().vdd, GateKind::PolySilicon)
+    }
+
+    /// A calibrated device for `node` with an explicit supply and gate
+    /// stack — the knobs of Table 2's "metal gate" and "Vdd = 0.7 V"
+    /// variants.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Mosfet::for_node`].
+    pub fn for_node_with(
+        node: TechNode,
+        vdd: Volts,
+        gate: GateKind,
+    ) -> Result<Mosfet, DeviceError> {
+        let proto = template(node, gate);
+        let vth = solve_vth_for_ion(&proto, vdd, node.params().ion_target)?;
+        Ok(proto.with_vth(vth))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_units::MicroampsPerMicron;
+
+    #[test]
+    fn every_node_calibrates() {
+        for node in TechNode::ALL {
+            let dev = Mosfet::for_node(node).expect("calibration");
+            let ion = dev.ion(node.params().vdd).expect("drive");
+            assert!(
+                (ion.0 - 750.0).abs() < 1.0,
+                "{node}: Ion {ion} misses target"
+            );
+        }
+    }
+
+    #[test]
+    fn anchor_node_vth_is_300mv() {
+        let dev = Mosfet::for_node(TechNode::N180).unwrap();
+        assert!((dev.vth.0 - 0.30).abs() < 2e-3, "got {}", dev.vth);
+    }
+
+    #[test]
+    fn vth_trend_is_broadly_decreasing() {
+        // Table 2: Vth falls 0.30 → 0.11 across the roadmap, with the
+        // 50 nm 0.6 V point *below* the 35 nm value (the paper's
+        // observation 2 that 0.6 V at 50 nm is unrealistic).
+        let vth: Vec<f64> = TechNode::ALL
+            .iter()
+            .map(|&n| Mosfet::for_node(n).unwrap().vth.0)
+            .collect();
+        assert!(vth[0] > vth[2], "180 vs 100");
+        assert!(vth[2] > vth[3], "100 vs 70");
+        assert!(vth[4] < vth[5], "50 nm must dip below 35 nm");
+    }
+
+    #[test]
+    fn fifty_nm_at_0v7_relaxes_vth() {
+        // Table 2 parenthetical: 0.7 V at 50 nm lands near 0.12 V rather
+        // than the 0.04 V the 0.6 V supply forces.
+        let hard = Mosfet::for_node(TechNode::N50).unwrap();
+        let relaxed =
+            Mosfet::for_node_with(TechNode::N50, Volts(0.7), GateKind::PolySilicon).unwrap();
+        assert!(relaxed.vth.0 > hard.vth.0 + 0.04);
+    }
+
+    #[test]
+    fn metal_gate_allows_higher_vth() {
+        // Section 3.1 observation 1: the thinner effective oxide "allows a
+        // 55 mV increase in Vth" at 35 nm.
+        let poly = Mosfet::for_node(TechNode::N35).unwrap();
+        let metal =
+            Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal).unwrap();
+        let delta_mv = (metal.vth - poly.vth).as_milli();
+        assert!(
+            (25.0..=95.0).contains(&delta_mv),
+            "metal-gate Vth headroom {delta_mv:.1} mV out of band"
+        );
+    }
+
+    #[test]
+    fn calibrated_mu0_is_cached_and_physical() {
+        let a = calibrated_mu0();
+        let b = calibrated_mu0();
+        assert_eq!(a, b);
+        assert!((100.0..=2000.0).contains(&a), "mu0 {a}");
+    }
+
+    #[test]
+    fn custom_target_can_be_unreachable() {
+        let p = TechNode::N50.params();
+        let proto = template(TechNode::N50, GateKind::PolySilicon);
+        let err = solve_vth_for_ion(&proto, Volts(0.25), MicroampsPerMicron(p.ion_target.0))
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::TargetUnreachable { .. }));
+    }
+}

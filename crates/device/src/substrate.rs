@@ -1,0 +1,151 @@
+//! Substrate technology and the body effect.
+//!
+//! Two paper hooks live here:
+//!
+//! * footnote 3: "Technologies such as fully-depleted SOI may reduce this
+//!   value [the 85 mV subthreshold swing] considerably (i.e. by 20%),
+//!   making lower thresholds feasible given fixed Ioff constraints" —
+//!   [`Substrate::FdSoi`];
+//! * Section 3.2.1: "substrate bias controlled Vth … body bias is less
+//!   effective at controlling Vth in scaled devices" — [`BodyBias`], whose
+//!   coefficient shrinks along the roadmap.
+
+use np_roadmap::TechNode;
+use np_units::Volts;
+use std::fmt;
+
+/// Substrate technology of a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Substrate {
+    /// Conventional bulk CMOS (the paper's baseline).
+    #[default]
+    Bulk,
+    /// Fully-depleted SOI: near-ideal gate control, ~20 % lower
+    /// subthreshold swing (footnote 3).
+    FdSoi,
+}
+
+impl Substrate {
+    /// Multiplier on the subthreshold swing parameter.
+    pub fn swing_factor(self) -> f64 {
+        match self {
+            Substrate::Bulk => 1.0,
+            Substrate::FdSoi => 0.8,
+        }
+    }
+
+    /// The threshold reduction this substrate affords at *equal leakage*
+    /// relative to bulk: with `S' = k·S`, `Ioff = I0·10^(−Vth/S)` stays
+    /// fixed when `Vth' = k·Vth`.
+    pub fn vth_headroom(self, bulk_vth: Volts) -> Volts {
+        Volts(bulk_vth.0 * (1.0 - self.swing_factor()))
+    }
+}
+
+impl fmt::Display for Substrate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Substrate::Bulk => write!(f, "bulk CMOS"),
+            Substrate::FdSoi => write!(f, "FD-SOI"),
+        }
+    }
+}
+
+/// Reverse-body-bias threshold control (Section 3.2.1, ref. \[36\]).
+///
+/// The body-effect coefficient `γ_eff = dVth/dVbs` shrinks with scaling
+/// (thinner oxides and higher channel doping decouple the body), which is
+/// exactly why the paper rates substrate biasing as a poorly scaling
+/// standby-leakage technique.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BodyBias {
+    /// Effective body coefficient, V of Vth per V of reverse bias.
+    pub gamma_eff: f64,
+    /// Maximum reverse bias the junctions tolerate.
+    pub max_reverse_bias: Volts,
+}
+
+impl BodyBias {
+    /// The body-bias capability of a roadmap node. The coefficient decays
+    /// from a healthy 0.25 at 180 nm to under 0.08 at 35 nm.
+    pub fn for_node(node: TechNode) -> Self {
+        let gamma_eff = match node {
+            TechNode::N180 => 0.25,
+            TechNode::N130 => 0.20,
+            TechNode::N100 => 0.16,
+            TechNode::N70 => 0.12,
+            TechNode::N50 => 0.09,
+            TechNode::N35 => 0.07,
+        };
+        BodyBias { gamma_eff, max_reverse_bias: Volts(1.0) }
+    }
+
+    /// Threshold shift at a given reverse body bias (clamped to the
+    /// junction limit).
+    pub fn vth_shift(&self, reverse_bias: Volts) -> Volts {
+        let v = reverse_bias.0.clamp(0.0, self.max_reverse_bias.0);
+        Volts(self.gamma_eff * v)
+    }
+
+    /// Standby-leakage reduction factor achievable with full reverse bias
+    /// for a device with subthreshold swing `s`: `10^(ΔVth/S)`.
+    pub fn standby_leakage_reduction(&self, swing: Volts) -> f64 {
+        10f64.powf(self.vth_shift(self.max_reverse_bias).0 / swing.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soi_swing_is_20_percent_lower() {
+        assert!((Substrate::FdSoi.swing_factor() - 0.8).abs() < 1e-12);
+        assert_eq!(Substrate::Bulk.swing_factor(), 1.0);
+    }
+
+    #[test]
+    fn soi_buys_vth_headroom_at_fixed_ioff() {
+        // Footnote 3: lower swing -> lower threshold at the same Ioff.
+        let h = Substrate::FdSoi.vth_headroom(Volts(0.30));
+        assert!((h.0 - 0.06).abs() < 1e-12);
+    }
+
+    #[test]
+    fn body_effect_fades_with_scaling() {
+        let mut prev = f64::INFINITY;
+        for node in TechNode::ALL {
+            let g = BodyBias::for_node(node).gamma_eff;
+            assert!(g < prev, "γ_eff must shrink");
+            prev = g;
+        }
+        // 180 nm: >3x the 35 nm authority — "less effective in scaled
+        // devices".
+        assert!(
+            BodyBias::for_node(TechNode::N180).gamma_eff
+                > 3.0 * BodyBias::for_node(TechNode::N35).gamma_eff
+        );
+    }
+
+    #[test]
+    fn standby_reduction_collapses_along_roadmap() {
+        let s = Volts(0.085);
+        let early = BodyBias::for_node(TechNode::N180).standby_leakage_reduction(s);
+        let late = BodyBias::for_node(TechNode::N35).standby_leakage_reduction(s);
+        assert!(early > 100.0, "strong knob today: {early:.0}x");
+        assert!(late < 10.0, "weak knob at 35 nm: {late:.1}x");
+    }
+
+    #[test]
+    fn bias_clamps_at_junction_limit() {
+        let b = BodyBias::for_node(TechNode::N100);
+        assert_eq!(b.vth_shift(Volts(5.0)), b.vth_shift(Volts(1.0)));
+        assert_eq!(b.vth_shift(Volts(-1.0)), Volts(0.0));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Substrate::Bulk), "bulk CMOS");
+        assert_eq!(format!("{}", Substrate::FdSoi), "FD-SOI");
+    }
+}

@@ -1,0 +1,220 @@
+//! Closed-form bump-cell IR-drop model (BACPAC-style, ref. \[41\]).
+//!
+//! Geometry: flip-chip bumps on a square array of pitch `P`; the top-level
+//! grid runs one rail per net per bump row/column (the paper's "80 µm bump
+//! *and power-grid* pitch"). A rail of width `w` and sheet resistance
+//! `ρ_s` collects the hot-spot current of a `P`-wide strip; current
+//! accumulates toward the bump, so the worst-case (cell-centre) drop is
+//!
+//! ```text
+//! ΔV = k_geo · J_hot · P³ · ρ_s / (8 · w)
+//! ```
+//!
+//! `k_geo` absorbs the 2-D current convergence near the bump; it is
+//! validated against the independent mesh solver in [`crate::mesh`].
+//!
+//! Budgeting: the "<10 % IR drop" budget is split between the Vdd and GND
+//! networks and between the top-level grid and the lower-level
+//! distribution under the designer's control (Section 4 treats only the
+//! technology-limited top level).
+
+use crate::error::GridError;
+use crate::hotspot::HOTSPOT_FACTOR;
+use np_roadmap::TechNode;
+use np_units::{Microns, Volts};
+
+/// Geometric convergence factor of the bump-cell drop formula, calibrated
+/// once against the independent mesh solver of [`crate::mesh`] (the 2-D
+/// current convergence near a point-like bump roughly doubles the 1-D
+/// rail-accumulation estimate, and the centre of the cell sits a full
+/// half-pitch from the pin in both axes).
+pub const K_GEO: f64 = 5.6;
+
+/// How the IR-drop budget is allocated.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IrBudget {
+    /// Total supply-noise budget as a fraction of Vdd (the paper's 10 %).
+    pub total_fraction: f64,
+    /// Share of the budget allocated to the technology-limited top level
+    /// (the rest belongs to the on-chip distribution below it).
+    pub top_level_share: f64,
+}
+
+impl Default for IrBudget {
+    fn default() -> Self {
+        Self { total_fraction: 0.10, top_level_share: 0.5 }
+    }
+}
+
+impl IrBudget {
+    /// The drop each net (Vdd or GND) may take on the top level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadParameter`] for fractions outside `(0, 1]`.
+    pub fn per_net(&self, vdd: Volts) -> Result<Volts, GridError> {
+        if !(self.total_fraction > 0.0 && self.total_fraction <= 1.0) {
+            return Err(GridError::BadParameter("total fraction must be in (0, 1]"));
+        }
+        if !(self.top_level_share > 0.0 && self.top_level_share <= 1.0) {
+            return Err(GridError::BadParameter("top-level share must be in (0, 1]"));
+        }
+        Ok(vdd * (self.total_fraction * self.top_level_share * 0.5))
+    }
+}
+
+/// Hot-spot current density of a node in A/µm² at its nominal supply.
+pub fn hotspot_current_density(node: TechNode) -> f64 {
+    let p = node.params();
+    let density_w_per_cm2 = p.average_power_density().0 * HOTSPOT_FACTOR;
+    density_w_per_cm2 / p.vdd.0 / 1e8 // W/cm² / V -> A/cm² -> A/µm²
+}
+
+/// Worst-case top-level drop per net for a given rail width and bump
+/// pitch.
+///
+/// # Errors
+///
+/// Returns [`GridError::BadParameter`] for non-positive geometry.
+pub fn worst_case_drop(
+    node: TechNode,
+    bump_pitch: Microns,
+    rail_width: Microns,
+) -> Result<Volts, GridError> {
+    if !(bump_pitch.0 > 0.0 && rail_width.0 > 0.0) {
+        return Err(GridError::BadParameter("pitch and width must be positive"));
+    }
+    let j = hotspot_current_density(node);
+    let rho_s = node.params().top_metal_sheet_resistance().0;
+    Ok(Volts(
+        K_GEO * j * bump_pitch.0.powi(3) * rho_s / (8.0 * rail_width.0),
+    ))
+}
+
+/// The rail width meeting the budget at the given bump pitch (the Fig. 5
+/// y-axis before normalization).
+///
+/// # Errors
+///
+/// Propagates budget errors; returns [`GridError::Infeasible`] when the
+/// required rail is wider than the bump pitch itself (no room to route
+/// it).
+pub fn required_rail_width(
+    node: TechNode,
+    bump_pitch: Microns,
+    budget: &IrBudget,
+) -> Result<Microns, GridError> {
+    if !(bump_pitch.0 > 0.0) {
+        return Err(GridError::BadParameter("pitch must be positive"));
+    }
+    let allowed = budget.per_net(node.params().vdd)?;
+    let j = hotspot_current_density(node);
+    let rho_s = node.params().top_metal_sheet_resistance().0;
+    let w = K_GEO * j * bump_pitch.0.powi(3) * rho_s / (8.0 * allowed.0);
+    let w = Microns(w.max(node.params().top_metal_min_width.0));
+    // A Vdd and a GND rail must both fit under each bump pitch; beyond
+    // half the pitch each, nothing is left for signal routing.
+    if w.0 > bump_pitch.0 / 2.0 {
+        return Err(GridError::Infeasible { width_um: w.0 });
+    }
+    Ok(w)
+}
+
+/// Fraction of top-level routing consumed by the power rails: one Vdd and
+/// one GND rail per bump-pair pitch (`2P`, since power bumps alternate
+/// nets).
+pub fn rail_routing_fraction(rail_width: Microns, bump_pitch: Microns) -> f64 {
+    2.0 * rail_width.0 / (2.0 * bump_pitch.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_scales_inversely_with_width() {
+        let node = TechNode::N35;
+        let p = Microns(80.0);
+        let d1 = worst_case_drop(node, p, Microns(1.0)).unwrap();
+        let d4 = worst_case_drop(node, p, Microns(4.0)).unwrap();
+        assert!((d1.0 / d4.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_scales_cubically_with_pitch() {
+        let node = TechNode::N35;
+        let w = Microns(2.0);
+        let d1 = worst_case_drop(node, Microns(80.0), w).unwrap();
+        let d2 = worst_case_drop(node, Microns(160.0), w).unwrap();
+        assert!((d2.0 / d1.0 - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_per_net_is_2_5_percent_of_vdd() {
+        let b = IrBudget::default();
+        let v = b.per_net(Volts(0.6)).unwrap();
+        assert!((v.0 - 0.015).abs() < 1e-12);
+    }
+
+    #[test]
+    fn required_width_at_35nm_min_pitch_matches_fig5() {
+        // Fig. 5: rails ~16x minimum width at the 80 µm minimum pitch.
+        let w = required_rail_width(TechNode::N35, Microns(80.0), &IrBudget::default())
+            .unwrap();
+        let ratio = w.0 / TechNode::N35.params().top_metal_min_width.0;
+        assert!((8.0..=30.0).contains(&ratio), "got {ratio:.1}x min width");
+    }
+
+    #[test]
+    fn solved_width_meets_the_budget() {
+        let node = TechNode::N50;
+        let pitch = Microns(90.0);
+        let budget = IrBudget::default();
+        let w = required_rail_width(node, pitch, &budget).unwrap();
+        let drop = worst_case_drop(node, pitch, w).unwrap();
+        let allowed = budget.per_net(node.params().vdd).unwrap();
+        assert!(drop <= allowed * 1.0001);
+    }
+
+    #[test]
+    fn itrs_pitch_is_infeasible_or_enormous() {
+        // At the ~356 µm ITRS effective pitch the requirement explodes
+        // (the paper's "over 2000X the minimum"); with rails capped at the
+        // pitch it is simply infeasible.
+        let r = required_rail_width(TechNode::N35, Microns(356.0), &IrBudget::default());
+        match r {
+            Err(GridError::Infeasible { width_um }) => {
+                assert!(width_um / 0.25 > 500.0, "width {width_um}")
+            }
+            Ok(w) => panic!("expected blow-up, got {w}"),
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn routing_fraction_is_a_few_percent_at_min_pitch() {
+        // Fig. 5 text: power rails "will consume less than 4% of top-level
+        // routing resources".
+        let node = TechNode::N35;
+        let w = required_rail_width(node, Microns(80.0), &IrBudget::default()).unwrap();
+        let f = rail_routing_fraction(w, Microns(80.0));
+        assert!(f < 0.08, "got {:.1}%", f * 100.0);
+    }
+
+    #[test]
+    fn tiny_requirements_clamp_to_min_width() {
+        // A coarse node at a tiny pitch needs less than minimum width;
+        // the answer clamps to the manufacturable minimum.
+        let node = TechNode::N180;
+        let w = required_rail_width(node, Microns(20.0), &IrBudget::default()).unwrap();
+        assert_eq!(w.0, node.params().top_metal_min_width.0);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(worst_case_drop(TechNode::N35, Microns(0.0), Microns(1.0)).is_err());
+        assert!(worst_case_drop(TechNode::N35, Microns(80.0), Microns(0.0)).is_err());
+        let bad = IrBudget { total_fraction: 0.0, top_level_share: 0.5 };
+        assert!(bad.per_net(Volts(1.0)).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Conjugate-gradient solver for the resistive mesh.
+//!
+//! A second, independent numeric method for the same
+//! [`MeshProblem`]: the mesh Laplacian is
+//! symmetric positive-definite once at least one node is pinned, so
+//! conjugate gradients converge in at most `n` steps and typically far
+//! fewer. Having two solvers lets the test suite cross-validate the
+//! linear algebra itself, not just the physics built on it — and CG is
+//! the faster choice on large meshes.
+
+use crate::error::GridError;
+use crate::solver::MeshProblem;
+
+/// Applies the mesh Laplacian `G·v` (pinned nodes held at zero).
+fn apply(m: &MeshProblem, v: &[f64], out: &mut [f64]) {
+    let (nx, ny, g) = (m.nx, m.ny, m.edge_conductance);
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = y * nx + x;
+            if m.pinned[i] {
+                out[i] = v[i]; // identity row for pinned nodes
+                continue;
+            }
+            let mut acc = 0.0;
+            let mut deg = 0.0;
+            if x > 0 {
+                acc += if m.pinned[i - 1] { 0.0 } else { v[i - 1] };
+                deg += 1.0;
+            }
+            if x + 1 < nx {
+                acc += if m.pinned[i + 1] { 0.0 } else { v[i + 1] };
+                deg += 1.0;
+            }
+            if y > 0 {
+                acc += if m.pinned[i - nx] { 0.0 } else { v[i - nx] };
+                deg += 1.0;
+            }
+            if y + 1 < ny {
+                acc += if m.pinned[i + nx] { 0.0 } else { v[i + nx] };
+                deg += 1.0;
+            }
+            out[i] = g * (deg * v[i] - acc);
+        }
+    }
+}
+
+/// Solves the mesh by conjugate gradients.
+///
+/// Returns node voltages identical (to solver tolerance) to
+/// [`MeshProblem::solve`].
+///
+/// # Errors
+///
+/// [`GridError::BadParameter`] when no node is pinned;
+/// [`GridError::NoConvergence`] if the iteration stalls (cannot happen
+/// for a well-posed SPD system within the generous budget, kept for API
+/// honesty).
+pub fn solve_cg(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
+    if !m.pinned.iter().any(|&p| p) {
+        return Err(GridError::BadParameter("at least one node must be pinned"));
+    }
+    let n = m.nx * m.ny;
+    // RHS: -I at free nodes (current draw pulls the node negative),
+    // 0 at pinned nodes.
+    let b: Vec<f64> = (0..n)
+        .map(|i| if m.pinned[i] { 0.0 } else { -m.injection[i] })
+        .collect();
+    let mut x = vec![0.0f64; n];
+    let mut r = b.clone();
+    let mut p = r.clone();
+    let mut ap = vec![0.0f64; n];
+    let mut rs_old: f64 = r.iter().map(|v| v * v).sum();
+    let b_norm = rs_old.sqrt().max(1e-300);
+    let tol = 1e-12 * b_norm;
+    let max_iters = 10 * n;
+    for _ in 0..max_iters {
+        if rs_old.sqrt() <= tol {
+            return Ok(x);
+        }
+        apply(m, &p, &mut ap);
+        let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if p_ap <= 0.0 {
+            break; // loss of positive-definiteness: numerical breakdown
+        }
+        let alpha = rs_old / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new: f64 = r.iter().map(|v| v * v).sum();
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    if rs_old.sqrt() <= tol * 10.0 {
+        Ok(x)
+    } else {
+        Err(GridError::NoConvergence {
+            iterations: max_iters,
+            residual: rs_old.sqrt(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_mesh(n: usize) -> MeshProblem {
+        let mut m = MeshProblem::new(n, n, 1.3);
+        let pin = m.index(n / 2, n / 2);
+        m.pinned[pin] = true;
+        for i in 0..m.injection.len() {
+            m.injection[i] = 1e-3;
+        }
+        m
+    }
+
+    #[test]
+    fn cg_matches_sor() {
+        for n in [5usize, 9, 16] {
+            let m = loaded_mesh(n);
+            let sor = m.solve().expect("sor");
+            let cg = solve_cg(&m).expect("cg");
+            for i in 0..sor.len() {
+                assert!(
+                    (sor[i] - cg[i]).abs() < 1e-6,
+                    "n={n} node {i}: SOR {} vs CG {}",
+                    sor[i],
+                    cg[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cg_satisfies_kcl() {
+        let m = loaded_mesh(9);
+        let v = solve_cg(&m).unwrap();
+        let mut gv = vec![0.0; v.len()];
+        apply(&m, &v, &mut gv);
+        for i in 0..v.len() {
+            if !m.pinned[i] {
+                assert!(
+                    (gv[i] + m.injection[i]).abs() < 1e-9,
+                    "KCL at {i}: {} vs {}",
+                    gv[i],
+                    -m.injection[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pinned_nodes_stay_at_zero() {
+        let m = loaded_mesh(11);
+        let v = solve_cg(&m).unwrap();
+        for i in 0..v.len() {
+            if m.pinned[i] {
+                assert_eq!(v[i], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn unpinned_rejected() {
+        let m = MeshProblem::new(4, 4, 1.0);
+        assert!(matches!(solve_cg(&m), Err(GridError::BadParameter(_))));
+    }
+
+    #[test]
+    fn multiple_pins_supported() {
+        let mut m = loaded_mesh(13);
+        let extra = m.index(0, 0);
+        m.pinned[extra] = true;
+        let sor = m.solve().unwrap();
+        let cg = solve_cg(&m).unwrap();
+        for i in 0..sor.len() {
+            assert!((sor[i] - cg[i]).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! On-die decoupling capacitance against wake-up transients (Section 4).
+//!
+//! The paper's closing worry — "awakening from standby results in large
+//! current transients, placing an extreme burden on the power distribution
+//! network" — is met in practice with on-die decoupling capacitance: the
+//! decap sources the current step locally until current through the
+//! package inductance catches up (the response window
+//! [`PACKAGE_RESPONSE`]). The required capacitance is the window's charge
+//! deficit over the droop budget; staging the wake-up (a slow ramp)
+//! shrinks the deficit proportionally.
+//!
+//! Decap is not free: it is thin-oxide area. The model reports the die
+//! fraction consumed, using the node's gate capacitance per area.
+
+use crate::error::GridError;
+use crate::transient::WakeUpEvent;
+use np_roadmap::TechNode;
+use np_units::{Farads, Volts};
+use std::fmt;
+
+/// Fraction of decap capacitance usable during a droop (series resistance
+/// and placement derating).
+pub const DECAP_EFFICIENCY: f64 = 0.8;
+
+/// Package response time: how long the decap must hold the rail before
+/// current through the bump/package inductance catches up.
+pub const PACKAGE_RESPONSE: np_units::Seconds = np_units::Seconds(20e-9);
+
+/// A decap plan for one wake-up scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecapPlan {
+    /// The node planned.
+    pub node: TechNode,
+    /// Required on-die decoupling capacitance.
+    pub required: Farads,
+    /// Droop budget the plan meets.
+    pub droop_budget: Volts,
+    /// Fraction of the die consumed by the decap (thin-oxide area).
+    pub die_fraction: f64,
+}
+
+impl DecapPlan {
+    /// Sizes decap so the wake-up `event` droops the rail by at most
+    /// `droop_budget` during the package response window: the decap must
+    /// source the charge deficit `½ · ΔI_window · T_resp`, where the
+    /// current step seen within the window is the full `ΔI` for abrupt
+    /// ramps and `ΔI · T_resp/t_ramp` for staged (slow) ones.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive droop budget; propagates device errors as
+    /// [`GridError::BadParameter`].
+    pub fn size_for(
+        node: TechNode,
+        event: &WakeUpEvent,
+        droop_budget: Volts,
+    ) -> Result<Self, GridError> {
+        if !(droop_budget.0 > 0.0) {
+            return Err(GridError::BadParameter("droop budget must be positive"));
+        }
+        let delta_i = (event.i_active - event.i_standby).0;
+        let t_resp = PACKAGE_RESPONSE.0;
+        let window_fraction = (t_resp / event.t_ramp.0).min(1.0);
+        let charge = 0.5 * delta_i * window_fraction * t_resp;
+        let required = Farads(charge / (droop_budget.0 * DECAP_EFFICIENCY));
+        // Thin-oxide decap density from the node's electrical oxide.
+        let dev = np_device::Mosfet::for_node(node)
+            .map_err(|_| GridError::BadParameter("device calibration failed"))?;
+        let density_f_per_cm2 = dev.coxe().0; // F/cm²
+        let area_cm2 = required.0 / density_f_per_cm2;
+        Ok(Self {
+            node,
+            required,
+            droop_budget,
+            die_fraction: area_cm2 / node.params().die_area.as_cm2(),
+        })
+    }
+
+    /// True when the decap fits in a sane floorplan allowance.
+    pub fn is_practical(&self, max_die_fraction: f64) -> bool {
+        self.die_fraction <= max_die_fraction
+    }
+}
+
+impl fmt::Display for DecapPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} nF decap for {:.0} mV droop ({:.1}% of die)",
+            self.node,
+            self.required.0 * 1e9,
+            self.droop_budget.as_milli(),
+            self.die_fraction * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_units::Seconds;
+
+    fn event(ramp_ns: f64) -> WakeUpEvent {
+        WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(ramp_ns))
+    }
+
+    #[test]
+    fn staged_wakeup_decap_is_practical() {
+        // A tens-of-microseconds staged wake-up needs decap the floorplan
+        // can absorb.
+        let budget = TechNode::N35.params().vdd * 0.05;
+        let plan =
+            DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
+        assert!(
+            plan.is_practical(0.05),
+            "20 µs ramp needs {:.1}% of die",
+            plan.die_fraction * 100.0
+        );
+        assert!(plan.required.0 > 1e-9, "still nanofarads-scale");
+    }
+
+    #[test]
+    fn abrupt_wakeup_decap_is_not() {
+        // The paper's worry quantified: waking the whole 300 A chip in a
+        // package response time demands decap beyond any floorplan.
+        let budget = TechNode::N35.params().vdd * 0.05;
+        let fast = DecapPlan::size_for(TechNode::N35, &event(20.0), budget).unwrap();
+        let staged =
+            DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
+        assert!(fast.required > staged.required * 100.0);
+        assert!(!fast.is_practical(0.25));
+    }
+
+    #[test]
+    fn tighter_droop_needs_more_decap() {
+        let loose =
+            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.06)).unwrap();
+        let tight =
+            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.015)).unwrap();
+        assert!((tight.required.0 / loose.required.0 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_budget_rejected() {
+        assert!(DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.0)).is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let plan =
+            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.03)).unwrap();
+        let s = format!("{plan}");
+        assert!(s.contains("decap"));
+        assert!(s.contains("droop"));
+    }
+}

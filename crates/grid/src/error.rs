@@ -1,0 +1,55 @@
+//! Error type for power-distribution modeling.
+
+use std::fmt;
+
+/// Error returned by power-grid models and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GridError {
+    /// A parameter is out of range (documented in the message).
+    BadParameter(&'static str),
+    /// The drop budget cannot be met even with the widest permissible
+    /// rail.
+    Infeasible {
+        /// Rail width (µm) at which the search gave up.
+        width_um: f64,
+    },
+    /// The iterative mesh solver did not converge.
+    NoConvergence {
+        /// Iterations performed.
+        iterations: usize,
+        /// Residual norm at exhaustion.
+        residual: f64,
+    },
+}
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            GridError::Infeasible { width_um } => {
+                write!(f, "drop budget unreachable even at {width_um:.0} µm rails")
+            }
+            GridError::NoConvergence { iterations, residual } => {
+                write!(f, "mesh solver stalled after {iterations} iterations (residual {residual:.2e})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(format!("{}", GridError::BadParameter("x")).contains("bad parameter"));
+        assert!(format!("{}", GridError::Infeasible { width_um: 10.0 }).contains("10"));
+        assert!(format!(
+            "{}",
+            GridError::NoConvergence { iterations: 5, residual: 1e-3 }
+        )
+        .contains("stalled"));
+    }
+}

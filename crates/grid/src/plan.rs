@@ -1,0 +1,190 @@
+//! The Fig. 5 study: per-node grid plans under minimum bump pitch versus
+//! ITRS pad counts.
+
+use crate::analytic::{rail_routing_fraction, required_rail_width, IrBudget};
+use crate::error::GridError;
+use np_roadmap::{PackagingRoadmap, TechNode};
+use np_units::Microns;
+use std::fmt;
+
+/// Which bump-provisioning assumption a plan uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BumpAssumption {
+    /// The minimum attainable flip-chip pitch (Fig. 5 open symbols).
+    MinPitch,
+    /// The ITRS pad-count projection (Fig. 5 solid symbols).
+    ItrsPads,
+}
+
+/// A sized top-level power grid for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridPlan {
+    /// The node planned.
+    pub node: TechNode,
+    /// Provisioning assumption.
+    pub assumption: BumpAssumption,
+    /// Bump (and power-grid) pitch used.
+    pub bump_pitch: Microns,
+    /// Required rail width per net; `None` when the budget is unreachable
+    /// (rail wider than the pitch).
+    pub rail_width: Option<Microns>,
+    /// The rail width the drop budget demands, even if unroutable — the
+    /// quantity Fig. 5 plots.
+    pub demanded_width: Microns,
+}
+
+impl GridPlan {
+    /// Plans the grid at the node's minimum attainable bump pitch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model errors other than routability (an unroutable
+    /// demand is reported in the plan itself).
+    pub fn min_pitch(node: TechNode) -> Result<Self, GridError> {
+        let pitch = PackagingRoadmap::for_node(node).min_bump_pitch;
+        Self::at_pitch(node, pitch, BumpAssumption::MinPitch)
+    }
+
+    /// Plans the grid at the ITRS effective pad pitch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`GridPlan::min_pitch`].
+    pub fn itrs_pads(node: TechNode) -> Result<Self, GridError> {
+        let pitch = PackagingRoadmap::for_node(node).effective_itrs_bump_pitch();
+        Self::at_pitch(node, pitch, BumpAssumption::ItrsPads)
+    }
+
+    fn at_pitch(
+        node: TechNode,
+        pitch: Microns,
+        assumption: BumpAssumption,
+    ) -> Result<Self, GridError> {
+        let budget = IrBudget::default();
+        match required_rail_width(node, pitch, &budget) {
+            Ok(w) => Ok(Self {
+                node,
+                assumption,
+                bump_pitch: pitch,
+                rail_width: Some(w),
+                demanded_width: w,
+            }),
+            Err(GridError::Infeasible { width_um }) => Ok(Self {
+                node,
+                assumption,
+                bump_pitch: pitch,
+                rail_width: None,
+                demanded_width: Microns(width_um),
+            }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The Fig. 5 y-axis: demanded rail width over the minimum top-metal
+    /// width.
+    pub fn width_over_min(&self) -> f64 {
+        self.demanded_width.0 / self.node.params().top_metal_min_width.0
+    }
+
+    /// Fraction of top-level routing consumed by the power rails alone.
+    pub fn rail_fraction(&self) -> f64 {
+        rail_routing_fraction(self.demanded_width, self.bump_pitch)
+    }
+
+    /// Total routing-resource fraction including the constant 16 %
+    /// landing-pad overhead (the paper's "around 17-20%").
+    pub fn total_routing_fraction(&self) -> f64 {
+        self.rail_fraction() + PackagingRoadmap::for_node(self.node).landing_pad_overhead
+    }
+
+    /// True when the demanded rail physically fits under the bump pitch.
+    pub fn is_routable(&self) -> bool {
+        self.rail_width.is_some()
+    }
+}
+
+impl fmt::Display for GridPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({:?}): pitch {:.0}, demanded width {:.2} ({:.0}x min, {}), rails {:.1}% + pads 16%",
+            self.node,
+            self.assumption,
+            self.bump_pitch,
+            self.demanded_width,
+            self.width_over_min(),
+            if self.is_routable() { "routable" } else { "UNROUTABLE" },
+            self.rail_fraction() * 100.0,
+        )
+    }
+}
+
+/// Both Fig. 5 series for every node.
+///
+/// # Errors
+///
+/// Propagates model errors.
+pub fn fig5_series() -> Result<Vec<(GridPlan, GridPlan)>, GridError> {
+    TechNode::ALL
+        .iter()
+        .map(|&n| Ok((GridPlan::min_pitch(n)?, GridPlan::itrs_pads(n)?)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn min_pitch_plans_are_routable_everywhere() {
+        for node in TechNode::ALL {
+            let p = GridPlan::min_pitch(node).unwrap();
+            assert!(p.is_routable(), "{node} should be routable at min pitch");
+            assert!(
+                p.width_over_min() < 40.0,
+                "{node}: {:.0}x min width is not 'manageable'",
+                p.width_over_min()
+            );
+        }
+    }
+
+    #[test]
+    fn itrs_pads_blow_up_at_the_end_of_the_roadmap() {
+        // Fig. 5 solid symbols: "over 2000X the minimum allowable" at
+        // 35 nm; we require at least a three-order-of-magnitude demand.
+        let p = GridPlan::itrs_pads(TechNode::N35).unwrap();
+        assert!(!p.is_routable());
+        assert!(p.width_over_min() > 500.0, "got {:.0}x", p.width_over_min());
+    }
+
+    #[test]
+    fn min_pitch_routing_fraction_is_small() {
+        let p = GridPlan::min_pitch(TechNode::N35).unwrap();
+        assert!(p.rail_fraction() < 0.08, "{:.1}%", p.rail_fraction() * 100.0);
+        let total = p.total_routing_fraction();
+        assert!(
+            (0.16..=0.24).contains(&total),
+            "total {:.1}% should be ~17-20%",
+            total * 100.0
+        );
+    }
+
+    #[test]
+    fn series_covers_all_nodes() {
+        let s = fig5_series().unwrap();
+        assert_eq!(s.len(), 6);
+        for (a, b) in &s {
+            assert_eq!(a.assumption, BumpAssumption::MinPitch);
+            assert_eq!(b.assumption, BumpAssumption::ItrsPads);
+            assert!(b.width_over_min() >= a.width_over_min());
+        }
+    }
+
+    #[test]
+    fn display_mentions_routability() {
+        let p = GridPlan::itrs_pads(TechNode::N35).unwrap();
+        assert!(format!("{p}").contains("UNROUTABLE"));
+        let p = GridPlan::min_pitch(TechNode::N35).unwrap();
+        assert!(format!("{p}").contains("routable"));
+    }
+}

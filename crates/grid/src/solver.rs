@@ -1,0 +1,213 @@
+//! Successive over-relaxation solver for resistive meshes.
+//!
+//! Solves `G·V = I` on a regular 2-D grid of nodes connected by uniform
+//! edge conductances, with a set of Dirichlet (voltage-pinned) nodes —
+//! the discrete form of a power-grid sheet fed by bumps.
+
+use crate::error::GridError;
+
+/// A rectangular resistive mesh problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeshProblem {
+    /// Nodes per row.
+    pub nx: usize,
+    /// Nodes per column.
+    pub ny: usize,
+    /// Conductance of every horizontal/vertical edge (siemens).
+    pub edge_conductance: f64,
+    /// Current injected (drawn) at each node, amperes; positive values are
+    /// load current pulled *out* of the grid.
+    pub injection: Vec<f64>,
+    /// Nodes pinned to 0 V (the bumps).
+    pub pinned: Vec<bool>,
+}
+
+impl MeshProblem {
+    /// An `nx × ny` mesh with zero injections and no pins.
+    ///
+    /// # Panics
+    ///
+    /// Panics for an empty mesh or non-positive conductance.
+    pub fn new(nx: usize, ny: usize, edge_conductance: f64) -> Self {
+        assert!(nx >= 2 && ny >= 2, "mesh needs at least 2x2 nodes");
+        assert!(edge_conductance > 0.0, "conductance must be positive");
+        Self {
+            nx,
+            ny,
+            edge_conductance,
+            injection: vec![0.0; nx * ny],
+            pinned: vec![false; nx * ny],
+        }
+    }
+
+    /// Linear index of node `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of range.
+    pub fn index(&self, x: usize, y: usize) -> usize {
+        assert!(x < self.nx && y < self.ny, "node out of range");
+        y * self.nx + x
+    }
+
+    /// Solves for node voltages by red-black SOR.
+    ///
+    /// Voltages are drops below the (0 V) bump potential: load current
+    /// pulls nodes negative, so callers typically report `-V.min()` as the
+    /// worst-case drop.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::BadParameter`] when no node is pinned (singular
+    /// system); [`GridError::NoConvergence`] when the iteration stalls.
+    pub fn solve(&self) -> Result<Vec<f64>, GridError> {
+        if !self.pinned.iter().any(|&p| p) {
+            return Err(GridError::BadParameter("at least one node must be pinned"));
+        }
+        let (nx, ny) = (self.nx, self.ny);
+        let g = self.edge_conductance;
+        let mut v = vec![0.0f64; nx * ny];
+        let omega = 1.9;
+        let max_iters = 50_000;
+        let tol = 1e-12;
+        for iter in 0..max_iters {
+            let mut max_delta = 0.0f64;
+            for color in 0..2 {
+                for y in 0..ny {
+                    for x in 0..nx {
+                        if (x + y) % 2 != color {
+                            continue;
+                        }
+                        let i = y * nx + x;
+                        if self.pinned[i] {
+                            continue;
+                        }
+                        let mut sum = 0.0;
+                        let mut deg = 0.0;
+                        if x > 0 {
+                            sum += v[i - 1];
+                            deg += 1.0;
+                        }
+                        if x + 1 < nx {
+                            sum += v[i + 1];
+                            deg += 1.0;
+                        }
+                        if y > 0 {
+                            sum += v[i - nx];
+                            deg += 1.0;
+                        }
+                        if y + 1 < ny {
+                            sum += v[i + nx];
+                            deg += 1.0;
+                        }
+                        // KCL: deg*g*v_i = g*sum - I_i  (I positive = draw).
+                        let target = (g * sum - self.injection[i]) / (deg * g);
+                        let next = v[i] + omega * (target - v[i]);
+                        max_delta = max_delta.max((next - v[i]).abs());
+                        v[i] = next;
+                    }
+                }
+            }
+            if max_delta < tol {
+                return Ok(v);
+            }
+            if iter == max_iters - 1 {
+                return Err(GridError::NoConvergence {
+                    iterations: max_iters,
+                    residual: max_delta,
+                });
+            }
+        }
+        unreachable!("loop returns or errors");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unloaded_pinned_mesh_is_flat() {
+        let mut m = MeshProblem::new(8, 8, 1.0);
+        let c = m.index(0, 0);
+        m.pinned[c] = true;
+        let v = m.solve().unwrap();
+        assert!(v.iter().all(|&x| x.abs() < 1e-9));
+    }
+
+    #[test]
+    fn single_load_single_pin_matches_series_resistance() {
+        // A 1-D chain (2 x n degenerate mesh is awkward; use a 2-node-wide
+        // strip and compare against hand math on a 2x2).
+        let mut m = MeshProblem::new(2, 2, 1.0);
+        let pin = m.index(0, 0);
+        m.pinned[pin] = true;
+        let load = m.index(1, 1);
+        m.injection[load] = 1.0; // 1 A drawn
+        let v = m.solve().unwrap();
+        // Two parallel 2-edge paths from pin to load: R = (1+1)||(1+1) = 1 Ω.
+        assert!((v[load] + 1.0).abs() < 1e-6, "got {}", v[load]);
+    }
+
+    #[test]
+    fn drop_grows_with_distance_from_pin() {
+        let mut m = MeshProblem::new(16, 16, 1.0);
+        let pin = m.index(0, 0);
+        m.pinned[pin] = true;
+        for i in 0..m.injection.len() {
+            m.injection[i] = 1e-3;
+        }
+        let v = m.solve().unwrap();
+        let near = -v[m.index(1, 1)];
+        let far = -v[m.index(15, 15)];
+        assert!(far > near, "far {far} vs near {near}");
+    }
+
+    #[test]
+    fn more_pins_reduce_drop() {
+        let build = |pins: &[(usize, usize)]| {
+            let mut m = MeshProblem::new(17, 17, 1.0);
+            for &(x, y) in pins {
+                let idx = m.index(x, y);
+                m.pinned[idx] = true;
+            }
+            for i in 0..m.injection.len() {
+                m.injection[i] = 1e-3;
+            }
+            let v = m.solve().unwrap();
+            -v.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let one = build(&[(8, 8)]);
+        let five = build(&[(8, 8), (0, 0), (16, 0), (0, 16), (16, 16)]);
+        assert!(five < one);
+    }
+
+    #[test]
+    fn unpinned_mesh_is_rejected() {
+        let m = MeshProblem::new(4, 4, 1.0);
+        assert!(matches!(m.solve(), Err(GridError::BadParameter(_))));
+    }
+
+    #[test]
+    fn drop_scales_inversely_with_conductance() {
+        let run = |g: f64| {
+            let mut m = MeshProblem::new(9, 9, g);
+            let pin = m.index(4, 4);
+            m.pinned[pin] = true;
+            for i in 0..m.injection.len() {
+                m.injection[i] = 1e-3;
+            }
+            let v = m.solve().unwrap();
+            -v.iter().copied().fold(f64::INFINITY, f64::min)
+        };
+        let d1 = run(1.0);
+        let d2 = run(2.0);
+        assert!((d1 / d2 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn tiny_mesh_panics() {
+        let _ = MeshProblem::new(1, 4, 1.0);
+    }
+}

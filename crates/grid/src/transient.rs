@@ -1,0 +1,140 @@
+//! Sleep-mode wake-up transients (Section 4, last paragraphs).
+//!
+//! "Awakening from standby results in large current transients, placing an
+//! extreme burden on the power distribution network to limit inductive
+//! noise. Using the minimum bump pitch will help here as well, providing a
+//! low inductance path to each gate on the chip."
+//!
+//! Model: the chip current ramps from the standby level to the active
+//! level over `t_ramp`; the package inductance seen by the die is the
+//! per-bump loop inductance divided by the number of parallel power
+//! bumps; the noise is `L_eff · dI/dt`.
+
+use crate::error::GridError;
+use np_roadmap::{PackagingRoadmap, TechNode};
+use np_units::{Amps, Picohenries, Seconds, Volts};
+
+/// Loop inductance of the on-package path through a single flip-chip bump
+/// (bump + package via + escape routing). Board and plane inductance are
+/// deliberately excluded: the bump path is the term that minimum-pitch
+/// provisioning improves.
+pub const BUMP_LOOP_INDUCTANCE: Picohenries = Picohenries(500.0);
+
+/// A wake-up event on one node's power grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WakeUpEvent {
+    /// Current before wake-up (standby).
+    pub i_standby: Amps,
+    /// Current after wake-up (active).
+    pub i_active: Amps,
+    /// Ramp duration of the transition.
+    pub t_ramp: Seconds,
+}
+
+impl WakeUpEvent {
+    /// The node's nominal wake-up: standby at the ITRS 10 % static
+    /// allowance, active at worst case, ramping in `t_ramp`.
+    pub fn for_node(node: TechNode, t_ramp: Seconds) -> Self {
+        let p = node.params();
+        Self {
+            i_standby: p.standby_current_allowance(),
+            i_active: p.worst_case_current(),
+            t_ramp,
+        }
+    }
+
+    /// The current slew `dI/dt` in A/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive ramp time.
+    pub fn slew(&self) -> f64 {
+        assert!(self.t_ramp.0 > 0.0, "ramp time must be positive");
+        (self.i_active - self.i_standby).0 / self.t_ramp.0
+    }
+
+    /// Inductive supply noise through `vdd_bumps` parallel bumps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridError::BadParameter`] for zero bumps.
+    pub fn inductive_noise(&self, vdd_bumps: u32) -> Result<Volts, GridError> {
+        if vdd_bumps == 0 {
+            return Err(GridError::BadParameter("need at least one Vdd bump"));
+        }
+        let l_eff_h = BUMP_LOOP_INDUCTANCE.0 * 1e-12 / vdd_bumps as f64;
+        Ok(Volts(l_eff_h * self.slew()))
+    }
+
+    /// Noise under the ITRS pad counts vs the minimum-pitch provisioning
+    /// for `node` — the paper's argument that minimum pitch "will help
+    /// here as well".
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GridError::BadParameter`] from the per-assumption
+    /// evaluation.
+    pub fn noise_comparison(&self, node: TechNode) -> Result<(Volts, Volts), GridError> {
+        let pkg = PackagingRoadmap::for_node(node);
+        let itrs = self.inductive_noise(pkg.itrs_vdd_bumps())?;
+        let min_pitch = self.inductive_noise(pkg.min_pitch_vdd_bumps())?;
+        Ok((itrs, min_pitch))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wake_at_35nm_is_a_hundreds_of_amp_swing() {
+        let e = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(100.0));
+        assert!((e.i_active - e.i_standby).0 > 250.0);
+    }
+
+    #[test]
+    fn min_pitch_cuts_inductive_noise() {
+        let e = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(100.0));
+        let (itrs, min_pitch) = e.noise_comparison(TechNode::N35).unwrap();
+        assert!(min_pitch.0 < itrs.0 / 5.0, "{itrs} vs {min_pitch}");
+    }
+
+    #[test]
+    fn faster_ramp_is_noisier() {
+        let slow = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(1000.0));
+        let fast = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(10.0));
+        let n_slow = slow.inductive_noise(1500).unwrap();
+        let n_fast = fast.inductive_noise(1500).unwrap();
+        assert!((n_fast.0 / n_slow.0 - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn aggressive_wake_violates_budget_with_itrs_bumps() {
+        // A 2 ns wake-up at 35 nm with only ~1500 Vdd bumps: the L·di/dt
+        // noise alone eats a large share of the 10% budget.
+        let e = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(2.0));
+        let (itrs, _) = e.noise_comparison(TechNode::N35).unwrap();
+        let budget = TechNode::N35.params().vdd * 0.10;
+        assert!(
+            itrs.0 > budget.0 / 2.0,
+            "noise {itrs} should strain the {budget} budget"
+        );
+    }
+
+    #[test]
+    fn zero_bumps_rejected() {
+        let e = WakeUpEvent::for_node(TechNode::N35, Seconds::from_nano(100.0));
+        assert!(e.inductive_noise(0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp time must be positive")]
+    fn zero_ramp_panics() {
+        let e = WakeUpEvent {
+            i_standby: Amps(1.0),
+            i_active: Amps(2.0),
+            t_ramp: Seconds(0.0),
+        };
+        let _ = e.slew();
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests on the mesh solver and IR-drop models.
+
+use np_grid::analytic::{required_rail_width, worst_case_drop, IrBudget};
+use np_grid::solver::MeshProblem;
+use np_roadmap::TechNode;
+use np_units::Microns;
+use proptest::prelude::*;
+
+fn any_node() -> impl Strategy<Value = TechNode> {
+    prop::sample::select(TechNode::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn mesh_solution_satisfies_kcl(
+        n in 5usize..12,
+        g in 0.1..10.0f64,
+        load in 1e-4..1e-1f64,
+    ) {
+        let mut m = MeshProblem::new(n, n, g);
+        let pin = m.index(n / 2, n / 2);
+        m.pinned[pin] = true;
+        for i in 0..m.injection.len() {
+            m.injection[i] = load / (n * n) as f64;
+        }
+        let v = m.solve().unwrap();
+        // KCL at every free node: sum of edge currents equals injection.
+        for y in 0..n {
+            for x in 0..n {
+                let i = y * n + x;
+                if m.pinned[i] {
+                    continue;
+                }
+                let mut into = 0.0;
+                if x > 0 { into += g * (v[i - 1] - v[i]); }
+                if x + 1 < n { into += g * (v[i + 1] - v[i]); }
+                if y > 0 { into += g * (v[i - n] - v[i]); }
+                if y + 1 < n { into += g * (v[i + n] - v[i]); }
+                prop_assert!(
+                    (into - m.injection[i]).abs() < 1e-7 * (1.0 + m.injection[i].abs()),
+                    "KCL violated at ({x},{y}): {into} vs {}",
+                    m.injection[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mesh_drops_are_nonpositive_under_load(n in 5usize..12, load in 1e-4..1e-1f64) {
+        let mut m = MeshProblem::new(n, n, 1.0);
+        let pin = m.index(0, 0);
+        m.pinned[pin] = true;
+        for i in 0..m.injection.len() {
+            m.injection[i] = load / (n * n) as f64;
+        }
+        let v = m.solve().unwrap();
+        prop_assert!(v.iter().all(|&x| x <= 1e-12), "grid voltages sag below the pin");
+    }
+
+    #[test]
+    fn analytic_drop_scales_exactly(
+        node in any_node(),
+        pitch in 50.0..200.0f64,
+        w in 0.5..10.0f64,
+        k in 1.1..4.0f64,
+    ) {
+        let base = worst_case_drop(node, Microns(pitch), Microns(w)).unwrap();
+        let wider = worst_case_drop(node, Microns(pitch), Microns(w * k)).unwrap();
+        prop_assert!((base.0 / wider.0 / k - 1.0).abs() < 1e-9, "1/w scaling");
+        let coarser = worst_case_drop(node, Microns(pitch * k), Microns(w)).unwrap();
+        prop_assert!((coarser.0 / base.0 / k.powi(3) - 1.0).abs() < 1e-9, "P^3 scaling");
+    }
+
+    #[test]
+    fn solved_width_always_meets_budget(node in any_node(), pitch in 40.0..150.0f64) {
+        let budget = IrBudget::default();
+        if let Ok(w) = required_rail_width(node, Microns(pitch), &budget) {
+            let drop = worst_case_drop(node, Microns(pitch), w).unwrap();
+            let allowed = budget.per_net(node.params().vdd).unwrap();
+            prop_assert!(drop.0 <= allowed.0 * 1.0001);
+            prop_assert!(w.0 >= node.params().top_metal_min_width.0);
+        }
+    }
+
+    #[test]
+    fn tighter_budgets_demand_wider_rails(
+        node in any_node(),
+        share in 0.2..0.9f64,
+    ) {
+        let pitch = Microns(80.0);
+        let loose = IrBudget { total_fraction: 0.10, top_level_share: share };
+        let tight = IrBudget { total_fraction: 0.05, top_level_share: share };
+        if let (Ok(wl), Ok(wt)) = (
+            required_rail_width(node, pitch, &loose),
+            required_rail_width(node, pitch, &tight),
+        ) {
+            prop_assert!(wt >= wl);
+        }
+    }
+}

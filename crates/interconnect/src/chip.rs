@@ -1,0 +1,116 @@
+//! Node-by-node comparison of global signaling strategies (experiment E2).
+//!
+//! Combines the repeater census with the low-swing alternative: what would
+//! the chip's global communication cost if the switched top-level wiring
+//! moved to differential low-swing links?
+
+use crate::error::InterconnectError;
+use crate::lowswing::{LowSwingLink, DIFFERENTIAL_AREA_FACTOR};
+use crate::repeater::{repeater_census, DriverTech, GLOBAL_ACTIVITY};
+use crate::elmore::RcLine;
+use crate::wire::WireGeometry;
+use np_device::Mosfet;
+use np_roadmap::TechNode;
+use np_units::{Microns, Watts};
+use std::fmt;
+
+/// Comparative report for one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalSignalingReport {
+    /// The node surveyed.
+    pub node: TechNode,
+    /// Total switched global wire length.
+    pub wire_length: Microns,
+    /// Repeaters needed under the full-swing CMOS paradigm.
+    pub repeater_count: usize,
+    /// Full-swing repeated-signaling power.
+    pub repeated_power: Watts,
+    /// Power if the same wiring moves to differential low-swing links.
+    pub lowswing_power: Watts,
+    /// Routing-area multiplier paid for the differential pairs.
+    pub area_factor: f64,
+}
+
+impl GlobalSignalingReport {
+    /// The power saving factor of the low-swing alternative.
+    pub fn power_saving(&self) -> f64 {
+        self.repeated_power / self.lowswing_power
+    }
+}
+
+impl fmt::Display for GlobalSignalingReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {:.1} m global wire, {} repeaters, {:.1} full-swing vs {:.1} low-swing ({:.1}x saving, {:.1}x area)",
+            self.node,
+            self.wire_length.0 / 1e6,
+            self.repeater_count,
+            self.repeated_power,
+            self.lowswing_power,
+            self.power_saving(),
+            self.area_factor,
+        )
+    }
+}
+
+/// Builds the comparison for one node.
+///
+/// # Errors
+///
+/// Propagates device and link-model errors (e.g. 10 % swing dropping below
+/// receiver sensitivity at very low supplies).
+pub fn global_signaling_report(
+    node: TechNode,
+) -> Result<GlobalSignalingReport, InterconnectError> {
+    let census = repeater_census(node)?;
+    let p = node.params();
+    let dev = Mosfet::for_node(node)?;
+    let _tech = DriverTech::from_device(&dev, p.vdd)?;
+    // Low-swing energy per micron from a representative 1 cm link.
+    let probe = RcLine::new(WireGeometry::top_level(node), Microns(10_000.0))?;
+    let link = LowSwingLink::new(probe, p.vdd)?;
+    let energy_per_um = link.energy_per_transition() / 10_000.0;
+    let lowswing_power = Watts(
+        GLOBAL_ACTIVITY * p.global_clock.0 * energy_per_um * census.wire_length.0,
+    );
+    Ok(GlobalSignalingReport {
+        node,
+        wire_length: census.wire_length,
+        repeater_count: census.repeater_count,
+        repeated_power: census.power,
+        lowswing_power,
+        area_factor: DIFFERENTIAL_AREA_FACTOR,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_swing_saves_an_order_of_magnitude() {
+        // 10x from the swing, ~1.5x shield credit, ~1.5x repeater-cap
+        // overhead avoided: an order of magnitude, node for node.
+        for node in [TechNode::N70, TechNode::N50, TechNode::N35] {
+            let r = global_signaling_report(node).unwrap();
+            let s = r.power_saving();
+            assert!((5.0..=30.0).contains(&s), "{node}: saving {s}");
+        }
+    }
+
+    #[test]
+    fn repeated_power_grows_along_roadmap() {
+        let p180 = global_signaling_report(TechNode::N180).unwrap().repeated_power;
+        let p50 = global_signaling_report(TechNode::N50).unwrap().repeated_power;
+        assert!(p50 > p180 * 2.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = global_signaling_report(TechNode::N50).unwrap();
+        let s = format!("{r}");
+        assert!(s.contains("50 nm"));
+        assert!(s.contains("repeaters"));
+    }
+}

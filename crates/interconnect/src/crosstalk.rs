@@ -1,0 +1,181 @@
+//! Capacitive crosstalk and Miller-factor delay uncertainty (Section 2.2).
+//!
+//! "the increase may be less than the expected factor of 2 due to the use
+//! of shield wires in global signaling to limit coupling from neighboring
+//! signals on long lines" — shields exist because a neighbour switching
+//! the opposite way doubles the effective coupling capacitance (Miller
+//! factor 2), while one switching the same way removes it (factor 0).
+//! The victim's delay therefore varies across a window; shielding
+//! collapses the window by replacing live neighbours with quiet rails.
+
+use crate::elmore::RcLine;
+use crate::error::InterconnectError;
+use np_units::{Farads, Ohms, Seconds};
+
+/// Miller factor of an aggressor switching opposite to the victim.
+pub const MILLER_WORST: f64 = 2.0;
+
+/// Miller factor of an aggressor switching with the victim.
+pub const MILLER_BEST: f64 = 0.0;
+
+/// How a wire's neighbours behave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighbourState {
+    /// Both neighbours are live signals (the dense-bus worst case).
+    BothLive,
+    /// One neighbour replaced by a grounded shield.
+    OneShielded,
+    /// Both neighbours are shields (fully isolated victim).
+    FullyShielded,
+}
+
+impl NeighbourState {
+    /// Number of live (switching-capable) neighbours.
+    pub fn live_neighbours(self) -> f64 {
+        match self {
+            NeighbourState::BothLive => 2.0,
+            NeighbourState::OneShielded => 1.0,
+            NeighbourState::FullyShielded => 0.0,
+        }
+    }
+
+    /// Extra routing tracks consumed per signal by the shields.
+    pub fn track_overhead(self) -> f64 {
+        match self {
+            NeighbourState::BothLive => 0.0,
+            NeighbourState::OneShielded => 0.5, // shields shared pairwise
+            NeighbourState::FullyShielded => 1.0,
+        }
+    }
+}
+
+/// The victim's delay window under crosstalk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrosstalkWindow {
+    /// Delay with all live neighbours switching favourably.
+    pub best: Seconds,
+    /// Quiet-neighbour (nominal) delay.
+    pub nominal: Seconds,
+    /// Delay with all live neighbours switching adversely.
+    pub worst: Seconds,
+}
+
+impl CrosstalkWindow {
+    /// Relative delay uncertainty, `(worst − best) / nominal` — what a
+    /// timing signoff must margin for.
+    pub fn uncertainty(&self) -> f64 {
+        (self.worst.0 - self.best.0) / self.nominal.0
+    }
+}
+
+/// Computes the victim's crosstalk delay window for a driven line.
+///
+/// The line's total capacitance splits into ground and per-neighbour
+/// coupling parts (from the Sakurai model); each live neighbour's coupling
+/// is scaled by the Miller factor of its switching direction.
+///
+/// # Errors
+///
+/// Returns [`InterconnectError::BadParameter`] for a non-positive driver
+/// resistance.
+pub fn delay_window(
+    line: &RcLine,
+    driver: Ohms,
+    load: Farads,
+    neighbours: NeighbourState,
+) -> Result<CrosstalkWindow, InterconnectError> {
+    if !(driver.0 > 0.0) {
+        return Err(InterconnectError::BadParameter("driver resistance must be positive"));
+    }
+    let g = &line.geometry;
+    let c_total = g.capacitance_per_micron().0;
+    let c_shielded = g.capacitance_shielded_per_micron().0;
+    // One neighbour's coupling share (the Sakurai model counts two).
+    let c_couple_one = c_total - c_shielded;
+    let c_ground = c_total - 2.0 * c_couple_one;
+    let live = neighbours.live_neighbours();
+    let quiet = 2.0 - live;
+    let r = line.resistance().0;
+    let eval = |miller: f64| -> Seconds {
+        // Quiet/shielded neighbours hold factor 1 (plain capacitance);
+        // Elmore with the effective capacitance replacing the nominal one.
+        let c_eff = c_ground + c_couple_one * (quiet + live * miller);
+        let c = c_eff * line.length.0;
+        Seconds(0.69 * driver.0 * (c + load.0) + 0.38 * r * c + 0.69 * r * load.0)
+    };
+    Ok(CrosstalkWindow {
+        best: eval(MILLER_BEST),
+        nominal: eval(1.0),
+        worst: eval(MILLER_WORST),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireGeometry;
+    use np_roadmap::TechNode;
+    use np_units::Microns;
+
+    fn line() -> RcLine {
+        RcLine::new(WireGeometry::top_level(TechNode::N50), Microns(5_000.0)).unwrap()
+    }
+
+    fn window(state: NeighbourState) -> CrosstalkWindow {
+        delay_window(&line(), Ohms(500.0), Farads::from_femto(20.0), state).unwrap()
+    }
+
+    #[test]
+    fn worst_case_is_slower_than_best() {
+        let w = window(NeighbourState::BothLive);
+        assert!(w.best < w.nominal);
+        assert!(w.nominal < w.worst);
+    }
+
+    #[test]
+    fn dense_bus_uncertainty_is_large() {
+        // On minimum-pitch global wiring the coupling dominates: the
+        // Miller window is a large fraction of the nominal delay.
+        let u = window(NeighbourState::BothLive).uncertainty();
+        assert!(u > 0.4, "uncertainty {u:.2}");
+    }
+
+    #[test]
+    fn shielding_collapses_the_window() {
+        let both = window(NeighbourState::BothLive).uncertainty();
+        let one = window(NeighbourState::OneShielded).uncertainty();
+        let full = window(NeighbourState::FullyShielded).uncertainty();
+        assert!(one < both);
+        assert!(full < 1e-12, "fully shielded victim has no window");
+        // One shield halves the live coupling.
+        assert!((one / both - 0.5).abs() < 0.05, "one/both = {}", one / both);
+    }
+
+    #[test]
+    fn shield_track_overhead_is_sub_2x() {
+        // Section 2.2: the differential "factor of 2" is discounted
+        // because full-swing buses would pay for shields anyway.
+        assert_eq!(NeighbourState::FullyShielded.track_overhead(), 1.0);
+        assert_eq!(NeighbourState::OneShielded.track_overhead(), 0.5);
+        assert_eq!(NeighbourState::BothLive.track_overhead(), 0.0);
+    }
+
+    #[test]
+    fn nominal_matches_plain_elmore() {
+        let l = line();
+        let w = window(NeighbourState::BothLive);
+        let plain = l.elmore_delay(Ohms(500.0), Farads::from_femto(20.0));
+        assert!((w.nominal.0 / plain.0 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_driver_rejected() {
+        assert!(delay_window(
+            &line(),
+            Ohms(0.0),
+            Farads::from_femto(1.0),
+            NeighbourState::BothLive
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type for interconnect modeling.
+
+use np_device::DeviceError;
+use std::fmt;
+
+/// Error returned by wire, repeater, and signaling models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterconnectError {
+    /// A geometry or electrical parameter is unphysical.
+    BadParameter(&'static str),
+    /// The underlying device model failed.
+    Device(DeviceError),
+    /// A requested link cannot meet its constraint (documented in the
+    /// message), e.g. a swing below the receiver's sensitivity.
+    Infeasible(&'static str),
+}
+
+impl fmt::Display for InterconnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterconnectError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            InterconnectError::Device(e) => write!(f, "device model error: {e}"),
+            InterconnectError::Infeasible(m) => write!(f, "infeasible link: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterconnectError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InterconnectError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for InterconnectError {
+    fn from(e: DeviceError) -> Self {
+        InterconnectError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(format!("{}", InterconnectError::BadParameter("w")).contains("bad parameter"));
+        assert!(format!("{}", InterconnectError::Infeasible("s")).contains("infeasible"));
+        let e: InterconnectError = DeviceError::BadParameter("x").into();
+        assert!(format!("{e}").contains("device"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the optimization algorithms.
+
+use np_circuit::CircuitError;
+use np_device::DeviceError;
+use std::fmt;
+
+/// Error returned by the optimizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// The input design violates timing before any optimization — there is
+    /// no slack to spend.
+    TimingInfeasible {
+        /// Worst negative slack in picoseconds.
+        worst_slack_ps: f64,
+    },
+    /// A parameter is out of range (documented in the message).
+    BadParameter(&'static str),
+    /// The circuit substrate failed.
+    Circuit(CircuitError),
+    /// The device model failed.
+    Device(DeviceError),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::TimingInfeasible { worst_slack_ps } => {
+                write!(f, "design misses timing before optimization (WNS {worst_slack_ps:.1} ps)")
+            }
+            OptError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            OptError::Circuit(e) => write!(f, "circuit error: {e}"),
+            OptError::Device(e) => write!(f, "device error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OptError::Circuit(e) => Some(e),
+            OptError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for OptError {
+    fn from(e: CircuitError) -> Self {
+        OptError::Circuit(e)
+    }
+}
+
+impl From<DeviceError> for OptError {
+    fn from(e: DeviceError) -> Self {
+        OptError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = OptError::TimingInfeasible { worst_slack_ps: -3.0 };
+        assert!(format!("{e}").contains("-3.0"));
+        assert!(format!("{}", OptError::BadParameter("x")).contains("bad parameter"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e: OptError = CircuitError::EmptyNetlist.into();
+        assert!(e.source().is_some());
+        let e: OptError = DeviceError::BadParameter("y").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,169 @@
+//! Simultaneous threshold-voltage and circuit sizing (the paper's
+//! ref. \[22\], Sirichotiyakul et al., DAC 1999).
+//!
+//! Section 3.2.2 cites "standby power minimization through simultaneous
+//! threshold voltage and circuit sizing": alternating the two moves lets
+//! slack freed by one be spent by the other. The flow here alternates
+//! rounds of dual-Vth assignment and down-sizing until a round changes
+//! nothing, and reports the trajectory so the coupling is visible.
+
+use crate::dualvth::{assign_dual_vth, DualVthResult};
+use crate::error::OptError;
+use crate::sizing::{downsize, SizingResult};
+use np_circuit::netlist::Netlist;
+use np_circuit::power::{netlist_power, PowerReport};
+use np_circuit::sta::TimingContext;
+use np_units::Hertz;
+use std::fmt;
+
+/// Upper bound on alternation rounds (each round is monotone, so this is
+/// a backstop, not a tuning knob).
+pub const MAX_ROUNDS: usize = 6;
+
+/// One alternation round's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Round {
+    /// Dual-Vth stage of the round.
+    pub vth: DualVthResult,
+    /// Sizing stage of the round.
+    pub sizing: SizingResult,
+    /// Total power after the round.
+    pub power: PowerReport,
+}
+
+/// Result of the simultaneous flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimultaneousResult {
+    /// Power before any optimization.
+    pub baseline: PowerReport,
+    /// Per-round trajectory.
+    pub rounds: Vec<Round>,
+    /// Power after convergence.
+    pub final_power: PowerReport,
+}
+
+impl SimultaneousResult {
+    /// Total-power saving of the converged flow.
+    pub fn total_saving(&self) -> f64 {
+        1.0 - self.final_power.total() / self.baseline.total()
+    }
+
+    /// Leakage saving of the converged flow.
+    pub fn leakage_saving(&self) -> f64 {
+        1.0 - self.final_power.leakage / self.baseline.leakage
+    }
+}
+
+impl fmt::Display for SimultaneousResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "simultaneous Vth+sizing: {} rounds, total -{:.0}%, leakage -{:.0}%",
+            self.rounds.len(),
+            self.total_saving() * 100.0,
+            self.leakage_saving() * 100.0,
+        )
+    }
+}
+
+/// Runs the alternating flow to convergence.
+///
+/// # Errors
+///
+/// [`OptError::TimingInfeasible`] when the input misses timing;
+/// propagates stage errors.
+pub fn simultaneous_vth_and_sizing(
+    netlist: &mut Netlist,
+    ctx: &TimingContext,
+    activity: f64,
+    frequency: Option<Hertz>,
+) -> Result<SimultaneousResult, OptError> {
+    let freq = frequency.unwrap_or(Hertz(1.0 / ctx.clock_period.0));
+    let baseline = netlist_power(netlist, ctx, activity, freq)?;
+    let mut rounds = Vec::new();
+    let mut last_total = baseline.total();
+    for _ in 0..MAX_ROUNDS {
+        let vth = assign_dual_vth(netlist, ctx, activity, Some(freq))?;
+        let sizing = downsize(netlist, ctx, activity, Some(freq))?;
+        let power = netlist_power(netlist, ctx, activity, freq)?;
+        let improved = power.total().0 < last_total.0 * (1.0 - 1e-6);
+        last_total = power.total();
+        rounds.push(Round { vth, sizing, power });
+        if !improved {
+            break;
+        }
+    }
+    Ok(SimultaneousResult {
+        baseline,
+        final_power: netlist_power(netlist, ctx, activity, freq)?,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dualvth::assign_dual_vth as dual_only;
+    use np_circuit::generate::{generate_netlist, NetlistSpec};
+    use np_roadmap::TechNode;
+
+    fn setup(seed: u64, factor: f64) -> (Netlist, TimingContext) {
+        let nl = generate_netlist(&NetlistSpec::small(seed));
+        let ctx = TimingContext::for_node(TechNode::N70).unwrap();
+        let crit = ctx.analyze(&nl).unwrap().critical_delay();
+        (nl, ctx.with_clock(crit * factor))
+    }
+
+    #[test]
+    fn converges_and_saves() {
+        let (mut nl, ctx) = setup(71, 1.3);
+        let r = simultaneous_vth_and_sizing(&mut nl, &ctx, 0.1, None).unwrap();
+        assert!(!r.rounds.is_empty());
+        assert!(r.rounds.len() <= MAX_ROUNDS);
+        assert!(r.total_saving() > 0.1, "saving {:.0}%", r.total_saving() * 100.0);
+        assert!(ctx.analyze(&nl).unwrap().is_feasible());
+    }
+
+    #[test]
+    fn beats_dual_vth_alone_on_total_power() {
+        let (mut joint_nl, ctx) = setup(72, 1.3);
+        let joint = simultaneous_vth_and_sizing(&mut joint_nl, &ctx, 0.1, None).unwrap();
+
+        let (mut solo_nl, ctx2) = setup(72, 1.3);
+        let solo = dual_only(&mut solo_nl, &ctx2, 0.1, None).unwrap();
+        let solo_saving = 1.0 - solo.after.total() / solo.before.total();
+        assert!(
+            joint.total_saving() > solo_saving,
+            "joint {:.0}% vs solo {:.0}%",
+            joint.total_saving() * 100.0,
+            solo_saving * 100.0
+        );
+    }
+
+    #[test]
+    fn trajectory_is_monotone_nonincreasing() {
+        let (mut nl, ctx) = setup(73, 1.4);
+        let r = simultaneous_vth_and_sizing(&mut nl, &ctx, 0.1, None).unwrap();
+        let mut prev = r.baseline.total().0;
+        for round in &r.rounds {
+            assert!(round.power.total().0 <= prev * (1.0 + 1e-9));
+            prev = round.power.total().0;
+        }
+    }
+
+    #[test]
+    fn infeasible_rejected() {
+        let (mut nl, ctx) = setup(74, 0.5);
+        assert!(matches!(
+            simultaneous_vth_and_sizing(&mut nl, &ctx, 0.1, None),
+            Err(OptError::TimingInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn display_mentions_rounds() {
+        let (mut nl, ctx) = setup(75, 1.3);
+        let r = simultaneous_vth_and_sizing(&mut nl, &ctx, 0.1, None).unwrap();
+        assert!(format!("{r}").contains("rounds"));
+    }
+}

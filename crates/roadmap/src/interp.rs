@@ -1,0 +1,162 @@
+//! Year-continuous roadmap queries.
+//!
+//! The node database is discrete; roadmap *analyses* often want "what
+//! does 2006 look like?" — e.g. the paper's "ITRS projections call for a
+//! θja of 0.25 °C/W in 3 years". This module interpolates the scalar
+//! trends between nodes (piecewise-linear in the production year, with
+//! the supply held to the nearest node's discrete value, since supplies
+//! step rather than glide).
+
+use crate::itrs::TechNode;
+use np_units::interp::{Table1d, TableError};
+use np_units::{SquareMillimeters, Volts, Watts};
+
+/// A scalar roadmap quantity interpolable over years.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Trend {
+    /// Maximum MPU power (W).
+    MaxPower,
+    /// Die area (mm²).
+    DieArea,
+    /// Physical oxide thickness (nm).
+    ToxPhysical,
+    /// Effective channel length (nm).
+    Leff,
+    /// ITRS off-current projection (nA/µm).
+    IoffItrs,
+    /// Local clock (GHz).
+    LocalClockGhz,
+}
+
+fn series(trend: Trend) -> (Vec<f64>, Vec<f64>) {
+    let years: Vec<f64> = TechNode::ALL.iter().map(|n| n.year() as f64).collect();
+    let values = TechNode::ALL
+        .iter()
+        .map(|n| {
+            let p = n.params();
+            match trend {
+                Trend::MaxPower => p.max_power.0,
+                Trend::DieArea => p.die_area.0,
+                Trend::ToxPhysical => p.tox_phys.0,
+                Trend::Leff => p.leff.0,
+                Trend::IoffItrs => p.ioff_itrs.as_nano_per_micron(),
+                Trend::LocalClockGhz => p.local_clock.as_giga(),
+            }
+        })
+        .collect();
+    (years, values)
+}
+
+/// Interpolates a trend at a production year (clamped to 1999–2014).
+///
+/// # Errors
+///
+/// Propagates table-construction errors (cannot occur for the built-in
+/// node database, kept for API honesty).
+pub fn trend_at(trend: Trend, year: f64) -> Result<f64, TableError> {
+    let (xs, ys) = series(trend);
+    Table1d::new(xs, ys)?.eval(year)
+}
+
+/// The node in production at (or nearest below) a given year — supplies
+/// and other stepped quantities come from here.
+pub fn node_for_year(year: f64) -> TechNode {
+    let mut best = TechNode::N180;
+    for n in TechNode::ALL {
+        if (n.year() as f64) <= year {
+            best = n;
+        }
+    }
+    best
+}
+
+/// The discrete supply in production at a year.
+pub fn vdd_at(year: f64) -> Volts {
+    node_for_year(year).params().vdd
+}
+
+/// Interpolated maximum power at a year.
+///
+/// # Errors
+///
+/// Same as [`trend_at`].
+pub fn max_power_at(year: f64) -> Result<Watts, TableError> {
+    Ok(Watts(trend_at(Trend::MaxPower, year)?))
+}
+
+/// Interpolated die area at a year.
+///
+/// # Errors
+///
+/// Same as [`trend_at`].
+pub fn die_area_at(year: f64) -> Result<SquareMillimeters, TableError> {
+    Ok(SquareMillimeters(trend_at(Trend::DieArea, year)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_years_are_exact() {
+        for n in TechNode::ALL {
+            let y = n.year() as f64;
+            assert_eq!(
+                trend_at(Trend::MaxPower, y).unwrap(),
+                n.params().max_power.0
+            );
+            assert_eq!(node_for_year(y), n);
+        }
+    }
+
+    #[test]
+    fn interpolation_is_between_neighbours() {
+        // 2004 sits between 130 nm (2002) and 100 nm (2005).
+        let p = trend_at(Trend::MaxPower, 2004.0).unwrap();
+        assert!(p > 130.0 && p < 160.0, "got {p}");
+    }
+
+    #[test]
+    fn years_clamp_at_the_ends() {
+        assert_eq!(
+            trend_at(Trend::DieArea, 1990.0).unwrap(),
+            TechNode::N180.params().die_area.0
+        );
+        assert_eq!(
+            trend_at(Trend::DieArea, 2030.0).unwrap(),
+            TechNode::N35.params().die_area.0
+        );
+    }
+
+    #[test]
+    fn supplies_step_not_glide() {
+        // Mid-2003 is still on the 130 nm 1.5 V supply.
+        assert_eq!(vdd_at(2003.5), Volts(1.5));
+        assert_eq!(vdd_at(2005.0), Volts(1.2));
+    }
+
+    #[test]
+    fn tox_and_leff_shrink_monotonically_over_years() {
+        let mut prev_t = f64::INFINITY;
+        let mut prev_l = f64::INFINITY;
+        for y in 1999..=2014 {
+            let t = trend_at(Trend::ToxPhysical, y as f64).unwrap();
+            let l = trend_at(Trend::Leff, y as f64).unwrap();
+            assert!(t <= prev_t && l <= prev_l, "year {y}");
+            prev_t = t;
+            prev_l = l;
+        }
+    }
+
+    #[test]
+    fn wrappers_agree_with_trend() {
+        assert_eq!(
+            max_power_at(2008.0).unwrap().0,
+            trend_at(Trend::MaxPower, 2008.0).unwrap()
+        );
+        assert_eq!(
+            die_area_at(2011.0).unwrap().0,
+            trend_at(Trend::DieArea, 2011.0).unwrap()
+        );
+    }
+}

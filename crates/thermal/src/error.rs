@@ -1,0 +1,60 @@
+//! Error type for thermal modeling.
+
+use np_units::math::SolveError;
+use std::fmt;
+
+/// Error returned by thermal models and simulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// A parameter is unphysical (documented in the message).
+    BadParameter(&'static str),
+    /// The electro-thermal fixed point diverged — thermal runaway: leakage
+    /// heating raises leakage faster than the package can shed it.
+    ThermalRunaway {
+        /// Temperature (°C) at which the iteration was abandoned.
+        last_temp: f64,
+    },
+    /// A numerical solve failed.
+    Solve(SolveError),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            ThermalError::ThermalRunaway { last_temp } => {
+                write!(f, "thermal runaway: no stable junction temperature (reached {last_temp:.0} °C)")
+            }
+            ThermalError::Solve(e) => write!(f, "thermal solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ThermalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ThermalError::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for ThermalError {
+    fn from(e: SolveError) -> Self {
+        ThermalError::Solve(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(format!("{}", ThermalError::BadParameter("x")).contains("bad parameter"));
+        assert!(
+            format!("{}", ThermalError::ThermalRunaway { last_temp: 160.0 })
+                .contains("runaway")
+        );
+    }
+}

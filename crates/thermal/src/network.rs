@@ -1,0 +1,186 @@
+//! Two-pole thermal network: die + heatsink.
+//!
+//! The single-node model in [`crate::rc`] lumps everything behind one
+//! θja; real packages have a fast pole (the die/spreader, milliseconds)
+//! in front of a slow pole (the heatsink mass, tens of seconds). The
+//! split is what makes dynamic thermal management interesting: the die
+//! can overshoot toward its *local* steady state long before the sink
+//! warms, so the sensor must react on the fast time constant — exactly
+//! the Pentium 4 arrangement the paper describes.
+
+use crate::error::ThermalError;
+use np_units::{Celsius, Seconds, ThermalResistance, Watts};
+
+/// Die/spreader heat capacity, J/°C (as in [`crate::rc`]).
+pub const DIE_HEAT_CAPACITY: f64 = 0.08;
+
+/// Heatsink heat capacity, J/°C — a few hundred grams of aluminium.
+pub const SINK_HEAT_CAPACITY: f64 = 250.0;
+
+/// A die node coupled to a heatsink node coupled to ambient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoNodeThermal {
+    /// Junction-to-sink resistance (θjc + interface).
+    pub r_die_sink: ThermalResistance,
+    /// Sink-to-ambient resistance.
+    pub r_sink_ambient: ThermalResistance,
+    /// Ambient temperature.
+    pub t_ambient: Celsius,
+    /// Current die temperature.
+    pub t_die: Celsius,
+    /// Current heatsink temperature.
+    pub t_sink: Celsius,
+    /// Die heat capacity, J/°C.
+    pub c_die: f64,
+    /// Sink heat capacity, J/°C.
+    pub c_sink: f64,
+}
+
+impl TwoNodeThermal {
+    /// Splits a total θja into the standard ~30/70 junction-to-sink /
+    /// sink-to-ambient partition, starting at ambient.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a non-positive θja.
+    pub fn from_theta_ja(
+        theta_ja: ThermalResistance,
+        t_ambient: Celsius,
+    ) -> Result<Self, ThermalError> {
+        if !(theta_ja.0 > 0.0) {
+            return Err(ThermalError::BadParameter("θja must be positive"));
+        }
+        Ok(Self {
+            r_die_sink: theta_ja * 0.3,
+            r_sink_ambient: theta_ja * 0.7,
+            t_ambient,
+            t_die: t_ambient,
+            t_sink: t_ambient,
+            c_die: DIE_HEAT_CAPACITY,
+            c_sink: SINK_HEAT_CAPACITY,
+        })
+    }
+
+    /// The total junction-to-ambient resistance.
+    pub fn theta_ja(&self) -> ThermalResistance {
+        self.r_die_sink + self.r_sink_ambient
+    }
+
+    /// The fast (die) time constant.
+    pub fn die_time_constant(&self) -> Seconds {
+        Seconds(self.r_die_sink.0 * self.c_die)
+    }
+
+    /// The slow (sink) time constant.
+    pub fn sink_time_constant(&self) -> Seconds {
+        Seconds(self.r_sink_ambient.0 * self.c_sink)
+    }
+
+    /// Steady-state die temperature at constant dissipation.
+    pub fn steady_state(&self, power: Watts) -> Celsius {
+        self.t_ambient + self.theta_ja() * power
+    }
+
+    /// Advances both nodes by `dt` at constant dissipation `power`,
+    /// sub-stepping for stability, and returns the new die temperature.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive step.
+    pub fn step(&mut self, power: Watts, dt: Seconds) -> Celsius {
+        assert!(dt.0 > 0.0, "step must be positive");
+        // Explicit Euler is stable below the fastest time constant; cap
+        // the internal step at a tenth of it.
+        let h_max = self.die_time_constant().0 / 10.0;
+        let steps = (dt.0 / h_max).ceil().max(1.0) as usize;
+        let h = dt.0 / steps as f64;
+        for _ in 0..steps {
+            let q_die_sink = (self.t_die - self.t_sink).0 / self.r_die_sink.0;
+            let q_sink_amb = (self.t_sink - self.t_ambient).0 / self.r_sink_ambient.0;
+            self.t_die += Celsius((power.0 - q_die_sink) * h / self.c_die);
+            self.t_sink += Celsius((q_die_sink - q_sink_amb) * h / self.c_sink);
+        }
+        self.t_die
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> TwoNodeThermal {
+        TwoNodeThermal::from_theta_ja(ThermalResistance(0.8), Celsius(45.0)).unwrap()
+    }
+
+    #[test]
+    fn split_preserves_theta_ja() {
+        let n = net();
+        assert!((n.theta_ja().0 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poles_are_separated_by_orders_of_magnitude() {
+        let n = net();
+        assert!(n.sink_time_constant().0 > 1000.0 * n.die_time_constant().0);
+    }
+
+    #[test]
+    fn die_rides_the_fast_pole() {
+        // After a few die time-constants the die is hot relative to its
+        // (still cold) sink, far below the final steady state.
+        let mut n = net();
+        let p = Watts(100.0);
+        let tau_die = n.die_time_constant();
+        for _ in 0..50 {
+            n.step(p, Seconds(tau_die.0 / 5.0));
+        }
+        let local_target = n.t_sink + n.r_die_sink * p;
+        assert!((n.t_die - local_target).abs().0 < 1.0, "die near its local target");
+        assert!(n.t_die < n.steady_state(p) - Celsius(10.0), "sink still cold");
+    }
+
+    #[test]
+    fn long_run_reaches_global_steady_state() {
+        let mut n = net();
+        let p = Watts(80.0);
+        // Integrate several sink time constants.
+        let tau = n.sink_time_constant();
+        for _ in 0..50 {
+            n.step(p, Seconds(tau.0 / 5.0));
+        }
+        let expect = n.steady_state(p);
+        assert!(
+            (n.t_die - expect).abs().0 < 0.5,
+            "die {} vs steady {}",
+            n.t_die,
+            expect
+        );
+        // And it matches the single-node model's endpoint.
+        assert!((expect.0 - (45.0 + 0.8 * 80.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cooling_relaxes_back_to_ambient() {
+        let mut n = net();
+        n.t_die = Celsius(100.0);
+        n.t_sink = Celsius(80.0);
+        let tau = n.sink_time_constant();
+        for _ in 0..60 {
+            n.step(Watts(0.0), Seconds(tau.0 / 5.0));
+        }
+        assert!((n.t_die.0 - 45.0).abs() < 0.5);
+        assert!((n.t_sink.0 - 45.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn bad_theta_rejected() {
+        assert!(TwoNodeThermal::from_theta_ja(ThermalResistance(0.0), Celsius(45.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be positive")]
+    fn zero_step_panics() {
+        let mut n = net();
+        let _ = n.step(Watts(1.0), Seconds(0.0));
+    }
+}

@@ -1,0 +1,189 @@
+//! The Eq. 1 package model and the leakage–temperature fixed point.
+//!
+//! `θja = (Tchip − Tambient) / Pchip` (paper Eq. 1) in all three
+//! rearrangements, plus the electro-thermal closure: leakage power grows
+//! with junction temperature, which grows with power — a fixed point that
+//! exists only when the package is strong enough.
+
+use crate::error::ThermalError;
+use np_device::Mosfet;
+use np_roadmap::TechNode;
+use np_units::{math, Celsius, Microns, ThermalResistance, Volts, Watts};
+
+/// A packaging/cooling solution characterized by its junction-to-ambient
+/// thermal resistance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Package {
+    /// Junction-to-ambient thermal resistance.
+    pub theta_ja: ThermalResistance,
+    /// Ambient temperature (the paper uses ≈45 °C).
+    pub t_ambient: Celsius,
+}
+
+impl Package {
+    /// A package with the given θja at the given ambient.
+    pub fn new(theta_ja: ThermalResistance, t_ambient: Celsius) -> Self {
+        Self { theta_ja, t_ambient }
+    }
+
+    /// The package required for `node` under ITRS junction limits.
+    pub fn itrs_required(node: TechNode) -> Self {
+        let pkg = np_roadmap::PackagingRoadmap::for_node(node);
+        Self::new(pkg.required_theta_ja(), pkg.t_ambient)
+    }
+
+    /// Eq. 1 solved for `Tchip`: the junction temperature at dissipation
+    /// `power`.
+    pub fn junction_temperature(&self, power: Watts) -> Celsius {
+        self.t_ambient + self.theta_ja * power
+    }
+
+    /// Eq. 1 solved for `Pchip`: the dissipation that drives the junction
+    /// to `t_max`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if θja is not positive.
+    pub fn max_power(&self, t_max: Celsius) -> Watts {
+        assert!(self.theta_ja.0 > 0.0, "θja must be positive");
+        Watts((t_max - self.t_ambient).0 / self.theta_ja.0)
+    }
+
+    /// Eq. 1 solved for θja: the thermal resistance needed to keep
+    /// `power` below `t_max` at this ambient.
+    pub fn required_theta_ja(power: Watts, t_max: Celsius, t_ambient: Celsius) -> ThermalResistance {
+        ThermalResistance((t_max - t_ambient).0 / power.0)
+    }
+
+    /// The paper's DTM headroom argument: if the *effective* worst case is
+    /// `effective_fraction` (≈0.75) of the theoretical worst case, the
+    /// allowable θja is `1/effective_fraction` (≈1.33×) higher — "the
+    /// allowable θja is 33 % higher".
+    pub fn theta_headroom(effective_fraction: f64) -> f64 {
+        1.0 / effective_fraction
+    }
+
+    /// Solves the electro-thermal fixed point: junction temperature where
+    /// `Tj = Ta + θja · (P_dyn + P_leak(Tj))`, with leakage from the
+    /// device model evaluated at `Tj`.
+    ///
+    /// `leak_width` is the total leaking transistor width on the die and
+    /// `vdd` the rail it leaks from.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::ThermalRunaway`] when no stable temperature below
+    /// 250 °C exists; [`ThermalError::BadParameter`] for a non-positive
+    /// width.
+    pub fn electro_thermal_temperature(
+        &self,
+        dynamic: Watts,
+        dev: &Mosfet,
+        leak_width: Microns,
+        vdd: Volts,
+    ) -> Result<Celsius, ThermalError> {
+        if !(leak_width.0 > 0.0) {
+            return Err(ThermalError::BadParameter("leak width must be positive"));
+        }
+        let map = |t: f64| -> f64 {
+            let hot = dev.with_temperature(Celsius(t));
+            let p_leak = hot.ioff().total(leak_width) * vdd;
+            self.junction_temperature(dynamic + p_leak).0
+        };
+        match math::fixed_point(map, self.t_ambient.0, 1e-6, 500) {
+            Ok(t) if t < 250.0 => Ok(Celsius(t)),
+            Ok(t) => Err(ThermalError::ThermalRunaway { last_temp: t }),
+            Err(math::SolveError::NoConvergence { best, .. }) => {
+                Err(ThermalError::ThermalRunaway { last_temp: best })
+            }
+            // Leakage blowing up to a non-finite value *is* runaway.
+            Err(math::SolveError::NonFinite { at }) => {
+                Err(ThermalError::ThermalRunaway { last_temp: at })
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkg() -> Package {
+        Package::new(ThermalResistance(0.8), Celsius(45.0))
+    }
+
+    #[test]
+    fn eq1_three_ways() {
+        let p = pkg();
+        let tj = p.junction_temperature(Watts(68.75));
+        assert!((tj.0 - 100.0).abs() < 1e-9);
+        let pmax = p.max_power(Celsius(100.0));
+        assert!((pmax.0 - 68.75).abs() < 1e-9);
+        let theta = Package::required_theta_ja(Watts(68.75), Celsius(100.0), Celsius(45.0));
+        assert!((theta.0 - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dtm_headroom_is_33_percent() {
+        // Section 2.1: "With an effective 25% reduction in Pchip, the
+        // allowable θja is 33% higher".
+        let h = Package::theta_headroom(0.75);
+        assert!((h - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn itrs_package_tightens_with_node() {
+        let p180 = Package::itrs_required(TechNode::N180);
+        let p35 = Package::itrs_required(TechNode::N35);
+        assert!(p35.theta_ja < p180.theta_ja);
+        assert_eq!(p35.t_ambient, Celsius(45.0));
+    }
+
+    #[test]
+    fn electro_thermal_fixed_point_converges() {
+        let dev = Mosfet::for_node(TechNode::N70).unwrap();
+        // A 70 nm MPU: ~100 W dynamic, ~10 m of leaking width.
+        let t = pkg()
+            .electro_thermal_temperature(
+                Watts(60.0),
+                &dev,
+                Microns(2.0e6),
+                Volts(0.9),
+            )
+            .unwrap();
+        // Above the leakage-free temperature, below runaway.
+        let t_no_leak = pkg().junction_temperature(Watts(60.0));
+        assert!(t > t_no_leak);
+        assert!(t.0 < 150.0, "got {t}");
+    }
+
+    #[test]
+    fn excessive_leakage_is_runaway() {
+        let dev = Mosfet::for_node(TechNode::N50).unwrap(); // Vth 0.02: very leaky
+        let err = pkg()
+            .electro_thermal_temperature(
+                Watts(150.0),
+                &dev,
+                Microns(5.0e7),
+                Volts(0.6),
+            )
+            .unwrap_err();
+        assert!(matches!(err, ThermalError::ThermalRunaway { .. }));
+    }
+
+    #[test]
+    fn bad_width_rejected() {
+        let dev = Mosfet::for_node(TechNode::N70).unwrap();
+        assert!(pkg()
+            .electro_thermal_temperature(Watts(10.0), &dev, Microns(0.0), Volts(0.9))
+            .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "θja must be positive")]
+    fn zero_theta_panics() {
+        let p = Package::new(ThermalResistance(0.0), Celsius(45.0));
+        let _ = p.max_power(Celsius(100.0));
+    }
+}

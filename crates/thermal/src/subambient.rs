@@ -1,0 +1,173 @@
+//! Sub-ambient (refrigerated) operation (Section 2.1, ref. \[5\]).
+//!
+//! "The advantages of cooling the ambient and junction temperatures are
+//! well documented: improved voltage scalability due to reduced leakage
+//! currents, higher carrier mobilities, lower interconnect resistances,
+//! and improved reliability. However … current vapor compression based
+//! refrigeration techniques are expensive, on the order of $1 per watt
+//! cooled."
+//!
+//! The model quantifies all three electrical benefits with the same
+//! device model the rest of the workspace uses, plus the copper
+//! temperature coefficient for wires, and prices the cooler.
+
+use crate::error::ThermalError;
+use np_device::Mosfet;
+use np_units::{Celsius, Watts};
+use std::fmt;
+
+/// Copper resistivity temperature coefficient, 1/K.
+pub const CU_TEMP_COEFF: f64 = 0.0039;
+
+/// Reference temperature for the wire-resistance comparison.
+pub const WIRE_T_REF: Celsius = Celsius(85.0);
+
+/// The electrical benefits of running a die at `t_cold` instead of the
+/// hot-junction baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubAmbientReport {
+    /// The cold junction temperature evaluated.
+    pub t_cold: Celsius,
+    /// The hot baseline.
+    pub t_hot: Celsius,
+    /// Drive-current (≈ speed) improvement factor.
+    pub drive_gain: f64,
+    /// Leakage reduction factor (hot/cold).
+    pub leakage_reduction: f64,
+    /// Wire-resistance reduction factor (hot/cold).
+    pub wire_resistance_gain: f64,
+    /// Refrigeration cost at $1/W for the given dissipation.
+    pub cooling_cost_dollars: f64,
+}
+
+impl SubAmbientReport {
+    /// Evaluates sub-ambient operation of `dev` (assumed characterized at
+    /// the hot baseline) at `t_cold`, for a chip dissipating `power`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a "cold" point at or above the baseline and propagates
+    /// device errors.
+    pub fn evaluate(
+        dev: &Mosfet,
+        t_hot: Celsius,
+        t_cold: Celsius,
+        power: Watts,
+    ) -> Result<Self, ThermalError> {
+        if t_cold >= t_hot {
+            return Err(ThermalError::BadParameter("cold point must be below baseline"));
+        }
+        if power.0 < 0.0 {
+            return Err(ThermalError::BadParameter("power must be non-negative"));
+        }
+        let hot = dev.with_temperature(t_hot);
+        let cold = dev.with_temperature(t_cold);
+        let vdd = dev.nominal_vdd();
+        let drive_gain = match (cold.ion(vdd), hot.ion(vdd)) {
+            (Ok(c), Ok(h)) => c / h,
+            (Err(e), _) | (_, Err(e)) => {
+                return Err(ThermalError::BadParameter(match e {
+                    _ => "device cannot be evaluated at these temperatures",
+                }))
+            }
+        };
+        let leakage_reduction = hot.ioff() / cold.ioff();
+        let wire_resistance_gain = (1.0 + CU_TEMP_COEFF * (WIRE_T_REF.0 - 20.0))
+            / (1.0 + CU_TEMP_COEFF * (t_cold.0 - 20.0));
+        Ok(Self {
+            t_cold,
+            t_hot,
+            drive_gain,
+            leakage_reduction,
+            wire_resistance_gain,
+            cooling_cost_dollars: power.0 * crate::cost::REFRIGERATION_DOLLARS_PER_WATT,
+        })
+    }
+}
+
+impl fmt::Display for SubAmbientReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.0} -> {:.0}: drive x{:.2}, leakage /{:.0}, wire R /{:.2}, cooler ${:.0}",
+            self.t_hot,
+            self.t_cold,
+            self.drive_gain,
+            self.leakage_reduction,
+            self.wire_resistance_gain,
+            self.cooling_cost_dollars,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use np_roadmap::TechNode;
+
+    fn report(t_cold: f64) -> SubAmbientReport {
+        let dev = Mosfet::for_node(TechNode::N70).expect("calibration");
+        SubAmbientReport::evaluate(&dev, Celsius(85.0), Celsius(t_cold), Watts(150.0))
+            .expect("evaluation")
+    }
+
+    #[test]
+    fn cold_operation_is_faster() {
+        let r = report(-40.0);
+        assert!(
+            (1.1..=1.8).contains(&r.drive_gain),
+            "drive gain {:.2}",
+            r.drive_gain
+        );
+    }
+
+    #[test]
+    fn cold_operation_slashes_leakage() {
+        let r = report(-40.0);
+        assert!(r.leakage_reduction > 50.0, "got /{:.0}", r.leakage_reduction);
+    }
+
+    #[test]
+    fn wires_improve_too() {
+        let r = report(-40.0);
+        assert!(
+            (1.2..=1.8).contains(&r.wire_resistance_gain),
+            "got {:.2}",
+            r.wire_resistance_gain
+        );
+    }
+
+    #[test]
+    fn benefits_grow_monotonically_with_cooling() {
+        let mild = report(0.0);
+        let deep = report(-40.0);
+        assert!(deep.drive_gain > mild.drive_gain);
+        assert!(deep.leakage_reduction > mild.leakage_reduction);
+        assert!(deep.wire_resistance_gain > mild.wire_resistance_gain);
+    }
+
+    #[test]
+    fn refrigeration_is_a_dollar_per_watt() {
+        let r = report(-40.0);
+        assert!((r.cooling_cost_dollars - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_above_baseline_is_rejected() {
+        let dev = Mosfet::for_node(TechNode::N70).unwrap();
+        assert!(SubAmbientReport::evaluate(
+            &dev,
+            Celsius(85.0),
+            Celsius(90.0),
+            Watts(1.0)
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = format!("{}", report(-40.0));
+        assert!(s.contains("drive"));
+        assert!(s.contains("cooler"));
+    }
+}

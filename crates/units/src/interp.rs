@@ -1,0 +1,233 @@
+//! One-dimensional table interpolation.
+//!
+//! Roadmap quantities (θja trends, bump pitches, wiring parameters) are
+//! specified at the six ITRS nodes; analyses between nodes interpolate with
+//! [`Table1d`].
+
+use std::fmt;
+
+/// Error constructing or evaluating a [`Table1d`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// Fewer than two points were supplied.
+    TooFewPoints,
+    /// The abscissae are not strictly increasing.
+    NotIncreasing,
+    /// The query lies outside the table and extrapolation is disabled.
+    OutOfRange,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::TooFewPoints => write!(f, "table needs at least two points"),
+            TableError::NotIncreasing => write!(f, "table abscissae must be strictly increasing"),
+            TableError::OutOfRange => write!(f, "query outside table range"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// How queries beyond the table ends are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Extrapolate {
+    /// Clamp to the end values (default — safest for physical tables).
+    #[default]
+    Clamp,
+    /// Extend the end segments linearly.
+    Linear,
+    /// Refuse with [`TableError::OutOfRange`].
+    Error,
+}
+
+/// A piecewise-linear lookup table `y(x)` with strictly increasing `x`.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), np_units::interp::TableError> {
+/// use np_units::interp::Table1d;
+///
+/// // θja trend versus year, clamped outside the given range.
+/// let theta = Table1d::new(vec![1999.0, 2002.0, 2005.0], vec![1.0, 0.5, 0.25])?;
+/// assert!((theta.eval(2000.5)? - 0.75).abs() < 1e-12);
+/// assert_eq!(theta.eval(1990.0)?, 1.0); // clamped
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1d {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    extrapolate: Extrapolate,
+}
+
+impl Table1d {
+    /// Builds a table from matching `x`/`y` vectors with clamped ends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::TooFewPoints`] for fewer than two points and
+    /// [`TableError::NotIncreasing`] when `xs` is not strictly increasing
+    /// (or the vectors differ in length).
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Self, TableError> {
+        Self::with_extrapolation(xs, ys, Extrapolate::Clamp)
+    }
+
+    /// Builds a table with an explicit extrapolation policy.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Table1d::new`].
+    pub fn with_extrapolation(
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        extrapolate: Extrapolate,
+    ) -> Result<Self, TableError> {
+        if xs.len() < 2 || xs.len() != ys.len() {
+            return Err(TableError::TooFewPoints);
+        }
+        if xs.windows(2).any(|w| !(w[0] < w[1])) {
+            return Err(TableError::NotIncreasing);
+        }
+        Ok(Self { xs, ys, extrapolate })
+    }
+
+    /// Evaluates the table at `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::OutOfRange`] when `x` lies outside the table
+    /// and the policy is [`Extrapolate::Error`].
+    pub fn eval(&self, x: f64) -> Result<f64, TableError> {
+        let n = self.xs.len();
+        if x < self.xs[0] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => Ok(self.ys[0]),
+                Extrapolate::Linear => Ok(self.segment(0, x)),
+                Extrapolate::Error => Err(TableError::OutOfRange),
+            };
+        }
+        if x > self.xs[n - 1] {
+            return match self.extrapolate {
+                Extrapolate::Clamp => Ok(self.ys[n - 1]),
+                Extrapolate::Linear => Ok(self.segment(n - 2, x)),
+                Extrapolate::Error => Err(TableError::OutOfRange),
+            };
+        }
+        // partition_point returns the first index with xs[i] > x.
+        let hi = self.xs.partition_point(|&v| v <= x).min(n - 1);
+        let i = hi.saturating_sub(1);
+        if self.xs[i] == x {
+            return Ok(self.ys[i]);
+        }
+        Ok(self.segment(i, x))
+    }
+
+    /// The inclusive domain `[x_min, x_max]` of the table.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.xs[0], self.xs[self.xs.len() - 1])
+    }
+
+    /// The number of knots in the table.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always false: construction requires at least two knots.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn segment(&self, i: usize, x: f64) -> f64 {
+        let (x0, x1) = (self.xs[i], self.xs[i + 1]);
+        let (y0, y1) = (self.ys[i], self.ys[i + 1]);
+        y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> Table1d {
+        Table1d::new(vec![0.0, 1.0, 3.0], vec![0.0, 10.0, 30.0]).expect("valid")
+    }
+
+    #[test]
+    fn interpolates_interior() {
+        let t = table();
+        assert!((t.eval(0.5).unwrap() - 5.0).abs() < 1e-12);
+        assert!((t.eval(2.0).unwrap() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hits_knots_exactly() {
+        let t = table();
+        assert_eq!(t.eval(0.0).unwrap(), 0.0);
+        assert_eq!(t.eval(1.0).unwrap(), 10.0);
+        assert_eq!(t.eval(3.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn clamps_by_default() {
+        let t = table();
+        assert_eq!(t.eval(-5.0).unwrap(), 0.0);
+        assert_eq!(t.eval(99.0).unwrap(), 30.0);
+    }
+
+    #[test]
+    fn linear_extrapolation() {
+        let t = Table1d::with_extrapolation(
+            vec![0.0, 1.0],
+            vec![0.0, 2.0],
+            Extrapolate::Linear,
+        )
+        .unwrap();
+        assert!((t.eval(2.0).unwrap() - 4.0).abs() < 1e-12);
+        assert!((t.eval(-1.0).unwrap() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_extrapolation() {
+        let t =
+            Table1d::with_extrapolation(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Error)
+                .unwrap();
+        assert_eq!(t.eval(2.0), Err(TableError::OutOfRange));
+        assert!(t.eval(0.5).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert_eq!(
+            Table1d::new(vec![0.0], vec![1.0]).unwrap_err(),
+            TableError::TooFewPoints
+        );
+        assert_eq!(
+            Table1d::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            TableError::NotIncreasing
+        );
+        assert_eq!(
+            Table1d::new(vec![1.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            TableError::NotIncreasing
+        );
+        assert_eq!(
+            Table1d::new(vec![0.0, 1.0, 2.0], vec![1.0, 2.0]).unwrap_err(),
+            TableError::TooFewPoints
+        );
+    }
+
+    #[test]
+    fn domain_and_len() {
+        let t = table();
+        assert_eq!(t.domain(), (0.0, 3.0));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(format!("{}", TableError::OutOfRange).contains("outside"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the quantity algebra and numerics.
+
+use np_units::interp::Table1d;
+use np_units::math::{bisect, linspace, logspace};
+use np_units::stats::{quantile, Summary};
+use np_units::{Amps, Ohms, Volts, Watts};
+use proptest::prelude::*;
+
+fn finite() -> impl Strategy<Value = f64> {
+    -1e6..1e6f64
+}
+
+fn positive() -> impl Strategy<Value = f64> {
+    1e-6..1e6f64
+}
+
+proptest! {
+    #[test]
+    fn addition_commutes(a in finite(), b in finite()) {
+        prop_assert_eq!((Volts(a) + Volts(b)).0, (Volts(b) + Volts(a)).0);
+    }
+
+    #[test]
+    fn same_type_division_is_ratio(a in finite(), b in positive()) {
+        prop_assert!(((Volts(a) / Volts(b)) - a / b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ohms_law_round_trips(v in positive(), r in positive()) {
+        let i = Volts(v) / Ohms(r);
+        let back = i * Ohms(r);
+        prop_assert!((back.0 / v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_identities(v in positive(), i in positive()) {
+        let p: Watts = Volts(v) * Amps(i);
+        let i_back = p / Volts(v);
+        prop_assert!((i_back.0 / i - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_distributes(a in finite(), b in finite(), k in -1e3..1e3f64) {
+        let lhs = (Volts(a) + Volts(b)) * k;
+        let rhs = Volts(a) * k + Volts(b) * k;
+        prop_assert!((lhs.0 - rhs.0).abs() < 1e-6_f64.max(lhs.0.abs() * 1e-12));
+    }
+
+    #[test]
+    fn bisect_finds_root_of_monotone_cubic(c in 0.1..100.0f64) {
+        // x^3 + x - c is strictly increasing with a root in [0, c+1].
+        let root = bisect(|x| x * x * x + x - c, 0.0, c + 1.0, 1e-12).unwrap();
+        let residual = root * root * root + root - c;
+        prop_assert!(residual.abs() < 1e-6, "residual {residual}");
+    }
+
+    #[test]
+    fn linspace_is_sorted_and_bounded(lo in -1e3..1e3f64, span in 0.1..1e3f64, n in 2usize..50) {
+        let xs = linspace(lo, lo + span, n);
+        prop_assert_eq!(xs.len(), n);
+        prop_assert_eq!(xs[0], lo);
+        prop_assert_eq!(xs[n - 1], lo + span);
+        prop_assert!(xs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn logspace_is_geometric(lo in 1e-3..1.0f64, factor in 1.5..100.0f64, n in 3usize..20) {
+        let xs = logspace(lo, lo * factor, n);
+        let r0 = xs[1] / xs[0];
+        for w in xs.windows(2) {
+            prop_assert!((w[1] / w[0] / r0 - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn table_interpolation_is_bounded_by_knots(
+        ys in proptest::collection::vec(-100.0..100.0f64, 2..10),
+        q in 0.0..1.0f64,
+    ) {
+        let n = ys.len();
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = Table1d::new(xs, ys.clone()).unwrap();
+        let x = q * (n - 1) as f64;
+        let y = t.eval(x).unwrap();
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(y >= lo - 1e-9 && y <= hi + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in proptest::collection::vec(-100.0..100.0f64, 1..40),
+        q1 in 0.0..1.0f64,
+        q2 in 0.0..1.0f64,
+    ) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn summary_mean_is_within_min_max(
+        xs in proptest::collection::vec(-100.0..100.0f64, 1..40),
+    ) {
+        let s = Summary::of(&xs).unwrap();
+        prop_assert!(s.min <= s.mean + 1e-12 && s.mean <= s.max + 1e-12);
+        prop_assert!(s.std_dev >= 0.0);
+    }
+}

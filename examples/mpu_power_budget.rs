@@ -1,0 +1,31 @@
+//! A desktop-MPU power and thermal budget across the roadmap: the
+//! Section 2.1 / 3.1 story — static power blowing through the ITRS 10 %
+//! allowance, and DTM buying packaging headroom.
+//!
+//! Run with: `cargo run --example mpu_power_budget`
+
+use nanopower::chip::Chip;
+use nanopower::roadmap::TechNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("MPU power budgets along the ITRS roadmap\n");
+    for node in TechNode::ALL {
+        let chip = Chip::at_node(node);
+        let budget = chip.power_budget()?;
+        println!("{budget}");
+    }
+
+    println!("\nThermal closure with dynamic thermal management (nanometer nodes):\n");
+    for node in TechNode::NANOMETER {
+        let chip = Chip::at_node(node);
+        let closure = chip.thermal_closure()?;
+        println!("{closure}");
+    }
+
+    println!(
+        "\nReading: the package sized for the 75% effective worst case is a\n\
+         third cheaper in θja terms, and the DTM simulation confirms it runs\n\
+         realistic workloads essentially unthrottled."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: calibrate a device at every ITRS node and print the
+//! headline numbers of the paper's Table 2 analysis.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use nanopower::device::delay::fo4_delay;
+use nanopower::device::Mosfet;
+use nanopower::report::TextTable;
+use nanopower::roadmap::TechNode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("nanopower quickstart — compact-model snapshot per ITRS node\n");
+    let mut table = TextTable::new(&[
+        "node",
+        "Vdd (V)",
+        "Vth (V)",
+        "Ion (uA/um)",
+        "Ioff (nA/um)",
+        "FO4 (ps)",
+    ]);
+    for node in TechNode::ALL {
+        let p = node.params();
+        // Vth is solved so that Ion meets the ITRS 750 uA/um target.
+        let dev = Mosfet::for_node(node)?;
+        let ion = dev.ion(p.vdd)?;
+        let fo4 = fo4_delay(&dev, p.vdd)?;
+        table.row(&[
+            &format!("{node}"),
+            &format!("{:.2}", p.vdd.0),
+            &format!("{:.3}", dev.vth.0),
+            &format!("{:.0}", ion.0),
+            &format!("{:.1}", dev.ioff().as_nano_per_micron()),
+            &format!("{:.1}", fo4.as_pico()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "The 50 nm row shows the paper's warning: holding 750 uA/um at 0.6 V\n\
+         forces Vth to near zero and leakage to microamps per micron."
+    );
+    Ok(())
+}

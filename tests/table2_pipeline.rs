@@ -1,0 +1,74 @@
+//! Integration: the full Table 2 pipeline — roadmap parameters → mobility
+//! calibration → per-node Vth solve → Ioff projections — through the
+//! `nanopower` facade.
+
+use nanopower::device::{GateKind, Mosfet};
+use nanopower::roadmap::TechNode;
+use nanopower::units::Volts;
+
+#[test]
+fn vth_sequence_reproduces_the_paper() {
+    let paper_vth = [0.30, 0.29, 0.22, 0.14, 0.04, 0.11];
+    for (node, expect) in TechNode::ALL.into_iter().zip(paper_vth) {
+        let dev = Mosfet::for_node(node).expect("calibration");
+        assert!(
+            (dev.vth.0 - expect).abs() < 0.035,
+            "{node}: Vth {:.3} vs paper {expect}",
+            dev.vth.0
+        );
+        // The solve actually hit the target.
+        let ion = dev.ion(node.params().vdd).expect("drive");
+        assert!((ion.0 - 750.0).abs() < 1.0);
+    }
+}
+
+#[test]
+fn model_exceeds_itrs_leakage_at_roadmap_end() {
+    // Paper observation 3: the model's 35 nm leakage is ~2.9X the ITRS
+    // projection, and the roadmap-wide rise is much larger than ITRS's.
+    let n35 = Mosfet::for_node(TechNode::N35).expect("calibration");
+    let model = n35.ioff().as_nano_per_micron();
+    let itrs = TechNode::N35.params().ioff_itrs.as_nano_per_micron();
+    let excess = model / itrs;
+    assert!((1.5..=4.5).contains(&excess), "got {excess:.2}X");
+}
+
+#[test]
+fn metal_gate_and_alt_supply_relief() {
+    // Observation 1: metal gates allow ~55 mV more Vth at 35 nm.
+    let poly = Mosfet::for_node(TechNode::N35).expect("calibration");
+    let metal = Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal)
+        .expect("calibration");
+    assert!(metal.vth > poly.vth);
+    assert!(metal.ioff() < poly.ioff() * 0.5);
+
+    // Observation 2: 0.7 V at 50 nm cuts Ioff by "nearly 7X".
+    let hard = Mosfet::for_node(TechNode::N50).expect("calibration");
+    let relaxed = Mosfet::for_node_with(TechNode::N50, Volts(0.7), GateKind::PolySilicon)
+        .expect("calibration");
+    let relief = hard.ioff() / relaxed.ioff();
+    assert!((4.0..=25.0).contains(&relief), "got {relief:.1}X");
+}
+
+#[test]
+fn ioff_2x_per_generation_costs_25mv_of_vth() {
+    // Section 3.1: "the 2X increase in Ioff/generation listed in [1]
+    // allows just a 25mV drop in Vth in each technology" — a pure Eq. 4
+    // identity: S·log10(2) ≈ 25.6 mV.
+    let dev = Mosfet::for_node(TechNode::N100).expect("calibration");
+    let dropped = dev.with_vth(dev.vth - Volts(0.0256));
+    let ratio = dropped.ioff() / dev.ioff();
+    assert!((ratio - 2.0).abs() < 0.02, "got {ratio:.3}");
+}
+
+#[test]
+fn hot_junction_multiplies_leakage_by_an_order() {
+    // The Fig. 1 analyses run at 85 C; integration check that the
+    // temperature model produces the expected order-of-magnitude blow-up.
+    for node in TechNode::NANOMETER {
+        let cold = Mosfet::for_node(node).expect("calibration");
+        let hot = cold.with_temperature(nanopower::units::Celsius(85.0));
+        let blowup = hot.ioff() / cold.ioff();
+        assert!((4.0..=30.0).contains(&blowup), "{node}: {blowup:.1}X");
+    }
+}

@@ -1,0 +1,90 @@
+//! Integration: thermal models end-to-end — Eq. 1, the electro-thermal
+//! fixed point with the calibrated device, DTM simulation, cooling cost.
+
+use nanopower::chip::Chip;
+use nanopower::device::Mosfet;
+use nanopower::roadmap::{PackagingRoadmap, TechNode};
+use nanopower::thermal::cost::cooling_cost_dollars;
+use nanopower::thermal::dtm::{simulate, DtmPolicy};
+use nanopower::thermal::package::Package;
+use nanopower::thermal::rc::{ThermalRc, DEFAULT_HEAT_CAPACITY_J_PER_C};
+use nanopower::thermal::workload::WorkloadTrace;
+use nanopower::units::{Celsius, Microns, Seconds, Volts, Watts};
+
+#[test]
+fn chip_closure_reports_the_33_percent_headroom() {
+    for node in TechNode::NANOMETER {
+        let c = Chip::at_node(node).thermal_closure().expect("closure");
+        assert!((c.headroom - 1.0 / 3.0).abs() < 1e-9, "{node}");
+        assert!(c.cost_dtm <= c.cost_theoretical);
+        // The DTM-protected, effective-sized package holds the junction
+        // at or under the ITRS limit on a realistic trace.
+        let limit = PackagingRoadmap::for_node(node).t_junction_max;
+        assert!(
+            c.dtm.max_temperature <= limit + Celsius(2.0),
+            "{node}: {}",
+            c.dtm.max_temperature
+        );
+        assert!(c.dtm.performance > 0.9, "{node}: perf {}", c.dtm.performance);
+    }
+}
+
+#[test]
+fn electro_thermal_fixed_point_with_calibrated_device() {
+    // The leakage-temperature loop closes for a sane 70 nm chip and the
+    // closed-loop temperature exceeds the leakage-free one.
+    let dev = Mosfet::for_node(TechNode::N70).expect("calibration");
+    let pkg = Package::new(
+        PackagingRoadmap::for_node(TechNode::N70).required_theta_ja(),
+        Celsius(45.0),
+    );
+    let t = pkg
+        .electro_thermal_temperature(Watts(100.0), &dev, Microns(1.0e6), Volts(0.9))
+        .expect("stable");
+    assert!(t > pkg.junction_temperature(Watts(100.0)));
+    assert!(t.0 < 120.0);
+}
+
+#[test]
+fn dtm_turns_a_virus_safe_but_costs_throughput() {
+    let node = TechNode::N70;
+    let p_max = node.params().max_power;
+    let pkg_roadmap = PackagingRoadmap::for_node(node);
+    // Package sized for only 75% of the virus.
+    let theta = Package::required_theta_ja(
+        p_max * 0.75,
+        pkg_roadmap.t_junction_max,
+        pkg_roadmap.t_ambient,
+    );
+    let rc = ThermalRc::new(
+        Package::new(theta, pkg_roadmap.t_ambient),
+        DEFAULT_HEAT_CAPACITY_J_PER_C,
+    );
+    let virus = WorkloadTrace::power_virus(p_max, 60_000, Seconds(1e-4));
+    let policy = DtmPolicy::at_trigger(pkg_roadmap.t_junction_max);
+    let r = simulate(rc, &virus, &policy).expect("simulation");
+    assert!(r.max_temperature <= pkg_roadmap.t_junction_max + Celsius(2.0));
+    assert!(r.performance < 0.95, "the virus must be throttled");
+    assert!(r.mean_power < p_max);
+}
+
+#[test]
+fn cooling_cost_anchors() {
+    // The 65 -> 75 W tripling and the $1/W refrigeration regime.
+    let c65 = cooling_cost_dollars(Watts(65.0));
+    let c75 = cooling_cost_dollars(Watts(75.0));
+    assert!((c75 / c65 - 3.0).abs() < 0.05);
+    assert!(cooling_cost_dollars(Watts(180.0)) >= 180.0);
+}
+
+#[test]
+fn effective_worst_case_traces_average_75_percent() {
+    let mut ratios = Vec::new();
+    for seed in 0..6u64 {
+        let trace =
+            WorkloadTrace::application(Watts(100.0), 0.75, 20_000, Seconds(1e-4), seed);
+        ratios.push(trace.effective_worst_case(Seconds(0.05)).0 / 100.0);
+    }
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    assert!((0.68..=0.80).contains(&mean), "mean effective fraction {mean:.2}");
+}
