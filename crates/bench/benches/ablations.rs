@@ -1,4 +1,4 @@
-//! Ablation benches for the design choices DESIGN.md §7 calls out:
+//! Ablation benches for the design choices DESIGN.md §9 calls out:
 //! gate-stack variants, analytic vs mesh IR drop, CVS styles, DTM
 //! cost impact, and stack depth.
 
@@ -25,8 +25,7 @@ fn gate_stack_ablation(c: &mut Criterion) {
     ] {
         g.bench_function(name, |b| {
             b.iter(|| {
-                let dev =
-                    Mosfet::for_node_with(TechNode::N35, Volts(0.6), gate).expect("calib");
+                let dev = Mosfet::for_node_with(TechNode::N35, Volts(0.6), gate).expect("calib");
                 black_box(dev.ioff().0)
             })
         });
@@ -71,7 +70,10 @@ fn cvs_style_ablation(c: &mut Criterion) {
                 let ctx = TimingContext::for_node(TechNode::N100).expect("ctx");
                 let crit = ctx.analyze(&nl).expect("sta").critical_delay();
                 let ctx = ctx.with_clock(crit * 1.3);
-                let opts = CvsOptions { style, ..CvsOptions::default() };
+                let opts = CvsOptions {
+                    style,
+                    ..CvsOptions::default()
+                };
                 black_box(
                     cluster_voltage_scale(&mut nl, &ctx, &opts)
                         .expect("cvs")

@@ -1,98 +1,152 @@
 //! `repro` — regenerates every table and figure of Sylvester & Kaul,
-//! DAC 2001, as plain text.
+//! DAC 2001, through the parallel artifact engine.
 //!
 //! Usage:
 //!
 //! ```text
-//! repro                 # everything
-//! repro table2 fig5     # selected artifacts
-//! repro --list          # available artifact names
+//! repro                    # everything, in parallel
+//! repro table2 fig5        # selected artifacts
+//! repro --list             # the artifact registry
+//! repro --csv fig1 fig2    # CSV form (figures only)
+//! repro --json             # machine-readable run report
+//! repro --jobs 4           # worker-thread count (default: all cores)
 //! ```
+//!
+//! Artifacts run concurrently across `--jobs` worker threads, but output
+//! is always printed in request order and is byte-identical to a
+//! `--jobs 1` run — only the telemetry (`--json` durations and worker
+//! attribution) varies. A failing artifact doesn't stop the run: the
+//! rest regenerate, the error summary lists the casualties on stderr,
+//! and the exit code reports failure.
 
-use np_bench::{experiments, figures, tables};
+use nanopower::engine::{self, Job, RunReport};
+use nanopower::Error;
+use np_bench::registry;
 use std::process::ExitCode;
 
-const ARTIFACTS: &[&str] = &[
-    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "dtm", "signaling", "cvs",
-    "dualvth", "resize", "grid-limits", "library", "leakage-tech", "inductive-noise",
-    "subambient",
-];
-
-fn run_csv(name: &str) -> Option<Result<String, Box<dyn std::error::Error>>> {
-    let out: Result<String, Box<dyn std::error::Error>> = match name {
-        "fig1" => figures::fig1().map(|f| f.csv()).map_err(Into::into),
-        "fig2" => figures::fig2().map(|f| f.csv()).map_err(Into::into),
-        "fig3" => figures::fig3().map(|f| f.csv()).map_err(Into::into),
-        "fig4" => figures::fig4().map(|f| f.csv()).map_err(Into::into),
-        "fig5" => figures::fig5().map(|f| f.csv()).map_err(Into::into),
-        _ => return None,
-    };
-    Some(out)
+struct Options {
+    list: bool,
+    csv: bool,
+    json: bool,
+    jobs: usize,
+    names: Vec<String>,
 }
 
-fn run(name: &str) -> Result<String, Box<dyn std::error::Error>> {
-    Ok(match name {
-        "table1" => tables::table1().render(),
-        "table2" => tables::table2()?.render(),
-        "fig1" => figures::fig1()?.render(),
-        "fig2" => figures::fig2()?.render(),
-        "fig3" => figures::fig3()?.render(),
-        "fig4" => figures::fig4()?.render(),
-        "fig5" => figures::fig5()?.render(),
-        "dtm" => experiments::e1_dtm()?.render(),
-        "signaling" => experiments::e2_signaling()?.render(),
-        "cvs" => experiments::e3_cvs()?.render(),
-        "dualvth" => experiments::e4_dualvth()?.render(),
-        "resize" => experiments::e5_resize()?.render(),
-        "grid-limits" => experiments::e6_grid_limits()?.render(),
-        "library" => experiments::e7_library()?.render(),
-        "leakage-tech" => experiments::e8_leakage_techniques()?.render(),
-        "inductive-noise" => experiments::e9_inductive_noise()?.render(),
-        "subambient" => experiments::e10_subambient()?.render(),
-        other => return Err(format!("unknown artifact `{other}` (try --list)").into()),
-    })
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn parse_args(args: Vec<String>) -> Result<Options, String> {
+    let mut opts = Options {
+        list: false,
+        csv: false,
+        json: false,
+        jobs: default_jobs(),
+        names: Vec::new(),
+    };
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" | "-l" => opts.list = true,
+            "--csv" => opts.csv = true,
+            "--json" => opts.json = true,
+            "--jobs" | "-j" => {
+                let value = it.next().ok_or("--jobs needs a worker count")?;
+                opts.jobs = parse_jobs(&value)?;
+            }
+            other => {
+                if let Some(value) = other.strip_prefix("--jobs=") {
+                    opts.jobs = parse_jobs(value)?;
+                } else if other.starts_with('-') {
+                    return Err(format!("unknown flag `{other}`"));
+                } else {
+                    opts.names.push(other.to_string());
+                }
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn parse_jobs(value: &str) -> Result<usize, String> {
+    match value.parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        _ => Err(format!("--jobs needs a positive integer, got `{value}`")),
+    }
+}
+
+fn print_list() {
+    for a in registry::REGISTRY {
+        let csv = if a.has_csv() { "text,csv" } else { "text" };
+        println!(
+            "{:<16} {:<44} {:<10} [{csv}]",
+            a.name, a.description, a.paper_ref
+        );
+    }
+}
+
+/// Builds one job per requested name. Unknown names become jobs that fail
+/// with [`Error::UnknownArtifact`], so they surface in the run report and
+/// error summary like any other per-artifact failure instead of aborting
+/// the run.
+fn build_jobs(names: &[String], csv: bool) -> Vec<Job> {
+    names
+        .iter()
+        .map(|name| match registry::find(name) {
+            Some(artifact) => artifact.job(csv),
+            None => {
+                let name = name.clone();
+                Job::new(name.clone(), move || Err(Error::UnknownArtifact { name }))
+            }
+        })
+        .collect()
+}
+
+fn print_text_outputs(report: &RunReport, csv: bool) {
+    for record in &report.records {
+        if let Ok(text) = &record.outcome {
+            if csv {
+                println!("# {}", record.name);
+                print!("{text}");
+            } else {
+                let pad = "=".repeat(60usize.saturating_sub(record.name.len()));
+                println!("=== {} {pad}", record.name);
+                println!("{text}");
+            }
+        }
+    }
 }
 
 fn main() -> ExitCode {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--list" || a == "-l") {
-        for a in ARTIFACTS {
-            println!("{a}");
+    let opts = match parse_args(std::env::args().skip(1).collect()) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
         }
+    };
+    if opts.list {
+        print_list();
         return ExitCode::SUCCESS;
     }
-    let csv = args.iter().any(|a| a == "--csv");
-    args.retain(|a| a != "--csv");
-    let selected: Vec<&str> = if args.is_empty() {
-        ARTIFACTS.to_vec()
+    let names: Vec<String> = if opts.names.is_empty() {
+        registry::names().iter().map(|n| n.to_string()).collect()
     } else {
-        args.iter().map(String::as_str).collect()
+        opts.names.clone()
     };
-    for name in &selected {
-        if csv {
-            match run_csv(name) {
-                Some(Ok(text)) => {
-                    println!("# {name}");
-                    print!("{text}");
-                    continue;
-                }
-                Some(Err(e)) => {
-                    eprintln!("error regenerating {name}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                None => {} // fall through to text rendering
-            }
-        }
-        match run(name) {
-            Ok(text) => {
-                println!("=== {name} {}", "=".repeat(60usize.saturating_sub(name.len())));
-                println!("{text}");
-            }
-            Err(e) => {
-                eprintln!("error regenerating {name}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    let report = engine::run(build_jobs(&names, opts.csv), opts.jobs);
+    if opts.json {
+        print!("{}", report.to_json());
+    } else {
+        print_text_outputs(&report, opts.csv);
     }
-    ExitCode::SUCCESS
+    let summary = report.error_summary();
+    if summary.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprint!("{summary}");
+        ExitCode::FAILURE
+    }
 }

@@ -3,6 +3,7 @@
 
 use nanopower::chip::{Chip, ThermalClosure};
 use nanopower::report::{fmt_sig, TextTable};
+use nanopower::Error;
 use np_circuit::generate::{generate_netlist, NetlistSpec};
 use np_circuit::sta::TimingContext;
 use np_device::mtcmos::MtcmosBlock;
@@ -10,22 +11,19 @@ use np_device::stack::SubthresholdStack;
 use np_device::substrate::{BodyBias, Substrate};
 use np_device::Mosfet;
 use np_grid::mcml::LogicStyleComparison;
-use np_interconnect::inductance::{coupled_noise, twisted_differential_residue};
-use np_interconnect::wire::WireGeometry;
-use np_interconnect::elmore::RcLine;
-use np_interconnect::lowswing::LowSwingLink;
-use np_thermal::subambient::SubAmbientReport;
 use np_grid::transient::WakeUpEvent;
-use np_grid::GridError;
 use np_interconnect::chip::{global_signaling_report, GlobalSignalingReport};
-use np_interconnect::InterconnectError;
+use np_interconnect::elmore::RcLine;
+use np_interconnect::inductance::{coupled_noise, twisted_differential_residue};
+use np_interconnect::lowswing::LowSwingLink;
+use np_interconnect::wire::WireGeometry;
 use np_opt::cellgen::{compare_regimes, MappingResult};
 use np_opt::cvs::{cluster_voltage_scale, CvsOptions, CvsResult};
 use np_opt::dualvth::{assign_dual_vth, DualVthResult};
 use np_opt::sizing::{downsize, sizing_vs_vdd, ResizeVsVdd};
-use np_opt::OptError;
 use np_roadmap::{PackagingRoadmap, TechNode};
 use np_thermal::cost::cooling_cost_dollars;
+use np_thermal::subambient::SubAmbientReport;
 use np_thermal::ThermalError;
 use np_units::{Celsius, Farads, Hertz, Microns, Seconds, Volts, Watts};
 
@@ -45,7 +43,7 @@ pub fn relaxed_context(
     node: TechNode,
     netlist: &np_circuit::Netlist,
     factor: f64,
-) -> Result<TimingContext, OptError> {
+) -> Result<TimingContext, Error> {
     let ctx = TimingContext::for_node(node)?;
     let crit = ctx.analyze(netlist)?.critical_delay();
     Ok(ctx.with_clock(crit * factor))
@@ -69,14 +67,16 @@ pub struct DtmReport {
 /// # Errors
 ///
 /// Propagates thermal errors.
-pub fn e1_dtm() -> Result<DtmReport, ThermalError> {
+pub fn e1_dtm() -> Result<DtmReport, Error> {
     let mut closures = Vec::new();
     for node in TechNode::NANOMETER {
         closures.push(Chip::at_node(node).thermal_closure()?);
     }
-    let cost_step_ratio =
-        cooling_cost_dollars(Watts(75.0)) / cooling_cost_dollars(Watts(65.0));
-    Ok(DtmReport { closures, cost_step_ratio })
+    let cost_step_ratio = cooling_cost_dollars(Watts(75.0)) / cooling_cost_dollars(Watts(65.0));
+    Ok(DtmReport {
+        closures,
+        cost_step_ratio,
+    })
 }
 
 impl DtmReport {
@@ -110,7 +110,7 @@ pub struct SignalingReport {
 /// # Errors
 ///
 /// Propagates interconnect errors.
-pub fn e2_signaling() -> Result<SignalingReport, InterconnectError> {
+pub fn e2_signaling() -> Result<SignalingReport, Error> {
     let rows = TechNode::ALL
         .iter()
         .map(|&n| global_signaling_report(n))
@@ -148,7 +148,7 @@ pub struct CvsReport {
 /// # Errors
 ///
 /// Propagates optimizer errors.
-pub fn e3_cvs() -> Result<CvsReport, OptError> {
+pub fn e3_cvs() -> Result<CvsReport, Error> {
     let node = TechNode::N100;
     let mut sweep = Vec::new();
     for ratio in [0.5, 0.6, 0.65, 0.7, 0.8] {
@@ -226,7 +226,7 @@ pub struct DualVthReport {
 /// # Errors
 ///
 /// Propagates optimizer errors.
-pub fn e4_dualvth() -> Result<DualVthReport, OptError> {
+pub fn e4_dualvth() -> Result<DualVthReport, Error> {
     let node = TechNode::N70;
     let mut rows = Vec::new();
     for factor in [1.05, 1.15, 1.4] {
@@ -252,7 +252,11 @@ impl DualVthReport {
             "delay penalty (%)",
         ]);
         for (f, r) in &self.rows {
-            let label = if *f == 1.0 { "1.005 (datapath)".to_string() } else { format!("{f:.2}") };
+            let label = if *f == 1.0 {
+                "1.005 (datapath)".to_string()
+            } else {
+                format!("{f:.2}")
+            };
             t.row(&[
                 &label,
                 &format!("{:.0}", r.fraction_high * 100.0),
@@ -260,7 +264,10 @@ impl DualVthReport {
                 &format!("{:.1}", r.delay_penalty() * 100.0),
             ]);
         }
-        format!("E4. Dual-Vth assignment (paper: 40-80% leakage saving).\n{}", t.render())
+        format!(
+            "E4. Dual-Vth assignment (paper: 40-80% leakage saving).\n{}",
+            t.render()
+        )
     }
 }
 
@@ -282,12 +289,15 @@ pub struct ResizeReport {
 /// # Errors
 ///
 /// Propagates optimizer errors.
-pub fn e5_resize() -> Result<ResizeReport, OptError> {
+pub fn e5_resize() -> Result<ResizeReport, Error> {
     let mut nl = experiment_netlist(303);
     let ctx = relaxed_context(TechNode::N100, &nl, 1.3)?;
     let sizing = downsize(&mut nl, &ctx, 0.1, None)?;
     let comparison = sizing_vs_vdd(&sizing, 0.8);
-    Ok(ResizeReport { comparison, resized: sizing.resized_count })
+    Ok(ResizeReport {
+        comparison,
+        resized: sizing.resized_count,
+    })
 }
 
 impl ResizeReport {
@@ -333,7 +343,7 @@ pub struct GridLimitsReport {
 /// # Errors
 ///
 /// Propagates grid errors.
-pub fn e6_grid_limits() -> Result<GridLimitsReport, GridError> {
+pub fn e6_grid_limits() -> Result<GridLimitsReport, Error> {
     let node = TechNode::N35;
     let pkg = PackagingRoadmap::for_node(node);
     let wake = WakeUpEvent::for_node(node, Seconds::from_nano(100.0));
@@ -392,10 +402,12 @@ pub struct LibraryReport {
 /// # Errors
 ///
 /// Propagates optimizer errors.
-pub fn e7_library() -> Result<LibraryReport, OptError> {
+pub fn e7_library() -> Result<LibraryReport, Error> {
     let nl = experiment_netlist(404);
     let ctx = relaxed_context(TechNode::N180, &nl, 1.2)?;
-    Ok(LibraryReport { regimes: compare_regimes(&nl, &ctx, 0.1)? })
+    Ok(LibraryReport {
+        regimes: compare_regimes(&nl, &ctx, 0.1)?,
+    })
 }
 
 impl LibraryReport {
@@ -440,7 +452,11 @@ mod tests {
         for c in &r.closures {
             assert!((c.headroom - 1.0 / 3.0).abs() < 1e-9);
         }
-        assert!((r.cost_step_ratio - 3.0).abs() < 0.1, "got {}", r.cost_step_ratio);
+        assert!(
+            (r.cost_step_ratio - 3.0).abs() < 0.1,
+            "got {}",
+            r.cost_step_ratio
+        );
         assert!(r.render().contains("E1"));
     }
 
@@ -537,7 +553,7 @@ pub struct LeakageTechReport {
 /// # Errors
 ///
 /// Propagates device errors.
-pub fn e8_leakage_techniques() -> Result<LeakageTechReport, np_device::DeviceError> {
+pub fn e8_leakage_techniques() -> Result<LeakageTechReport, Error> {
     let node = TechNode::N70;
     let dev = Mosfet::for_node(node)?;
     let vdd = node.params().vdd;
@@ -558,7 +574,7 @@ pub fn e8_leakage_techniques() -> Result<LeakageTechReport, np_device::DeviceErr
         standby_reduction: bias.standby_leakage_reduction(dev.subthreshold_swing()),
         active_reduction: 1.0,
         area_overhead: 0.02, // bias generation and wells
-        scales: false, // "less effective at controlling Vth in scaled devices"
+        scales: false,       // "less effective at controlling Vth in scaled devices"
     });
 
     let stack = SubthresholdStack::uniform(&dev, 2);
@@ -576,7 +592,7 @@ pub fn e8_leakage_techniques() -> Result<LeakageTechReport, np_device::DeviceErr
         standby_reduction: dev.ioff() / high.ioff(),
         active_reduction: dev.ioff() / high.ioff(),
         area_overhead: 0.0, // an extra implant mask, no layout cost
-        scales: true, // Fig. 2's argument
+        scales: true,       // Fig. 2's argument
     });
 
     let soi = dev.with_substrate(Substrate::FdSoi);
@@ -594,13 +610,7 @@ pub fn e8_leakage_techniques() -> Result<LeakageTechReport, np_device::DeviceErr
 impl LeakageTechReport {
     /// Plain-text rendering.
     pub fn render(&self) -> String {
-        let mut t = TextTable::new(&[
-            "technique",
-            "standby /X",
-            "active /X",
-            "area +%",
-            "scales?",
-        ]);
+        let mut t = TextTable::new(&["technique", "standby /X", "active /X", "area +%", "scales?"]);
         for r in &self.rows {
             t.row(&[
                 r.name,
@@ -642,7 +652,7 @@ pub struct InductiveNoiseReport {
 /// # Errors
 ///
 /// Propagates interconnect errors.
-pub fn e9_inductive_noise() -> Result<InductiveNoiseReport, InterconnectError> {
+pub fn e9_inductive_noise() -> Result<InductiveNoiseReport, Error> {
     let node = TechNode::N50;
     let g = WireGeometry::top_level(node);
     let sep = Microns(2.0 * g.pitch().0);
@@ -702,7 +712,7 @@ pub struct SubAmbientSweep {
 /// # Errors
 ///
 /// Propagates thermal errors.
-pub fn e10_subambient() -> Result<SubAmbientSweep, ThermalError> {
+pub fn e10_subambient() -> Result<SubAmbientSweep, Error> {
     let dev = Mosfet::for_node(TechNode::N70)
         .map_err(|_| ThermalError::BadParameter("device calibration failed"))?;
     let p = TechNode::N70.params().max_power;

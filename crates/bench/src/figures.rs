@@ -2,12 +2,12 @@
 
 use crate::average_wire_cap;
 use nanopower::report::{fmt_sig, TextTable};
+use nanopower::Error;
 use np_circuit::power::fo4_power;
 use np_circuit::CircuitError;
 use np_device::dualvth::{ioff_penalty_for_gain, ion_gain};
-use np_device::{DeviceError, GateKind, Mosfet};
+use np_device::{GateKind, Mosfet};
 use np_grid::plan::{fig5_series, GridPlan};
-use np_grid::GridError;
 use np_opt::policy::{lowest_vdd_at_ratio, policy_curve, PolicyPoint, VthPolicy};
 use np_opt::OptError;
 use np_roadmap::TechNode;
@@ -38,7 +38,7 @@ pub struct Fig1Report {
 /// # Errors
 ///
 /// Propagates device and power-model errors.
-pub fn fig1() -> Result<Fig1Report, CircuitError> {
+pub fn fig1() -> Result<Fig1Report, Error> {
     let activity = logspace(0.003, 0.5, 24);
     let cases = [
         (TechNode::N70, Volts(0.9)),
@@ -141,7 +141,7 @@ pub struct Fig2Report {
 /// # Errors
 ///
 /// Propagates device errors.
-pub fn fig2() -> Result<Fig2Report, DeviceError> {
+pub fn fig2() -> Result<Fig2Report, Error> {
     let mut rows = Vec::new();
     for node in TechNode::ALL {
         rows.push((
@@ -158,7 +158,12 @@ impl Fig2Report {
     pub fn csv(&self) -> String {
         let mut out = String::from("node_nm,ion_gain_pct,ioff_penalty_x\n");
         for (node, gain, penalty) in &self.rows {
-            out.push_str(&format!("{},{},{}\n", node.drawn().0, gain * 100.0, penalty));
+            out.push_str(&format!(
+                "{},{},{}\n",
+                node.drawn().0,
+                gain * 100.0,
+                penalty
+            ));
         }
         out
     }
@@ -202,7 +207,7 @@ pub fn fig3_sweep() -> Vec<Volts> {
 /// # Errors
 ///
 /// Propagates policy-model errors.
-pub fn fig3() -> Result<Fig3Report, OptError> {
+pub fn fig3() -> Result<Fig3Report, Error> {
     let dev = Mosfet::for_node(TechNode::N35)?;
     let sweep = fig3_sweep();
     let mut curves = Vec::new();
@@ -233,9 +238,7 @@ impl Fig3Report {
     pub fn csv(&self) -> String {
         let mut out = String::from("vdd,constant_vth,const_pstatic,conservative\n");
         for &vdd in &fig3_sweep() {
-            let d = |p: VthPolicy| {
-                self.point_at(p, vdd).map(|pt| pt.delay).unwrap_or(f64::NAN)
-            };
+            let d = |p: VthPolicy| self.point_at(p, vdd).map(|pt| pt.delay).unwrap_or(f64::NAN);
             out.push_str(&format!(
                 "{},{},{},{}\n",
                 vdd.0,
@@ -286,7 +289,7 @@ pub struct Fig4Report {
 /// # Errors
 ///
 /// Propagates model errors.
-pub fn fig4() -> Result<Fig4Report, OptError> {
+pub fn fig4() -> Result<Fig4Report, Error> {
     let node = TechNode::N35;
     let dev = Mosfet::for_node(node)?;
     let hot = dev.with_temperature(Celsius(85.0));
@@ -300,15 +303,22 @@ pub fn fig4() -> Result<Fig4Report, OptError> {
     for policy in VthPolicy::ALL {
         let curve = policy_curve(&dev, policy, &sweep)?;
         if policy == VthPolicy::ConstantStaticPower {
-            crossing = lowest_vdd_at_ratio(&curve, ratio0, 10.0)
-                .map(|pt| (pt.vdd, 1.0 - pt.dynamic));
+            crossing =
+                lowest_vdd_at_ratio(&curve, ratio0, 10.0).map(|pt| (pt.vdd, 1.0 - pt.dynamic));
         }
         curves.push((
             policy,
-            curve.iter().map(|pt| (pt.vdd, pt.power_ratio(ratio0))).collect(),
+            curve
+                .iter()
+                .map(|pt| (pt.vdd, pt.power_ratio(ratio0)))
+                .collect(),
         ));
     }
-    Ok(Fig4Report { ratio0, curves, crossing })
+    Ok(Fig4Report {
+        ratio0,
+        curves,
+        crossing,
+    })
 }
 
 impl Fig4Report {
@@ -329,8 +339,7 @@ impl Fig4Report {
 
     /// Plain-text rendering.
     pub fn render(&self) -> String {
-        let mut t =
-            TextTable::new(&["Vdd (V)", "constant Vth", "const Pstatic", "conservative"]);
+        let mut t = TextTable::new(&["Vdd (V)", "constant Vth", "const Pstatic", "conservative"]);
         let n = self.curves[0].1.len();
         for i in 0..n {
             t.row(&[
@@ -369,8 +378,10 @@ pub struct Fig5Report {
 /// # Errors
 ///
 /// Propagates grid-model errors.
-pub fn fig5() -> Result<Fig5Report, GridError> {
-    Ok(Fig5Report { rows: fig5_series()? })
+pub fn fig5() -> Result<Fig5Report, Error> {
+    Ok(Fig5Report {
+        rows: fig5_series()?,
+    })
 }
 
 impl Fig5Report {
@@ -459,7 +470,10 @@ mod tests {
             .point_at(VthPolicy::ConstantStaticPower, Volts(0.2))
             .unwrap();
         assert!(scaled.delay < pt.delay / 1.5);
-        assert!((scaled.dynamic - 1.0 / 9.0).abs() < 1e-9, "89% dynamic saving");
+        assert!(
+            (scaled.dynamic - 1.0 / 9.0).abs() < 1e-9,
+            "89% dynamic saving"
+        );
     }
 
     #[test]

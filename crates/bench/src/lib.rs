@@ -9,13 +9,18 @@
 //! integration tests assert the paper-shape invariants on them.
 //!
 //! Experiment index (DESIGN.md §5): [`tables`] covers T1–T2, [`figures`]
-//! covers F1–F5, [`experiments`] covers E1–E7.
+//! covers F1–F5, [`experiments`] covers E1–E10. The [`registry`] module
+//! is the single source of truth tying them together: one [`registry::
+//! Artifact`] per table/figure/experiment, with explicit CSV
+//! availability, consumed by `repro`, the parallel engine
+//! (`nanopower::engine`), and the integration tests alike.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod figures;
+pub mod registry;
 pub mod tables;
 
 /// Wire-load model shared by the Fig. 1 and Fig. 4 scenarios: the

@@ -1,7 +1,8 @@
 //! Tables 1 and 2 of the paper.
 
 use nanopower::report::{fmt_sig, TextTable};
-use np_device::{DeviceError, GateKind, Mosfet};
+use nanopower::Error;
+use np_device::{GateKind, Mosfet};
 use np_roadmap::survey::{DeviceReport, SURVEY};
 use np_roadmap::TechNode;
 use np_units::Volts;
@@ -15,24 +16,21 @@ pub struct Table1Report {
 
 /// Regenerates Table 1.
 pub fn table1() -> Table1Report {
-    Table1Report { rows: SURVEY.iter().collect() }
+    Table1Report {
+        rows: SURVEY.iter().collect(),
+    }
 }
 
 impl Table1Report {
     /// Plain-text rendering in the paper's column order.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "Table 1. Recent NMOS device results, compared with ITRS projections.\n",
-        );
-        out.push_str(
-            "  ref   source          node     Tox            Vdd     Ion        Ioff\n",
-        );
+        let mut out =
+            String::from("Table 1. Recent NMOS device results, compared with ITRS projections.\n");
+        out.push_str("  ref   source          node     Tox            Vdd     Ion        Ioff\n");
         for r in &self.rows {
             out.push_str(&format!("{r}\n"));
         }
-        out.push_str(
-            "\nReading: no published sub-1 V technology meets the ITRS Ion target.\n",
-        );
+        out.push_str("\nReading: no published sub-1 V technology meets the ITRS Ion target.\n");
         out
     }
 }
@@ -72,7 +70,7 @@ pub struct Table2Report {
 /// # Errors
 ///
 /// Propagates device-calibration errors.
-pub fn table2() -> Result<Table2Report, DeviceError> {
+pub fn table2() -> Result<Table2Report, Error> {
     let t180 = TechNode::N180.params().tox_phys.0;
     let coxe = |t: f64| (t180 + 0.7) / (t + 0.7);
     let cox = |t: f64| t180 / t;
@@ -200,7 +198,11 @@ mod tests {
     fn table2_headline_ratios() {
         let t = table2().unwrap();
         // Paper: 152X model vs 23X ITRS; ours lands in the same regime.
-        assert!(t.model_ioff_increase() > 50.0, "got {:.0}X", t.model_ioff_increase());
+        assert!(
+            t.model_ioff_increase() > 50.0,
+            "got {:.0}X",
+            t.model_ioff_increase()
+        );
         assert!((20.0..=25.0).contains(&t.itrs_ioff_increase()));
         assert!(t.model_ioff_increase() > 3.0 * t.itrs_ioff_increase());
         // Paper: 2.9X at 35 nm.

@@ -64,7 +64,10 @@ impl ActivityProfile {
             probability[id.index()] = output_probability(g.kind, &inputs);
         }
         let activity = probability.iter().map(|&p| 2.0 * p * (1.0 - p)).collect();
-        Ok(Self { probability, activity })
+        Ok(Self {
+            probability,
+            activity,
+        })
     }
 
     /// Activity of one gate's output.
@@ -109,7 +112,9 @@ pub fn netlist_power_with_profile(
         // carry a residual (clock feedthrough, glitches).
         let a = profile.activity_of(id).max(1e-4);
         dynamic += Watts(a * freq.0 * c_load.0 * vdd.0 * vdd.0);
-        let ioff = dev.with_vth(ctx.threshold_voltage(g.vth)).ioff_at_drain(vdd);
+        let ioff = dev
+            .with_vth(ctx.threshold_voltage(g.vth))
+            .ioff_at_drain(vdd);
         leakage += ioff.total(ctx.leak_width(g.kind, g.drive)) * vdd;
     }
     Ok(PowerReport { dynamic, leakage })
@@ -127,9 +132,7 @@ mod tests {
         assert_eq!(output_probability(CellKind::Buffer, &[0.3]), 0.3);
         assert!((output_probability(CellKind::Nand2, &[0.5, 0.5]) - 0.75).abs() < 1e-12);
         assert!((output_probability(CellKind::Nor2, &[0.5, 0.5]) - 0.25).abs() < 1e-12);
-        assert!(
-            (output_probability(CellKind::Nand3, &[0.5, 0.5, 0.5]) - 0.875).abs() < 1e-12
-        );
+        assert!((output_probability(CellKind::Nand3, &[0.5, 0.5, 0.5]) - 0.875).abs() < 1e-12);
     }
 
     #[test]
@@ -175,16 +178,11 @@ mod tests {
         assert!(ActivityProfile::propagate(&nl, 1.5).is_err());
         let ctx = TimingContext::for_node(TechNode::N100).unwrap();
         let prof = ActivityProfile::propagate(&nl, 0.5).unwrap();
-        assert!(
-            netlist_power_with_profile(&nl, &ctx, &prof, np_units::Hertz(0.0)).is_err()
-        );
+        assert!(netlist_power_with_profile(&nl, &ctx, &prof, np_units::Hertz(0.0)).is_err());
         let other = generate_netlist(&NetlistSpec::medium(6));
-        assert!(netlist_power_with_profile(
-            &other,
-            &ctx,
-            &prof,
-            np_units::Hertz::from_giga(1.0)
-        )
-        .is_err());
+        assert!(
+            netlist_power_with_profile(&other, &ctx, &prof, np_units::Hertz::from_giga(1.0))
+                .is_err()
+        );
     }
 }

@@ -260,13 +260,17 @@ mod tests {
     #[test]
     #[should_panic(expected = "drive strength must be positive")]
     fn zero_drive_panics() {
-        let _ = Cell::sized(CellKind::Inverter, 0.0, Farads::from_femto(1.5), Microns(0.8));
+        let _ = Cell::sized(
+            CellKind::Inverter,
+            0.0,
+            Farads::from_femto(1.5),
+            Microns(0.8),
+        );
     }
 
     #[test]
     fn display_contains_cap() {
-        let cell =
-            Cell::sized(CellKind::Nand2, 1.0, Farads::from_femto(1.5), Microns(0.8));
+        let cell = Cell::sized(CellKind::Nand2, 1.0, Farads::from_femto(1.5), Microns(0.8));
         let s = format!("{cell}");
         assert!(s.contains("ND2X1"));
         assert!(s.contains("fF"));

@@ -71,10 +71,13 @@ mod tests {
     fn display_variants() {
         assert!(format!("{}", CircuitError::UnknownGate { index: 3 }).contains('3'));
         assert!(format!("{}", CircuitError::EmptyNetlist).contains("no gates"));
-        assert!(
-            format!("{}", CircuitError::NoMatchingCell { wanted: "INVX99".into() })
-                .contains("INVX99")
-        );
+        assert!(format!(
+            "{}",
+            CircuitError::NoMatchingCell {
+                wanted: "INVX99".into()
+            }
+        )
+        .contains("INVX99"));
     }
 
     #[test]

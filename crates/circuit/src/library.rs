@@ -88,8 +88,18 @@ impl Library {
             }
         }
         // One level-converter drive per library; CVS sizes them by count.
-        cells.push(Cell::sized(CellKind::LevelConverter, 2.0, unit_cap, unit_width));
-        Ok(Self { node, unit_cap, unit_width, cells })
+        cells.push(Cell::sized(
+            CellKind::LevelConverter,
+            2.0,
+            unit_cap,
+            unit_width,
+        ));
+        Ok(Self {
+            node,
+            unit_cap,
+            unit_width,
+            cells,
+        })
     }
 
     /// The rich, SA-27E-like library: 16 inverter drives (from 1× — the
@@ -101,8 +111,7 @@ impl Library {
     /// Propagates device-calibration errors for the node.
     pub fn rich(node: TechNode) -> Result<Self, CircuitError> {
         let inv = [
-            1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0, 48.0,
-            64.0,
+            1.0, 1.5, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 12.0, 16.0, 20.0, 24.0, 32.0, 48.0, 64.0,
         ];
         let nand2 = [1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0, 24.0, 32.0];
         let other = [1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 16.0, 32.0];
@@ -184,12 +193,7 @@ impl Library {
     /// On-the-fly cell generation (Section 2.3, ref. \[17\]): adds a cell of
     /// `kind` whose drive *exactly* matches `c_load` at effort `h_target`,
     /// and returns it.
-    pub fn with_generated_cell(
-        &mut self,
-        kind: CellKind,
-        c_load: Farads,
-        h_target: f64,
-    ) -> &Cell {
+    pub fn with_generated_cell(&mut self, kind: CellKind, c_load: Farads, h_target: f64) -> &Cell {
         let drive = self.drive_for_load(kind, c_load, h_target);
         let cell = Cell::sized(kind, drive, self.unit_cap, self.unit_width);
         self.cells.push(cell);
@@ -261,7 +265,9 @@ mod tests {
         let mut lib = Library::rich(TechNode::N100).unwrap();
         let load = Farads::from_femto(7.3);
         let before = lib.cells().len();
-        let cell = lib.with_generated_cell(CellKind::Inverter, load, 4.0).clone();
+        let cell = lib
+            .with_generated_cell(CellKind::Inverter, load, 4.0)
+            .clone();
         assert_eq!(lib.cells().len(), before + 1);
         // h = g * C_load / C_in should equal the 4.0 target exactly.
         let h = cell.kind.logical_effort() * load.0 / cell.input_cap.0;

@@ -164,7 +164,11 @@ impl Netlist {
             let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle exists");
             return Err(CircuitError::CombinationalLoop { index: stuck });
         }
-        Ok(Self { gates, topo, fanouts })
+        Ok(Self {
+            gates,
+            topo,
+            fanouts,
+        })
     }
 
     /// Number of gates.
@@ -197,7 +201,9 @@ impl Netlist {
     ///
     /// Panics if the id is out of range.
     pub fn gate_mut(&mut self, id: GateId) -> GateAssignment<'_> {
-        GateAssignment { gate: &mut self.gates[id.0] }
+        GateAssignment {
+            gate: &mut self.gates[id.0],
+        }
     }
 
     /// Gate ids in a valid topological order (fan-ins first).
@@ -225,7 +231,9 @@ impl Netlist {
 
     /// Gates with no gate fan-ins (driven by primary inputs).
     pub fn entry_gates(&self) -> Vec<GateId> {
-        self.ids().filter(|&id| self.gates[id.0].fanins.is_empty()).collect()
+        self.ids()
+            .filter(|&id| self.gates[id.0].fanins.is_empty())
+            .collect()
     }
 }
 
@@ -304,13 +312,15 @@ mod tests {
 
     #[test]
     fn empty_netlist_rejected() {
-        assert!(matches!(Netlist::new(vec![]), Err(CircuitError::EmptyNetlist)));
+        assert!(matches!(
+            Netlist::new(vec![]),
+            Err(CircuitError::EmptyNetlist)
+        ));
     }
 
     #[test]
     fn dangling_fanin_rejected() {
-        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(7)])])
-            .unwrap_err();
+        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(7)])]).unwrap_err();
         assert!(matches!(err, CircuitError::UnknownGate { index: 7 }));
     }
 
@@ -326,8 +336,7 @@ mod tests {
 
     #[test]
     fn self_loop_rejected() {
-        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(0)])])
-            .unwrap_err();
+        let err = Netlist::new(vec![Gate::new(CellKind::Inverter, vec![GateId(0)])]).unwrap_err();
         assert!(matches!(err, CircuitError::CombinationalLoop { index: 0 }));
     }
 

@@ -88,7 +88,9 @@ pub fn netlist_power(
         let vdd = ctx.supply_voltage(g.supply);
         let c_load = ctx.load_of(netlist, id);
         dynamic += Watts(activity * freq.0 * c_load.0 * vdd.0 * vdd.0);
-        let ioff = dev.with_vth(ctx.threshold_voltage(g.vth)).ioff_at_drain(vdd);
+        let ioff = dev
+            .with_vth(ctx.threshold_voltage(g.vth))
+            .ioff_at_drain(vdd);
         let w = ctx.leak_width(g.kind, g.drive);
         leakage += ioff.total(w) * vdd;
         // Level converters on Low -> High fan-out edges.
@@ -166,7 +168,10 @@ pub fn fo4_power(
     // State-averaged leakage: half the time the NMOS leaks, half the PMOS.
     let ioff = dev.ioff();
     let leak = 0.5 * (ioff.total(wn) + ioff.total(wp) * PMOS_IOFF_FRACTION);
-    Ok(PowerReport { dynamic, leakage: leak * vdd })
+    Ok(PowerReport {
+        dynamic,
+        leakage: leak * vdd,
+    })
 }
 
 #[cfg(test)]
@@ -200,7 +205,10 @@ mod tests {
         let double_f = netlist_power(&nl, &ctx, 0.1, Hertz::from_giga(2.0)).unwrap();
         assert!((double_a.dynamic.0 / base.dynamic.0 - 2.0).abs() < 1e-9);
         assert!((double_f.dynamic.0 / base.dynamic.0 - 2.0).abs() < 1e-9);
-        assert!((double_a.leakage.0 - base.leakage.0).abs() < 1e-15, "leakage is activity-free");
+        assert!(
+            (double_a.leakage.0 - base.leakage.0).abs() < 1e-15,
+            "leakage is activity-free"
+        );
     }
 
     #[test]
@@ -231,7 +239,10 @@ mod tests {
         let after = netlist_power(&nl, &ctx, 0.1, Hertz::from_giga(2.0)).unwrap();
         let expect = np_device::dualvth::ioff_multiplier(ctx.vth_high - ctx.vth_low);
         let got = before.leakage / after.leakage;
-        assert!((got / expect - 1.0).abs() < 0.01, "want {expect:.1}x, got {got:.1}x");
+        assert!(
+            (got / expect - 1.0).abs() < 0.01,
+            "want {expect:.1}x, got {got:.1}x"
+        );
         assert!((after.dynamic.0 - before.dynamic.0).abs() < 1e-15);
     }
 
@@ -399,15 +410,21 @@ mod short_circuit_tests {
         let dev = Mosfet::for_node(node).unwrap();
         let vdd = node.params().vdd;
         let f = Hertz::from_giga(1.0);
-        let slow = short_circuit_power(&dev, vdd, Microns(1.0), Seconds::from_pico(60.0), 0.1, f)
-            .unwrap();
-        let fast = short_circuit_power(&dev, vdd, Microns(1.0), Seconds::from_pico(20.0), 0.1, f)
-            .unwrap();
+        let slow =
+            short_circuit_power(&dev, vdd, Microns(1.0), Seconds::from_pico(60.0), 0.1, f).unwrap();
+        let fast =
+            short_circuit_power(&dev, vdd, Microns(1.0), Seconds::from_pico(20.0), 0.1, f).unwrap();
         assert!(slow > fast, "slower edges burn more crowbar current");
         let high_vth = dev.with_vth(dev.vth + Volts(0.15));
-        let damped =
-            short_circuit_power(&high_vth, vdd, Microns(1.0), Seconds::from_pico(60.0), 0.1, f)
-                .unwrap();
+        let damped = short_circuit_power(
+            &high_vth,
+            vdd,
+            Microns(1.0),
+            Seconds::from_pico(60.0),
+            0.1,
+            f,
+        )
+        .unwrap();
         assert!(damped < slow, "higher Vth narrows the conduction window");
     }
 
@@ -415,8 +432,7 @@ mod short_circuit_tests {
     fn bad_inputs_rejected() {
         let dev = Mosfet::for_node(TechNode::N100).unwrap();
         let f = Hertz::from_giga(1.0);
-        assert!(short_circuit_power(&dev, Volts(1.2), Microns(1.0), Seconds(0.0), 0.1, f)
-            .is_err());
+        assert!(short_circuit_power(&dev, Volts(1.2), Microns(1.0), Seconds(0.0), 0.1, f).is_err());
         assert!(short_circuit_power(
             &dev,
             Volts(1.2),

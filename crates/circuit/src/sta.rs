@@ -99,8 +99,7 @@ impl TimingContext {
         let vth_low = device.vth;
         let vth_high = vth_low + vth_offset;
         let tau = Seconds(fo4_delay(&device, vdd_high)?.0 / 5.0);
-        let unit_width =
-            Microns(UNIT_INV_WIDTH_PER_DRAWN * node.drawn().to_microns().0);
+        let unit_width = Microns(UNIT_INV_WIDTH_PER_DRAWN * node.drawn().to_microns().0);
         let unit_cap = Farads(device.gate_cap_per_um().0 * unit_width.0);
         let reference = vdd_high.0 / device.ion(vdd_high)?.0;
         let mut multipliers = [[1.0f64; 2]; 2];
@@ -252,8 +251,7 @@ impl TimingContext {
             let g = netlist.gate(id);
             let mut at = Seconds(0.0);
             for &f in &g.fanins {
-                let candidate =
-                    arrival[f.index()] + self.edge_penalty(netlist, f, id);
+                let candidate = arrival[f.index()] + self.edge_penalty(netlist, f, id);
                 at = at.max(candidate);
             }
             arrival[id.index()] = at + delay[id.index()];
@@ -266,15 +264,18 @@ impl TimingContext {
         for &id in netlist.topological_order().iter().rev() {
             let req_here = required[id.index()];
             for &f in &netlist.gate(id).fanins {
-                let budget =
-                    req_here - delay[id.index()] - self.edge_penalty(netlist, f, id);
+                let budget = req_here - delay[id.index()] - self.edge_penalty(netlist, f, id);
                 required[f.index()] = required[f.index()].min(budget);
             }
         }
-        let slack: Vec<Seconds> = (0..n)
-            .map(|i| required[i] - arrival[i])
-            .collect();
-        Ok(TimingReport { arrival, required, slack, delay, clock })
+        let slack: Vec<Seconds> = (0..n).map(|i| required[i] - arrival[i]).collect();
+        Ok(TimingReport {
+            arrival,
+            required,
+            slack,
+            delay,
+            clock,
+        })
     }
 }
 
@@ -403,7 +404,10 @@ mod tests {
     #[test]
     fn slack_decreases_with_tighter_clock() {
         let nl = chain(6);
-        let loose = ctx().with_clock(Seconds::from_nano(5.0)).analyze(&nl).unwrap();
+        let loose = ctx()
+            .with_clock(Seconds::from_nano(5.0))
+            .analyze(&nl)
+            .unwrap();
         let tight = ctx()
             .with_clock(Seconds::from_pico(50.0))
             .analyze(&nl)
@@ -414,7 +418,10 @@ mod tests {
     #[test]
     fn infeasible_clock_is_detected() {
         let nl = chain(10);
-        let rep = ctx().with_clock(Seconds::from_pico(1.0)).analyze(&nl).unwrap();
+        let rep = ctx()
+            .with_clock(Seconds::from_pico(1.0))
+            .analyze(&nl)
+            .unwrap();
         assert!(!rep.is_feasible());
     }
 
@@ -452,7 +459,10 @@ mod tests {
     #[test]
     fn critical_path_spans_the_chain() {
         let nl = chain(5);
-        let rep = ctx().with_clock(Seconds::from_nano(10.0)).analyze(&nl).unwrap();
+        let rep = ctx()
+            .with_clock(Seconds::from_nano(10.0))
+            .analyze(&nl)
+            .unwrap();
         let path = rep.critical_path(&nl);
         assert_eq!(path.len(), 5);
     }
@@ -460,27 +470,22 @@ mod tests {
     #[test]
     fn endpoint_slack_distribution_has_one_entry_per_endpoint() {
         let nl = chain(4);
-        let rep = ctx().with_clock(Seconds::from_nano(10.0)).analyze(&nl).unwrap();
+        let rep = ctx()
+            .with_clock(Seconds::from_nano(10.0))
+            .analyze(&nl)
+            .unwrap();
         assert_eq!(rep.endpoint_slacks(&nl).len(), 1);
     }
 
     #[test]
     fn bad_supply_pair_rejected() {
         let p = TechNode::N100.params();
-        assert!(TimingContext::with_supplies(
-            TechNode::N100,
-            p.vdd,
-            Volts(0.0),
-            Volts(0.1)
-        )
-        .is_err());
-        assert!(TimingContext::with_supplies(
-            TechNode::N100,
-            p.vdd,
-            p.vdd * 1.1,
-            Volts(0.1)
-        )
-        .is_err());
+        assert!(
+            TimingContext::with_supplies(TechNode::N100, p.vdd, Volts(0.0), Volts(0.1)).is_err()
+        );
+        assert!(
+            TimingContext::with_supplies(TechNode::N100, p.vdd, p.vdd * 1.1, Volts(0.1)).is_err()
+        );
     }
 
     #[test]

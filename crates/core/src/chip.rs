@@ -1,6 +1,7 @@
 //! The `Chip` scenario builder: one MPU design at one ITRS node, analyzed
 //! end-to-end with every model in the workspace.
 
+use crate::error::Error;
 use np_device::Mosfet;
 use np_grid::plan::GridPlan;
 use np_grid::GridError;
@@ -56,12 +57,33 @@ pub struct Chip {
 impl Chip {
     /// The default scenario at a node: activity 0.1, effective worst case
     /// 75 %, junction at the ITRS limit for that node's year.
+    ///
+    /// Thin wrapper over [`Chip::builder`] with the defaults, which are
+    /// always valid.
     pub fn at_node(node: TechNode) -> Self {
-        Self {
+        Self::builder(node)
+            .build()
+            .expect("default scenario is valid")
+    }
+
+    /// Starts a validating builder for a scenario at `node`:
+    ///
+    /// ```
+    /// # use nanopower::chip::Chip;
+    /// # use nanopower::roadmap::TechNode;
+    /// let chip = Chip::builder(TechNode::N70)
+    ///     .activity(0.15)
+    ///     .effective_fraction(0.8)
+    ///     .build()?;
+    /// assert_eq!(chip.activity, 0.15);
+    /// # Ok::<(), nanopower::Error>(())
+    /// ```
+    pub fn builder(node: TechNode) -> ChipBuilder {
+        ChipBuilder {
             node,
             activity: 0.1,
             effective_fraction: 0.75,
-            junction_temp: PackagingRoadmap::for_node(node).t_junction_max,
+            junction_temp: None,
         }
     }
 
@@ -111,8 +133,7 @@ impl Chip {
         let p_eff = p_max * self.effective_fraction;
         let theta_theoretical =
             Package::required_theta_ja(p_max, pkg.t_junction_max, pkg.t_ambient);
-        let theta_dtm =
-            Package::required_theta_ja(p_eff, pkg.t_junction_max, pkg.t_ambient);
+        let theta_dtm = Package::required_theta_ja(p_eff, pkg.t_junction_max, pkg.t_ambient);
         // Simulate the DTM-protected, effective-worst-case-sized package
         // against a realistic application trace.
         let package = Package::new(theta_dtm, pkg.t_ambient);
@@ -152,7 +173,10 @@ impl Chip {
     ///
     /// Propagates grid-model errors.
     pub fn grid_plan(&self) -> Result<(GridPlan, GridPlan), GridError> {
-        Ok((GridPlan::min_pitch(self.node)?, GridPlan::itrs_pads(self.node)?))
+        Ok((
+            GridPlan::min_pitch(self.node)?,
+            GridPlan::itrs_pads(self.node)?,
+        ))
     }
 
     /// Runs the Section 3.3 combined flow (CVS → sizing → dual-Vth) on a
@@ -168,9 +192,7 @@ impl Chip {
         clock_factor: f64,
     ) -> Result<np_opt::combined::CombinedResult, np_opt::OptError> {
         if !(clock_factor > 1.0) {
-            return Err(np_opt::OptError::BadParameter(
-                "clock factor must exceed 1",
-            ));
+            return Err(np_opt::OptError::BadParameter("clock factor must exceed 1"));
         }
         let mut netlist = np_circuit::generate::generate_netlist(
             &np_circuit::generate::NetlistSpec::small(self.node.index() as u64 + 40),
@@ -178,9 +200,79 @@ impl Chip {
         let ctx = np_circuit::sta::TimingContext::for_node(self.node)?;
         let critical = ctx.analyze(&netlist)?.critical_delay();
         let ctx = ctx.with_clock(critical * clock_factor);
-        let mut options = np_opt::combined::CombinedOptions::default();
-        options.activity = self.activity;
+        let options = np_opt::combined::CombinedOptions {
+            activity: self.activity,
+            ..Default::default()
+        };
         np_opt::combined::optimize(&mut netlist, &ctx, &options)
+    }
+}
+
+/// Validating fluent builder for [`Chip`], started by [`Chip::builder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipBuilder {
+    node: TechNode,
+    activity: f64,
+    effective_fraction: f64,
+    junction_temp: Option<Celsius>,
+}
+
+impl ChipBuilder {
+    /// Sets the average switching activity (validated in `build`: must be
+    /// a finite value in `(0, 1]`).
+    pub fn activity(mut self, activity: f64) -> Self {
+        self.activity = activity;
+        self
+    }
+
+    /// Sets the effective-to-theoretical worst-case power ratio
+    /// (validated in `build`: must be a finite value in `(0, 1]`).
+    pub fn effective_fraction(mut self, fraction: f64) -> Self {
+        self.effective_fraction = fraction;
+        self
+    }
+
+    /// Overrides the junction temperature used for leakage analyses;
+    /// defaults to the ITRS limit for the node's year.
+    pub fn junction_temp(mut self, temp: Celsius) -> Self {
+        self.junction_temp = Some(temp);
+        self
+    }
+
+    /// Validates and constructs the [`Chip`].
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] when activity or effective fraction is
+    /// outside `(0, 1]`, or the junction temperature is outside the
+    /// physically sensible `[-55, 250] °C` range.
+    pub fn build(self) -> Result<Chip, Error> {
+        if !(self.activity > 0.0 && self.activity <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "activity must be in (0, 1], got {}",
+                self.activity
+            )));
+        }
+        if !(self.effective_fraction > 0.0 && self.effective_fraction <= 1.0) {
+            return Err(Error::InvalidParameter(format!(
+                "effective fraction must be in (0, 1], got {}",
+                self.effective_fraction
+            )));
+        }
+        let junction_temp = self
+            .junction_temp
+            .unwrap_or_else(|| PackagingRoadmap::for_node(self.node).t_junction_max);
+        if !(junction_temp.0 >= -55.0 && junction_temp.0 <= 250.0) {
+            return Err(Error::InvalidParameter(format!(
+                "junction temperature must be in [-55, 250] °C, got {junction_temp}"
+            )));
+        }
+        Ok(Chip {
+            node: self.node,
+            activity: self.activity,
+            effective_fraction: self.effective_fraction,
+            junction_temp,
+        })
     }
 }
 
@@ -281,11 +373,7 @@ mod tests {
         // Section 3.1: "Unchecked, static power would reach kilowatt
         // levels, dwarfing dynamic power."
         let b = Chip::at_node(TechNode::N35).power_budget().unwrap();
-        assert!(
-            b.projected_leakage.0 > 200.0,
-            "got {}",
-            b.projected_leakage
-        );
+        assert!(b.projected_leakage.0 > 200.0, "got {}", b.projected_leakage);
     }
 
     #[test]
@@ -324,6 +412,46 @@ mod tests {
     fn device_runs_hot() {
         let d = Chip::at_node(TechNode::N70).device().unwrap();
         assert_eq!(d.temp, Celsius(85.0));
+    }
+
+    #[test]
+    fn builder_matches_at_node_defaults() {
+        for node in TechNode::ALL {
+            assert_eq!(Chip::builder(node).build().unwrap(), Chip::at_node(node));
+        }
+    }
+
+    #[test]
+    fn builder_accepts_custom_scenario() {
+        let chip = Chip::builder(TechNode::N50)
+            .activity(0.25)
+            .effective_fraction(0.9)
+            .junction_temp(Celsius(70.0))
+            .build()
+            .unwrap();
+        assert_eq!(chip.activity, 0.25);
+        assert_eq!(chip.effective_fraction, 0.9);
+        assert_eq!(chip.junction_temp, Celsius(70.0));
+    }
+
+    #[test]
+    fn builder_rejects_out_of_range() {
+        for bad in [0.0, -0.1, 1.5, f64::NAN] {
+            assert!(Chip::builder(TechNode::N70).activity(bad).build().is_err());
+            assert!(Chip::builder(TechNode::N70)
+                .effective_fraction(bad)
+                .build()
+                .is_err());
+        }
+        assert!(Chip::builder(TechNode::N70)
+            .junction_temp(Celsius(300.0))
+            .build()
+            .is_err());
+        let err = Chip::builder(TechNode::N70)
+            .activity(2.0)
+            .build()
+            .unwrap_err();
+        assert!(format!("{err}").contains("activity"), "{err}");
     }
 }
 

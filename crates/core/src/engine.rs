@@ -1,0 +1,374 @@
+//! The parallel artifact engine: a work-queue runner with per-run
+//! telemetry.
+//!
+//! Motivated by the concurrent power/thermal-evaluation workloads of the
+//! related literature (Rosselló et al.; Atienza et al.), this module
+//! turns a list of named jobs — closures producing text — into a
+//! [`RunReport`] by fanning them out over `N` worker threads from
+//! [`std::thread::scope`]. Three guarantees shape the design:
+//!
+//! 1. **Determinism.** Jobs are claimed from a shared queue in submission
+//!    order, but results are stored back by job index, so
+//!    [`RunReport::records`] — and anything rendered from it — is
+//!    byte-identical no matter how many workers ran or how they
+//!    interleaved. Only the telemetry (durations, worker attribution)
+//!    varies between runs.
+//! 2. **Failure isolation.** A job that returns an error — or panics —
+//!    marks its own record and the engine keeps going; the summary and
+//!    exit status report the damage at the end instead of aborting on the
+//!    first failure.
+//! 3. **Observability.** Every record carries wall-clock duration, the
+//!    worker that ran it, and an FNV-1a digest of its output;
+//!    [`RunReport::to_json`] emits the whole run as a machine-readable
+//!    report for tracking performance trajectory across commits.
+
+use crate::error::Error;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of work: a named closure producing rendered text.
+pub struct Job {
+    name: String,
+    runner: Box<dyn FnOnce() -> Result<String, Error> + Send>,
+}
+
+impl Job {
+    /// Wraps a closure as a named job.
+    pub fn new(
+        name: impl Into<String>,
+        runner: impl FnOnce() -> Result<String, Error> + Send + 'static,
+    ) -> Self {
+        Job {
+            name: name.into(),
+            runner: Box::new(runner),
+        }
+    }
+
+    /// The job's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Job")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Telemetry and outcome for one executed [`Job`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// The job's name.
+    pub name: String,
+    /// Rendered output on success, the error otherwise (panics are
+    /// converted to [`Error::Panic`]).
+    pub outcome: Result<String, Error>,
+    /// Wall-clock time the job took.
+    pub duration: Duration,
+    /// Index of the worker thread (0-based) that ran the job.
+    pub worker: usize,
+}
+
+impl JobRecord {
+    /// Whether the job succeeded.
+    pub fn is_ok(&self) -> bool {
+        self.outcome.is_ok()
+    }
+
+    /// `fnv1a:<16 hex digits>` digest of the output, when the job
+    /// succeeded — cheap fingerprint for spotting output drift between
+    /// runs without storing the text.
+    pub fn digest(&self) -> Option<String> {
+        self.outcome
+            .as_ref()
+            .ok()
+            .map(|s| format!("fnv1a:{:016x}", fnv1a64(s.as_bytes())))
+    }
+}
+
+/// The result of one engine run: every record in submission order plus
+/// run-level telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Per-job records, in the order the jobs were submitted (never in
+    /// completion order — see the module's determinism guarantee).
+    pub records: Vec<JobRecord>,
+    /// Worker threads the run was configured with.
+    pub workers: usize,
+    /// Wall-clock time of the whole run.
+    pub total_wall: Duration,
+}
+
+impl RunReport {
+    /// Whether every job succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.records.iter().all(JobRecord::is_ok)
+    }
+
+    /// The records that failed, submission order.
+    pub fn failures(&self) -> Vec<&JobRecord> {
+        self.records.iter().filter(|r| !r.is_ok()).collect()
+    }
+
+    /// A one-line-per-failure summary, empty string when all succeeded.
+    pub fn error_summary(&self) -> String {
+        let failures = self.failures();
+        if failures.is_empty() {
+            return String::new();
+        }
+        let mut out = format!(
+            "{} of {} artifacts failed:\n",
+            failures.len(),
+            self.records.len()
+        );
+        for r in failures {
+            let err = r.outcome.as_ref().expect_err("failure record");
+            out.push_str(&format!("  {}: {err}\n", r.name));
+        }
+        out
+    }
+
+    /// The machine-readable run report (see DESIGN.md §"Run-report JSON
+    /// schema"): per-artifact status, duration, worker, and output digest,
+    /// plus run-level worker count and wall-clock.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"nanopower-run-report/v1\",\n");
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!(
+            "  \"total_ms\": {:.3},\n",
+            self.total_wall.as_secs_f64() * 1e3
+        ));
+        out.push_str(&format!("  \"failures\": {},\n", self.failures().len()));
+        out.push_str("  \"artifacts\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str("    {");
+            out.push_str(&format!("\"artifact\": {}, ", json_string(&r.name)));
+            out.push_str(&format!(
+                "\"status\": \"{}\", ",
+                if r.is_ok() { "ok" } else { "error" }
+            ));
+            out.push_str(&format!(
+                "\"duration_ms\": {:.3}, ",
+                r.duration.as_secs_f64() * 1e3
+            ));
+            out.push_str(&format!("\"worker\": {}", r.worker));
+            match &r.outcome {
+                Ok(text) => {
+                    out.push_str(&format!(", \"bytes\": {}", text.len()));
+                    out.push_str(&format!(
+                        ", \"digest\": {}",
+                        json_string(&r.digest().expect("ok record digests"))
+                    ));
+                }
+                Err(e) => out.push_str(&format!(", \"error\": {}", json_string(&e.to_string()))),
+            }
+            out.push('}');
+            if i + 1 < self.records.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Runs `jobs` across `workers` threads and collects the report.
+///
+/// `workers` is clamped to `1..=jobs.len()` (an empty job list returns an
+/// empty report without spawning). With `workers == 1` the jobs run
+/// strictly in submission order on one spawned worker — the serial
+/// reference that parallel runs are byte-identical to.
+pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
+    let total = jobs.len();
+    let start = Instant::now();
+    if total == 0 {
+        return RunReport {
+            records: Vec::new(),
+            workers: 0,
+            total_wall: start.elapsed(),
+        };
+    }
+    let workers = workers.clamp(1, total);
+    // Slots the workers take jobs from; `next` hands out indices in
+    // submission order.
+    let queue: Mutex<(usize, Vec<Option<Job>>)> =
+        Mutex::new((0, jobs.into_iter().map(Some).collect()));
+    let records: Mutex<Vec<Option<JobRecord>>> = Mutex::new((0..total).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let queue = &queue;
+            let records = &records;
+            scope.spawn(move || loop {
+                let (index, job) = {
+                    let mut q = queue.lock().expect("queue lock");
+                    let index = q.0;
+                    if index >= total {
+                        return;
+                    }
+                    q.0 += 1;
+                    (index, q.1[index].take().expect("job claimed once"))
+                };
+                let job_start = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(job.runner))
+                    .unwrap_or_else(|p| Err(Error::Panic(panic_message(p.as_ref()))));
+                let record = JobRecord {
+                    name: job.name,
+                    outcome,
+                    duration: job_start.elapsed(),
+                    worker,
+                };
+                records.lock().expect("records lock")[index] = Some(record);
+            });
+        }
+    });
+
+    let records = records
+        .into_inner()
+        .expect("records lock")
+        .into_iter()
+        .map(|r| r.expect("every job produces a record"))
+        .collect();
+    RunReport {
+        records,
+        workers,
+        total_wall: start.elapsed(),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// FNV-1a, 64-bit: the digest backing [`JobRecord::digest`].
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed_jobs(n: usize) -> Vec<Job> {
+        (0..n)
+            .map(|i| Job::new(format!("job{i}"), move || Ok(format!("output {i}\n"))))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_order_matches_serial() {
+        let serial = run(fixed_jobs(12), 1);
+        let parallel = run(fixed_jobs(12), 4);
+        let texts = |r: &RunReport| -> Vec<String> {
+            r.records
+                .iter()
+                .map(|j| j.outcome.clone().unwrap())
+                .collect()
+        };
+        assert_eq!(texts(&serial), texts(&parallel));
+        assert_eq!(parallel.workers, 4);
+        assert!(parallel.all_ok());
+    }
+
+    #[test]
+    fn failures_do_not_stop_the_run() {
+        let jobs = vec![
+            Job::new("good", || Ok("fine\n".into())),
+            Job::new("bad", || Err(Error::InvalidParameter("broken".into()))),
+            Job::new("panicky", || panic!("boom")),
+            Job::new("after", || Ok("still ran\n".into())),
+        ];
+        let report = run(jobs, 2);
+        assert_eq!(report.records.len(), 4);
+        assert!(!report.all_ok());
+        assert_eq!(report.failures().len(), 2);
+        assert!(report.records[3].is_ok(), "jobs after a failure still run");
+        let summary = report.error_summary();
+        assert!(summary.contains("2 of 4"), "{summary}");
+        assert!(
+            summary.contains("boom"),
+            "panic message surfaces: {summary}"
+        );
+    }
+
+    #[test]
+    fn worker_attribution_and_clamping() {
+        let report = run(fixed_jobs(3), 64);
+        assert_eq!(report.workers, 3, "workers clamp to job count");
+        assert!(report.records.iter().all(|r| r.worker < 3));
+        let report = run(fixed_jobs(3), 0);
+        assert_eq!(report.workers, 1, "zero workers clamp to one");
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let report = run(Vec::new(), 8);
+        assert!(report.records.is_empty());
+        assert_eq!(report.workers, 0);
+        assert!(report.all_ok());
+        assert!(report.error_summary().is_empty());
+    }
+
+    #[test]
+    fn digests_fingerprint_output() {
+        let a = run(fixed_jobs(2), 1);
+        let b = run(fixed_jobs(2), 2);
+        assert_eq!(a.records[0].digest(), b.records[0].digest());
+        assert_ne!(a.records[0].digest(), a.records[1].digest());
+        assert!(a.records[0].digest().unwrap().starts_with("fnv1a:"));
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let jobs = vec![
+            Job::new("ok\"quote", || Ok("text".into())),
+            Job::new("bad", || Err(Error::InvalidParameter("x\ny".into()))),
+        ];
+        let json = run(jobs, 2).to_json();
+        assert!(json.contains("\"schema\": \"nanopower-run-report/v1\""));
+        assert!(json.contains("\"artifact\": \"ok\\\"quote\""), "{json}");
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(json.contains("\"status\": \"error\""));
+        assert!(json.contains("\\n"), "newlines escaped in error strings");
+        assert!(json.contains("\"failures\": 1"));
+        assert!(json.contains("\"duration_ms\""));
+        assert!(json.contains("\"digest\": \"fnv1a:"));
+    }
+}

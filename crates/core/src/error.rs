@@ -1,0 +1,153 @@
+//! The workspace-level error type.
+//!
+//! Every model crate keeps its own precise error enum (`DeviceError`,
+//! `GridError`, …) so library callers can match on exactly what failed;
+//! [`Error`] is the top of that hierarchy for code that drives several
+//! models at once — the `Chip` facade, the `repro` harness, the engine,
+//! and the examples — replacing the former `Box<dyn std::error::Error>`
+//! signatures with a typed, matchable enum.
+
+use np_circuit::CircuitError;
+use np_device::DeviceError;
+use np_grid::GridError;
+use np_interconnect::InterconnectError;
+use np_opt::OptError;
+use np_thermal::ThermalError;
+use np_units::math::SolveError;
+use std::fmt;
+
+/// The unified workspace error: one variant per model-crate error type,
+/// plus the facade-level failure modes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A device-model failure (`np-device`).
+    Device(DeviceError),
+    /// A netlist/timing/power failure (`np-circuit`).
+    Circuit(CircuitError),
+    /// An interconnect-model failure (`np-interconnect`).
+    Interconnect(InterconnectError),
+    /// A thermal-model failure (`np-thermal`).
+    Thermal(ThermalError),
+    /// A power-grid failure (`np-grid`).
+    Grid(GridError),
+    /// An optimizer failure (`np-opt`).
+    Opt(OptError),
+    /// A bare numerical-solver failure (`np-units`).
+    Solve(SolveError),
+    /// A facade- or harness-level parameter is out of range (documented
+    /// in the message).
+    InvalidParameter(String),
+    /// A request named an artifact the registry does not contain.
+    UnknownArtifact {
+        /// The unmatched name.
+        name: String,
+    },
+    /// A request asked an artifact for an output form it cannot produce
+    /// (e.g. CSV from a text-only experiment).
+    UnsupportedOutput {
+        /// The artifact asked.
+        artifact: String,
+        /// The output form requested, e.g. `"csv"`.
+        format: &'static str,
+    },
+    /// A job panicked inside the engine; the payload message is preserved
+    /// so the run report can show it like any other failure.
+    Panic(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Device(e) => write!(f, "device: {e}"),
+            Error::Circuit(e) => write!(f, "circuit: {e}"),
+            Error::Interconnect(e) => write!(f, "interconnect: {e}"),
+            Error::Thermal(e) => write!(f, "thermal: {e}"),
+            Error::Grid(e) => write!(f, "grid: {e}"),
+            Error::Opt(e) => write!(f, "optimizer: {e}"),
+            Error::Solve(e) => write!(f, "solver: {e}"),
+            Error::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            Error::UnknownArtifact { name } => {
+                write!(f, "unknown artifact `{name}` (try --list)")
+            }
+            Error::UnsupportedOutput { artifact, format } => {
+                write!(f, "artifact `{artifact}` has no {format} form")
+            }
+            Error::Panic(m) => write!(f, "panicked: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Device(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            Error::Interconnect(e) => Some(e),
+            Error::Thermal(e) => Some(e),
+            Error::Grid(e) => Some(e),
+            Error::Opt(e) => Some(e),
+            Error::Solve(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! from_model_error {
+    ($($source:ty => $variant:ident),* $(,)?) => {$(
+        impl From<$source> for Error {
+            fn from(e: $source) -> Self {
+                Error::$variant(e)
+            }
+        }
+    )*};
+}
+
+from_model_error! {
+    DeviceError => Device,
+    CircuitError => Circuit,
+    InterconnectError => Interconnect,
+    ThermalError => Thermal,
+    GridError => Grid,
+    OptError => Opt,
+    SolveError => Solve,
+}
+
+/// Workspace-level result alias.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_model_error_converts_and_chains() {
+        use std::error::Error as _;
+        let cases: Vec<Error> = vec![
+            DeviceError::BadParameter("d").into(),
+            CircuitError::EmptyNetlist.into(),
+            InterconnectError::BadParameter("i").into(),
+            ThermalError::BadParameter("t").into(),
+            GridError::BadParameter("g").into(),
+            OptError::BadParameter("o").into(),
+            SolveError::BadArguments("s").into(),
+        ];
+        for e in cases {
+            assert!(e.source().is_some(), "{e} should chain to its source");
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    #[test]
+    fn harness_variants_display() {
+        let e = Error::UnknownArtifact {
+            name: "fig9".into(),
+        };
+        assert!(format!("{e}").contains("fig9"));
+        let e = Error::UnsupportedOutput {
+            artifact: "dtm".into(),
+            format: "csv",
+        };
+        assert!(format!("{e}").contains("no csv form"));
+        assert!(format!("{}", Error::InvalidParameter("x".into())).contains("x"));
+    }
+}

@@ -4,8 +4,12 @@
 //! reproduction of *Future Performance Challenges in Nanometer Design*
 //! (D. Sylvester and H. Kaul, DAC 2001).
 //!
-//! This facade crate re-exports the whole workspace and adds the
-//! [`chip::Chip`] scenario builder that ties the models together:
+//! This facade crate re-exports the whole workspace and adds the pieces
+//! that tie the models together: the [`chip::Chip`] scenario facade (built
+//! via the validating [`chip::ChipBuilder`]), the unified [`error::Error`]
+//! type over every model crate's error, and the [`engine`] — a parallel,
+//! deterministic artifact runner with per-run telemetry used by the
+//! `repro` harness:
 //!
 //! | crate | paper section | what it models |
 //! |---|---|---|
@@ -21,11 +25,11 @@
 //! # Quickstart
 //!
 //! ```
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # fn main() -> Result<(), nanopower::Error> {
 //! use nanopower::chip::Chip;
 //! use nanopower::roadmap::TechNode;
 //!
-//! let chip = Chip::at_node(TechNode::N70);
+//! let chip = Chip::builder(TechNode::N70).activity(0.1).build()?;
 //! let budget = chip.power_budget()?;
 //! // The ITRS caps static power at 10% of the chip budget (Section 3.1);
 //! // the unconstrained projection blows through it.
@@ -39,6 +43,8 @@
 #![warn(missing_docs)]
 
 pub mod chip;
+pub mod engine;
+pub mod error;
 pub mod report;
 
 pub use np_circuit as circuit;
@@ -50,4 +56,5 @@ pub use np_roadmap as roadmap;
 pub use np_thermal as thermal;
 pub use np_units as units;
 
-pub use chip::Chip;
+pub use chip::{Chip, ChipBuilder};
+pub use error::{Error, Result};

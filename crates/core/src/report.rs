@@ -110,7 +110,7 @@ mod tests {
         let s = t.render();
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
-        assert_eq!(lines[1].chars().all(|c| c == '-'), true);
+        assert!(lines[1].chars().all(|c| c == '-'));
         assert!(lines[2].len() == lines[3].len());
     }
 

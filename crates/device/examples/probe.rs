@@ -1,19 +1,33 @@
-use np_device::{Mosfet, GateKind};
 use np_device::solve::solve_vth_for_ion;
+use np_device::{GateKind, Mosfet};
 use np_roadmap::TechNode;
-use np_units::{Volts, MicroampsPerMicron};
+use np_units::{MicroampsPerMicron, Volts};
 
 fn main() {
     println!("mu0 = {:.1}", np_device::presets::calibrated_mu0());
     for n in TechNode::ALL {
         let d = Mosfet::for_node(n).unwrap();
         let p = n.params();
-        println!("{n}: vth={:.3} ioff={:.1} nA/um  mueff={:.0} esatL={:.3}V", d.vth.0, d.ioff().as_nano_per_micron(), d.mu_eff(p.vdd), d.esat(p.vdd).0*d.leff.to_microns().0);
+        println!(
+            "{n}: vth={:.3} ioff={:.1} nA/um  mueff={:.0} esatL={:.3}V",
+            d.vth.0,
+            d.ioff().as_nano_per_micron(),
+            d.mu_eff(p.vdd),
+            d.esat(p.vdd).0 * d.leff.to_microns().0
+        );
     }
     let d = Mosfet::for_node_with(TechNode::N50, Volts(0.7), GateKind::PolySilicon).unwrap();
-    println!("50nm@0.7: vth={:.3} ioff={:.1}", d.vth.0, d.ioff().as_nano_per_micron());
+    println!(
+        "50nm@0.7: vth={:.3} ioff={:.1}",
+        d.vth.0,
+        d.ioff().as_nano_per_micron()
+    );
     let d = Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal).unwrap();
-    println!("35nm metal: vth={:.3} ioff={:.1}", d.vth.0, d.ioff().as_nano_per_micron());
+    println!(
+        "35nm metal: vth={:.3} ioff={:.1}",
+        d.vth.0,
+        d.ioff().as_nano_per_micron()
+    );
     let t = Mosfet::for_node(TechNode::N180).unwrap();
     for v in [1.8, 1.5, 1.2] {
         match solve_vth_for_ion(&t, Volts(v), MicroampsPerMicron(750.0)) {
@@ -24,11 +38,18 @@ fn main() {
     let d35 = Mosfet::for_node(TechNode::N35).unwrap();
     for v in [0.6, 0.5, 0.4, 0.3, 0.2] {
         let nd = np_device::delay::normalized_delay(&d35, Volts(v), d35.vth, Volts(0.6), d35.vth);
-        println!("35nm const-vth delay @ {v}: {:?}", nd.map(|x| (x*100.0).round()/100.0));
+        println!(
+            "35nm const-vth delay @ {v}: {:?}",
+            nd.map(|x| (x * 100.0).round() / 100.0)
+        );
     }
     for n in TechNode::ALL {
         let g = np_device::dualvth::ion_gain(n, Volts(0.1)).unwrap();
         let p = np_device::dualvth::ioff_penalty_for_gain(n, 0.2);
-        println!("{n}: ion_gain(100mV)={:.1}%  ioff_penalty(+20%)={:?}", g*100.0, p.map(|x|(x*10.0).round()/10.0));
+        println!(
+            "{n}: ion_gain(100mV)={:.1}%  ioff_penalty(+20%)={:?}",
+            g * 100.0,
+            p.map(|x| (x * 10.0).round() / 10.0)
+        );
     }
 }

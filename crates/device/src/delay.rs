@@ -52,7 +52,9 @@ pub fn switching_delay(
     width: Microns,
 ) -> Result<Seconds, DeviceError> {
     if !(c_load.0 > 0.0) {
-        return Err(DeviceError::BadParameter("load capacitance must be positive"));
+        return Err(DeviceError::BadParameter(
+            "load capacitance must be positive",
+        ));
     }
     if !(width.0 > 0.0) {
         return Err(DeviceError::BadParameter("device width must be positive"));
@@ -154,8 +156,7 @@ mod tests {
         let dev = Mosfet::for_node(TechNode::N35).unwrap();
         let slow = normalized_delay(&dev, Volts(0.3), dev.vth, Volts(0.6), dev.vth).unwrap();
         let fast =
-            normalized_delay(&dev, Volts(0.3), dev.vth - Volts(0.06), Volts(0.6), dev.vth)
-                .unwrap();
+            normalized_delay(&dev, Volts(0.3), dev.vth - Volts(0.06), Volts(0.6), dev.vth).unwrap();
         assert!(fast < slow);
     }
 

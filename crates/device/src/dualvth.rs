@@ -16,9 +16,9 @@
 
 use crate::error::DeviceError;
 use crate::model::{Mosfet, SUBTHRESHOLD_SWING_V};
+use np_roadmap::TechNode;
 use np_units::math::bisect;
 use np_units::Volts;
-use np_roadmap::TechNode;
 
 /// A high-Vth / low-Vth device pair in one technology.
 #[derive(Debug, Clone, PartialEq)]
@@ -39,11 +39,17 @@ impl DualVthPair {
     /// Propagates calibration errors; rejects non-positive offsets.
     pub fn for_node(node: TechNode, delta_vth: Volts) -> Result<Self, DeviceError> {
         if !(delta_vth.0 > 0.0) {
-            return Err(DeviceError::BadParameter("threshold offset must be positive"));
+            return Err(DeviceError::BadParameter(
+                "threshold offset must be positive",
+            ));
         }
         let high = Mosfet::for_node(node)?;
         let low = high.with_vth(high.vth - delta_vth);
-        Ok(Self { high, low, delta_vth })
+        Ok(Self {
+            high,
+            low,
+            delta_vth,
+        })
     }
 
     /// Relative drive-current gain of the low-Vth device,

@@ -37,7 +37,10 @@ impl fmt::Display for DeviceError {
             }
             DeviceError::BadParameter(msg) => write!(f, "unphysical device parameter: {msg}"),
             DeviceError::Solve(e) => write!(f, "device solve failed: {e}"),
-            DeviceError::TargetUnreachable { vdd, target_ua_per_um } => write!(
+            DeviceError::TargetUnreachable {
+                vdd,
+                target_ua_per_um,
+            } => write!(
                 f,
                 "no Vth meets Ion = {target_ua_per_um} µA/µm at Vdd = {vdd}"
             ),
@@ -66,10 +69,16 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = DeviceError::NoOverdrive { vdd: Volts(0.2), vth: Volts(0.3) };
+        let e = DeviceError::NoOverdrive {
+            vdd: Volts(0.2),
+            vth: Volts(0.3),
+        };
         assert!(format!("{e}").contains("no gate overdrive"));
         assert!(format!("{}", DeviceError::BadParameter("x")).contains("unphysical"));
-        let e = DeviceError::TargetUnreachable { vdd: Volts(0.6), target_ua_per_um: 750.0 };
+        let e = DeviceError::TargetUnreachable {
+            vdd: Volts(0.6),
+            target_ua_per_um: 750.0,
+        };
         assert!(format!("{e}").contains("750"));
     }
 

@@ -126,7 +126,10 @@ mod tests {
         let d = dev();
         let c = transfer_curve(&d, Volts(0.9), &volts(0.0, 0.9, 10)).unwrap();
         // At Vgs = 0 we see ~Ioff; at Vgs = Vdd we see ~Ion.
-        assert!((c[0].id.0 / d.ioff().0 - 1.0).abs() < 0.05, "left end ≈ Ioff");
+        assert!(
+            (c[0].id.0 / d.ioff().0 - 1.0).abs() < 0.05,
+            "left end ≈ Ioff"
+        );
         let ion = d.ion(Volts(0.9)).unwrap();
         let right = c[c.len() - 1].id.0;
         assert!((right / ion.0 - 1.0).abs() < 0.05, "right end ≈ Ion");

@@ -4,11 +4,11 @@ use crate::error::DeviceError;
 use crate::mobility::{self, T_REF_K};
 use crate::oxide::{self, GateKind};
 use crate::substrate::Substrate;
+use np_roadmap::TechNode;
 use np_units::{
     Celsius, FaradsPerCm2, FaradsPerMicron, Kelvin, MicroampsPerMicron, Nanometers, Volts,
     VoltsPerMicron,
 };
-use np_roadmap::TechNode;
 use std::fmt;
 
 /// Room-temperature subthreshold swing parameter, "85 mV ... throughout
@@ -90,17 +90,26 @@ pub struct Mosfet {
 impl Mosfet {
     /// Returns a copy with a different threshold voltage.
     pub fn with_vth(&self, vth: Volts) -> Self {
-        Self { vth, ..self.clone() }
+        Self {
+            vth,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy evaluated at a different junction temperature.
     pub fn with_temperature(&self, temp: Celsius) -> Self {
-        Self { temp, ..self.clone() }
+        Self {
+            temp,
+            ..self.clone()
+        }
     }
 
     /// Returns a copy with a different gate stack.
     pub fn with_gate(&self, gate: GateKind) -> Self {
-        Self { gate, ..self.clone() }
+        Self {
+            gate,
+            ..self.clone()
+        }
     }
 
     /// The nominal supply of the device's roadmap node, or a conservative
@@ -145,15 +154,15 @@ impl Mosfet {
     /// `S(T) = 85 mV · T/300`, reduced by 20 % on FD-SOI substrates
     /// (footnote 3).
     pub fn subthreshold_swing(&self) -> Volts {
-        Volts(
-            SUBTHRESHOLD_SWING_V * self.substrate.swing_factor() * self.temp_kelvin().0
-                / T_REF_K,
-        )
+        Volts(SUBTHRESHOLD_SWING_V * self.substrate.swing_factor() * self.temp_kelvin().0 / T_REF_K)
     }
 
     /// Returns a copy on a different substrate technology.
     pub fn with_substrate(&self, substrate: Substrate) -> Self {
-        Self { substrate, ..self.clone() }
+        Self {
+            substrate,
+            ..self.clone()
+        }
     }
 
     /// Eq. 3 — intrinsic saturation current before the source-resistance
@@ -242,11 +251,14 @@ impl Mosfet {
         self.validate()?;
         let vov = (vgs - self.vth_at_temp()).0;
         if vov <= 0.0 {
-            return Err(DeviceError::NoOverdrive { vdd: vgs, vth: self.vth_at_temp() });
+            return Err(DeviceError::NoOverdrive {
+                vdd: vgs,
+                vth: self.vth_at_temp(),
+            });
         }
         let mu = self.mu_eff(vgs); // cm²/Vs
         let coxe = self.coxe().0; // F/cm²
-        // Conductance per µm of width: µ·Coxe·(1 µm / Leff)·Vov, in S/µm.
+                                  // Conductance per µm of width: µ·Coxe·(1 µm / Leff)·Vov, in S/µm.
         let g_per_um = mu * coxe * (1e-4 / self.leff.as_cm()) * vov;
         Ok(1.0 / g_per_um)
     }

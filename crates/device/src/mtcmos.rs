@@ -112,7 +112,10 @@ impl MtcmosBlock {
         let bounce = self.virtual_ground_bounce(vdd)?;
         let vov = (vdd - self.logic.vth_at_temp()).0;
         if vov <= 0.0 {
-            return Err(DeviceError::NoOverdrive { vdd, vth: self.logic.vth_at_temp() });
+            return Err(DeviceError::NoOverdrive {
+                vdd,
+                vth: self.logic.vth_at_temp(),
+            });
         }
         Ok(bounce.0 / vov)
     }

@@ -124,8 +124,7 @@ mod tests {
         // The thinner the oxide, the larger the relative Coxe benefit of
         // removing gate depletion — the paper's scaling argument.
         let gain = |t: f64| {
-            coxe(Nanometers(t), GateKind::Metal).0
-                / coxe(Nanometers(t), GateKind::PolySilicon).0
+            coxe(Nanometers(t), GateKind::Metal).0 / coxe(Nanometers(t), GateKind::PolySilicon).0
         };
         assert!(gain(0.54) > gain(2.25));
     }

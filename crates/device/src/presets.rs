@@ -144,8 +144,7 @@ mod tests {
         // Section 3.1 observation 1: the thinner effective oxide "allows a
         // 55 mV increase in Vth" at 35 nm.
         let poly = Mosfet::for_node(TechNode::N35).unwrap();
-        let metal =
-            Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal).unwrap();
+        let metal = Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal).unwrap();
         let delta_mv = (metal.vth - poly.vth).as_milli();
         assert!(
             (25.0..=95.0).contains(&delta_mv),
@@ -165,8 +164,8 @@ mod tests {
     fn custom_target_can_be_unreachable() {
         let p = TechNode::N50.params();
         let proto = template(TechNode::N50, GateKind::PolySilicon);
-        let err = solve_vth_for_ion(&proto, Volts(0.25), MicroampsPerMicron(p.ion_target.0))
-            .unwrap_err();
+        let err =
+            solve_vth_for_ion(&proto, Volts(0.25), MicroampsPerMicron(p.ion_target.0)).unwrap_err();
         assert!(matches!(err, DeviceError::TargetUnreachable { .. }));
     }
 }

@@ -64,7 +64,10 @@ pub fn solve_vth_for_ion(
     }
     let vth_max = vdd - Volts(0.02);
     if vth_max <= VTH_SEARCH_MIN {
-        return Err(DeviceError::TargetUnreachable { vdd, target_ua_per_um: target.0 });
+        return Err(DeviceError::TargetUnreachable {
+            vdd,
+            target_ua_per_um: target.0,
+        });
     }
     let ion_at = |vth: f64| -> f64 {
         template
@@ -75,12 +78,18 @@ pub fn solve_vth_for_ion(
     };
     // Ion is strictly decreasing in Vth; check reachability at the lower end.
     if ion_at(VTH_SEARCH_MIN.0) < target.0 {
-        return Err(DeviceError::TargetUnreachable { vdd, target_ua_per_um: target.0 });
+        return Err(DeviceError::TargetUnreachable {
+            vdd,
+            target_ua_per_um: target.0,
+        });
     }
     if ion_at(vth_max.0) > target.0 {
         // Even a threshold a hair under the supply over-delivers: the
         // device is faster than the target everywhere in the window.
-        return Err(DeviceError::TargetUnreachable { vdd, target_ua_per_um: target.0 });
+        return Err(DeviceError::TargetUnreachable {
+            vdd,
+            target_ua_per_um: target.0,
+        });
     }
     let root = bisect(
         |vth| ion_at(vth) - target.0,
@@ -141,8 +150,7 @@ mod tests {
 
     #[test]
     fn solve_meets_target() {
-        let vth =
-            solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(750.0)).unwrap();
+        let vth = solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(750.0)).unwrap();
         let ion = template().with_vth(vth).ion(Volts(1.8)).unwrap();
         assert!((ion.0 - 750.0).abs() < 0.5);
         assert!(vth.0 > 0.0 && vth.0 < 1.0);
@@ -150,10 +158,8 @@ mod tests {
 
     #[test]
     fn harder_targets_need_lower_vth() {
-        let easy =
-            solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(500.0)).unwrap();
-        let hard =
-            solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(900.0)).unwrap();
+        let easy = solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(500.0)).unwrap();
+        let hard = solve_vth_for_ion(&template(), Volts(1.8), MicroampsPerMicron(900.0)).unwrap();
         assert!(hard < easy);
     }
 
@@ -166,8 +172,8 @@ mod tests {
 
     #[test]
     fn unreachable_target_is_reported() {
-        let err = solve_vth_for_ion(&template(), Volts(0.3), MicroampsPerMicron(750.0))
-            .unwrap_err();
+        let err =
+            solve_vth_for_ion(&template(), Volts(0.3), MicroampsPerMicron(750.0)).unwrap_err();
         assert!(matches!(err, DeviceError::TargetUnreachable { .. }));
     }
 

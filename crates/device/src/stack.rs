@@ -61,7 +61,9 @@ impl SubthresholdStack {
     /// Panics if `n == 0`.
     pub fn uniform(device: &Mosfet, n: usize) -> Self {
         assert!(n > 0, "stack needs at least one device");
-        Self { devices: vec![device.clone(); n] }
+        Self {
+            devices: vec![device.clone(); n],
+        }
     }
 
     /// Stack depth.
@@ -130,8 +132,7 @@ impl SubthresholdStack {
                         .leakage_rec(rest, Volts(vx))
                         .map(|i| i.0)
                         .unwrap_or(0.0);
-                    let above =
-                        subthreshold_current(top, Volts(-vx), Volts(vtotal.0 - vx));
+                    let above = subthreshold_current(top, Volts(-vx), Volts(vtotal.0 - vx));
                     below - above
                 };
                 let eps = 1e-9;
@@ -158,8 +159,7 @@ pub fn subthreshold_current(dev: &Mosfet, vgs: Volts, vds: Volts) -> f64 {
     // (0, Vdd_nominal) equals dev.ioff().
     let vdd_ref = dev.nominal_vdd().0;
     let base = dev.ioff().0;
-    base * 10f64.powf((vgs.0 + DIBL_ETA * (vds.0 - vdd_ref)) / s)
-        * (1.0 - (-vds.0 / phi_t).exp())
+    base * 10f64.powf((vgs.0 + DIBL_ETA * (vds.0 - vdd_ref)) / s) * (1.0 - (-vds.0 / phi_t).exp())
 }
 
 #[cfg(test)]
@@ -192,8 +192,12 @@ mod tests {
     fn deeper_stacks_suppress_more() {
         let d = dev();
         let v = d.nominal_vdd();
-        let f2 = SubthresholdStack::uniform(&d, 2).suppression_factor(v).unwrap();
-        let f3 = SubthresholdStack::uniform(&d, 3).suppression_factor(v).unwrap();
+        let f2 = SubthresholdStack::uniform(&d, 2)
+            .suppression_factor(v)
+            .unwrap();
+        let f3 = SubthresholdStack::uniform(&d, 3)
+            .suppression_factor(v)
+            .unwrap();
         assert!(f3 > f2);
     }
 
@@ -205,8 +209,9 @@ mod tests {
         let high = low.with_vth(low.vth + Volts(0.1));
         let v = low.nominal_vdd();
         let uniform = SubthresholdStack::uniform(&low, 2).leakage(v).unwrap();
-        let mixed =
-            SubthresholdStack::new(vec![high.clone(), low.clone()]).leakage(v).unwrap();
+        let mixed = SubthresholdStack::new(vec![high.clone(), low.clone()])
+            .leakage(v)
+            .unwrap();
         assert!(mixed < uniform);
     }
 
@@ -234,7 +239,9 @@ mod tests {
     #[test]
     fn rejects_non_positive_supply() {
         let d = dev();
-        assert!(SubthresholdStack::uniform(&d, 2).leakage(Volts(0.0)).is_err());
+        assert!(SubthresholdStack::uniform(&d, 2)
+            .leakage(Volts(0.0))
+            .is_err());
     }
 
     #[test]

@@ -77,7 +77,10 @@ impl BodyBias {
             TechNode::N50 => 0.09,
             TechNode::N35 => 0.07,
         };
-        BodyBias { gamma_eff, max_reverse_bias: Volts(1.0) }
+        BodyBias {
+            gamma_eff,
+            max_reverse_bias: Volts(1.0),
+        }
     }
 
     /// Threshold shift at a given reverse body bias (clamped to the

@@ -42,7 +42,10 @@ pub struct IrBudget {
 
 impl Default for IrBudget {
     fn default() -> Self {
-        Self { total_fraction: 0.10, top_level_share: 0.5 }
+        Self {
+            total_fraction: 0.10,
+            top_level_share: 0.5,
+        }
     }
 }
 
@@ -159,8 +162,7 @@ mod tests {
     #[test]
     fn required_width_at_35nm_min_pitch_matches_fig5() {
         // Fig. 5: rails ~16x minimum width at the 80 µm minimum pitch.
-        let w = required_rail_width(TechNode::N35, Microns(80.0), &IrBudget::default())
-            .unwrap();
+        let w = required_rail_width(TechNode::N35, Microns(80.0), &IrBudget::default()).unwrap();
         let ratio = w.0 / TechNode::N35.params().top_metal_min_width.0;
         assert!((8.0..=30.0).contains(&ratio), "got {ratio:.1}x min width");
     }
@@ -214,7 +216,10 @@ mod tests {
     fn bad_inputs_rejected() {
         assert!(worst_case_drop(TechNode::N35, Microns(0.0), Microns(1.0)).is_err());
         assert!(worst_case_drop(TechNode::N35, Microns(80.0), Microns(0.0)).is_err());
-        let bad = IrBudget { total_fraction: 0.0, top_level_share: 0.5 };
+        let bad = IrBudget {
+            total_fraction: 0.0,
+            top_level_share: 0.5,
+        };
         assert!(bad.per_net(Volts(1.0)).is_err());
     }
 }

@@ -141,12 +141,11 @@ mod tests {
         let v = solve_cg(&m).unwrap();
         let mut gv = vec![0.0; v.len()];
         apply(&m, &v, &mut gv);
-        for i in 0..v.len() {
+        for (i, g) in gv.iter().enumerate() {
             if !m.pinned[i] {
                 assert!(
-                    (gv[i] + m.injection[i]).abs() < 1e-9,
-                    "KCL at {i}: {} vs {}",
-                    gv[i],
+                    (g + m.injection[i]).abs() < 1e-9,
+                    "KCL at {i}: {g} vs {}",
                     -m.injection[i]
                 );
             }
@@ -157,9 +156,9 @@ mod tests {
     fn pinned_nodes_stay_at_zero() {
         let m = loaded_mesh(11);
         let v = solve_cg(&m).unwrap();
-        for i in 0..v.len() {
+        for (i, vi) in v.iter().enumerate() {
             if m.pinned[i] {
-                assert_eq!(v[i], 0.0);
+                assert_eq!(*vi, 0.0);
             }
         }
     }

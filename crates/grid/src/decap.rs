@@ -109,8 +109,7 @@ mod tests {
         // A tens-of-microseconds staged wake-up needs decap the floorplan
         // can absorb.
         let budget = TechNode::N35.params().vdd * 0.05;
-        let plan =
-            DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
+        let plan = DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
         assert!(
             plan.is_practical(0.05),
             "20 µs ramp needs {:.1}% of die",
@@ -125,18 +124,15 @@ mod tests {
         // package response time demands decap beyond any floorplan.
         let budget = TechNode::N35.params().vdd * 0.05;
         let fast = DecapPlan::size_for(TechNode::N35, &event(20.0), budget).unwrap();
-        let staged =
-            DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
+        let staged = DecapPlan::size_for(TechNode::N35, &event(20_000.0), budget).unwrap();
         assert!(fast.required > staged.required * 100.0);
         assert!(!fast.is_practical(0.25));
     }
 
     #[test]
     fn tighter_droop_needs_more_decap() {
-        let loose =
-            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.06)).unwrap();
-        let tight =
-            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.015)).unwrap();
+        let loose = DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.06)).unwrap();
+        let tight = DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.015)).unwrap();
         assert!((tight.required.0 / loose.required.0 - 4.0).abs() < 1e-9);
     }
 
@@ -147,8 +143,7 @@ mod tests {
 
     #[test]
     fn display_summarizes() {
-        let plan =
-            DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.03)).unwrap();
+        let plan = DecapPlan::size_for(TechNode::N35, &event(100.0), Volts(0.03)).unwrap();
         let s = format!("{plan}");
         assert!(s.contains("decap"));
         assert!(s.contains("droop"));

@@ -29,8 +29,14 @@ impl fmt::Display for GridError {
             GridError::Infeasible { width_um } => {
                 write!(f, "drop budget unreachable even at {width_um:.0} µm rails")
             }
-            GridError::NoConvergence { iterations, residual } => {
-                write!(f, "mesh solver stalled after {iterations} iterations (residual {residual:.2e})")
+            GridError::NoConvergence {
+                iterations,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "mesh solver stalled after {iterations} iterations (residual {residual:.2e})"
+                )
             }
         }
     }
@@ -48,7 +54,10 @@ mod tests {
         assert!(format!("{}", GridError::Infeasible { width_um: 10.0 }).contains("10"));
         assert!(format!(
             "{}",
-            GridError::NoConvergence { iterations: 5, residual: 1e-3 }
+            GridError::NoConvergence {
+                iterations: 5,
+                residual: 1e-3
+            }
         )
         .contains("stalled"));
     }

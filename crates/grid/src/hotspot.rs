@@ -50,8 +50,8 @@ impl FloorplanMix {
         if !(self.memory_density_ratio > 0.0 && self.logic_peak_ratio > 0.0) {
             return Err(GridError::BadParameter("density ratios must be positive"));
         }
-        let average = self.memory_fraction * self.memory_density_ratio
-            + (1.0 - self.memory_fraction) * 1.0;
+        let average =
+            self.memory_fraction * self.memory_density_ratio + (1.0 - self.memory_fraction) * 1.0;
         Ok(self.logic_peak_ratio / average)
     }
 }
@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn bad_mix_rejected() {
-        let mix = FloorplanMix { memory_fraction: 1.0, ..FloorplanMix::default() };
+        let mix = FloorplanMix {
+            memory_fraction: 1.0,
+            ..FloorplanMix::default()
+        };
         assert!(mix.hotspot_factor().is_err());
         let mix = FloorplanMix {
             memory_density_ratio: 0.0,

@@ -40,11 +40,18 @@ impl LogicStyleComparison {
     /// Returns [`GridError::BadParameter`] for non-positive inputs.
     pub fn matched(c_load: Farads, vdd: Volts, freq: Hertz) -> Result<Self, GridError> {
         if !(c_load.0 > 0.0 && vdd.0 > 0.0 && freq.0 > 0.0) {
-            return Err(GridError::BadParameter("comparison inputs must be positive"));
+            return Err(GridError::BadParameter(
+                "comparison inputs must be positive",
+            ));
         }
         let swing = 0.4 * vdd.0;
         let i_tail = Amps(c_load.0 * swing * 2.0 * freq.0);
-        Ok(Self { c_load, vdd, freq, i_tail })
+        Ok(Self {
+            c_load,
+            vdd,
+            freq,
+            i_tail,
+        })
     }
 
     /// CMOS power at switching activity `activity`.
@@ -80,12 +87,8 @@ mod tests {
     use super::*;
 
     fn cmp() -> LogicStyleComparison {
-        LogicStyleComparison::matched(
-            Farads::from_femto(20.0),
-            Volts(0.6),
-            Hertz::from_giga(10.0),
-        )
-        .unwrap()
+        LogicStyleComparison::matched(Farads::from_femto(20.0), Volts(0.6), Hertz::from_giga(10.0))
+            .unwrap()
     }
 
     #[test]
@@ -117,11 +120,8 @@ mod tests {
 
     #[test]
     fn bad_inputs_rejected() {
-        assert!(LogicStyleComparison::matched(
-            Farads(0.0),
-            Volts(0.6),
-            Hertz::from_giga(1.0)
-        )
-        .is_err());
+        assert!(
+            LogicStyleComparison::matched(Farads(0.0), Volts(0.6), Hertz::from_giga(1.0)).is_err()
+        );
     }
 }

@@ -48,11 +48,15 @@ pub fn mesh_worst_drop_with_resolution(
     if resolution < 5 {
         return Err(GridError::BadParameter("resolution must be at least 5"));
     }
-    let n = if resolution % 2 == 0 { resolution + 1 } else { resolution };
+    let n = if resolution.is_multiple_of(2) {
+        resolution + 1
+    } else {
+        resolution
+    };
     let rho_s = node.params().top_metal_sheet_resistance().0; // Ω/sq
-    // Rails of width w at pitch P give the sheet an effective sheet
-    // conductivity of (w/P)/ρ_s per routing direction; a square mesh edge
-    // then has that conductance.
+                                                              // Rails of width w at pitch P give the sheet an effective sheet
+                                                              // conductivity of (w/P)/ρ_s per routing direction; a square mesh edge
+                                                              // then has that conductance.
     let sheet_conductance = (rail_width.0 / pitch.0) / rho_s;
     let mut m = MeshProblem::new(n, n, sheet_conductance);
     let j = hotspot_current_density(node); // A/µm²
@@ -104,9 +108,8 @@ mod tests {
         let coarse =
             mesh_worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), 17)
                 .unwrap();
-        let fine =
-            mesh_worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), 49)
-                .unwrap();
+        let fine = mesh_worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), 49)
+            .unwrap();
         // The mesh refines the same physical sheet; answers drift by the
         // log-divergent point-pin correction but stay close.
         let ratio = fine.0 / coarse.0;
@@ -116,12 +119,8 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         assert!(mesh_worst_drop(TechNode::N35, Microns(0.0), Microns(1.0)).is_err());
-        assert!(mesh_worst_drop_with_resolution(
-            TechNode::N35,
-            Microns(80.0),
-            Microns(1.0),
-            3
-        )
-        .is_err());
+        assert!(
+            mesh_worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(1.0), 3).is_err()
+        );
     }
 }

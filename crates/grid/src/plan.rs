@@ -160,7 +160,11 @@ mod tests {
     #[test]
     fn min_pitch_routing_fraction_is_small() {
         let p = GridPlan::min_pitch(TechNode::N35).unwrap();
-        assert!(p.rail_fraction() < 0.08, "{:.1}%", p.rail_fraction() * 100.0);
+        assert!(
+            p.rail_fraction() < 0.08,
+            "{:.1}%",
+            p.rail_fraction() * 100.0
+        );
         let total = p.total_routing_fraction();
         assert!(
             (0.16..=0.24).contains(&total),

@@ -4,10 +4,10 @@
 //! the chip's global communication cost if the switched top-level wiring
 //! moved to differential low-swing links?
 
+use crate::elmore::RcLine;
 use crate::error::InterconnectError;
 use crate::lowswing::{LowSwingLink, DIFFERENTIAL_AREA_FACTOR};
 use crate::repeater::{repeater_census, DriverTech, GLOBAL_ACTIVITY};
-use crate::elmore::RcLine;
 use crate::wire::WireGeometry;
 use np_device::Mosfet;
 use np_roadmap::TechNode;
@@ -60,9 +60,7 @@ impl fmt::Display for GlobalSignalingReport {
 ///
 /// Propagates device and link-model errors (e.g. 10 % swing dropping below
 /// receiver sensitivity at very low supplies).
-pub fn global_signaling_report(
-    node: TechNode,
-) -> Result<GlobalSignalingReport, InterconnectError> {
+pub fn global_signaling_report(node: TechNode) -> Result<GlobalSignalingReport, InterconnectError> {
     let census = repeater_census(node)?;
     let p = node.params();
     let dev = Mosfet::for_node(node)?;
@@ -71,9 +69,8 @@ pub fn global_signaling_report(
     let probe = RcLine::new(WireGeometry::top_level(node), Microns(10_000.0))?;
     let link = LowSwingLink::new(probe, p.vdd)?;
     let energy_per_um = link.energy_per_transition() / 10_000.0;
-    let lowswing_power = Watts(
-        GLOBAL_ACTIVITY * p.global_clock.0 * energy_per_um * census.wire_length.0,
-    );
+    let lowswing_power =
+        Watts(GLOBAL_ACTIVITY * p.global_clock.0 * energy_per_um * census.wire_length.0);
     Ok(GlobalSignalingReport {
         node,
         wire_length: census.wire_length,
@@ -101,8 +98,12 @@ mod tests {
 
     #[test]
     fn repeated_power_grows_along_roadmap() {
-        let p180 = global_signaling_report(TechNode::N180).unwrap().repeated_power;
-        let p50 = global_signaling_report(TechNode::N50).unwrap().repeated_power;
+        let p180 = global_signaling_report(TechNode::N180)
+            .unwrap()
+            .repeated_power;
+        let p50 = global_signaling_report(TechNode::N50)
+            .unwrap()
+            .repeated_power;
         assert!(p50 > p180 * 2.0);
     }
 

@@ -85,7 +85,9 @@ pub fn delay_window(
     neighbours: NeighbourState,
 ) -> Result<CrosstalkWindow, InterconnectError> {
     if !(driver.0 > 0.0) {
-        return Err(InterconnectError::BadParameter("driver resistance must be positive"));
+        return Err(InterconnectError::BadParameter(
+            "driver resistance must be positive",
+        ));
     }
     let g = &line.geometry;
     let c_total = g.capacitance_per_micron().0;

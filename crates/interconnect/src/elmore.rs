@@ -31,7 +31,9 @@ impl RcLine {
     /// Returns [`InterconnectError::BadParameter`] for non-positive length.
     pub fn new(geometry: WireGeometry, length: Microns) -> Result<Self, InterconnectError> {
         if !(length.0 > 0.0) {
-            return Err(InterconnectError::BadParameter("line length must be positive"));
+            return Err(InterconnectError::BadParameter(
+                "line length must be positive",
+            ));
         }
         Ok(Self { geometry, length })
     }
@@ -103,10 +105,12 @@ mod tests {
         let scaled = RcLine::new(WireGeometry::top_level(TechNode::N35), Microns(10_000.0))
             .unwrap()
             .intrinsic_delay();
-        let unscaled =
-            RcLine::new(WireGeometry::top_level_unscaled(TechNode::N35), Microns(10_000.0))
-                .unwrap()
-                .intrinsic_delay();
+        let unscaled = RcLine::new(
+            WireGeometry::top_level_unscaled(TechNode::N35),
+            Microns(10_000.0),
+        )
+        .unwrap()
+        .intrinsic_delay();
         assert!(unscaled.0 < scaled.0 / 3.0);
     }
 }

@@ -42,8 +42,7 @@ pub fn self_inductance_per_um(geometry: &WireGeometry) -> f64 {
 pub fn mutual_inductance_per_um(geometry: &WireGeometry, separation: Microns) -> f64 {
     assert!(separation.0 > 0.0, "separation must be positive");
     let h = 4.0 * geometry.height.0;
-    MU0_H_PER_UM / (4.0 * std::f64::consts::PI)
-        * (1.0 + (2.0 * h / separation.0).powi(2)).ln()
+    MU0_H_PER_UM / (4.0 * std::f64::consts::PI) * (1.0 + (2.0 * h / separation.0).powi(2)).ln()
 }
 
 /// True when inductance matters for a driven line: the classic criterion
@@ -72,7 +71,9 @@ pub fn coupled_noise(
     t_rise: Seconds,
 ) -> Result<Volts, InterconnectError> {
     if !(t_rise.0 > 0.0) {
-        return Err(InterconnectError::BadParameter("rise time must be positive"));
+        return Err(InterconnectError::BadParameter(
+            "rise time must be positive",
+        ));
     }
     if !(coupled_length.0 > 0.0) {
         return Err(InterconnectError::BadParameter("length must be positive"));
@@ -164,7 +165,11 @@ mod tests {
         assert!(m8 < m2);
         // One extra track of spacing (a shield) removes well under half
         // the magnetic coupling.
-        assert!(m2 > 0.5 * m1, "shield removes only {:.0}%", (1.0 - m2 / m1) * 100.0);
+        assert!(
+            m2 > 0.5 * m1,
+            "shield removes only {:.0}%",
+            (1.0 - m2 / m1) * 100.0
+        );
     }
 
     #[test]
@@ -183,10 +188,22 @@ mod tests {
         // Section 2.2: shielding is insufficient; differential is immune.
         let g = top(TechNode::N50);
         let shielded_sep = Microns(2.0 * g.pitch().0); // one shield between
-        let single = coupled_noise(&g, shielded_sep, Microns(5_000.0), 0.02,
-            Seconds::from_pico(50.0)).unwrap();
-        let diff = differential_residue(&g, shielded_sep, Microns(5_000.0), 0.02,
-            Seconds::from_pico(50.0)).unwrap();
+        let single = coupled_noise(
+            &g,
+            shielded_sep,
+            Microns(5_000.0),
+            0.02,
+            Seconds::from_pico(50.0),
+        )
+        .unwrap();
+        let diff = differential_residue(
+            &g,
+            shielded_sep,
+            Microns(5_000.0),
+            0.02,
+            Seconds::from_pico(50.0),
+        )
+        .unwrap();
         assert!(
             diff.0 < single.0 * 0.5,
             "differential residue {diff} vs single-ended {single}"
@@ -199,10 +216,22 @@ mod tests {
     #[test]
     fn faster_edges_are_noisier() {
         let g = top(TechNode::N50);
-        let slow = coupled_noise(&g, Microns(1.0), Microns(1_000.0), 0.01,
-            Seconds::from_pico(100.0)).unwrap();
-        let fast = coupled_noise(&g, Microns(1.0), Microns(1_000.0), 0.01,
-            Seconds::from_pico(10.0)).unwrap();
+        let slow = coupled_noise(
+            &g,
+            Microns(1.0),
+            Microns(1_000.0),
+            0.01,
+            Seconds::from_pico(100.0),
+        )
+        .unwrap();
+        let fast = coupled_noise(
+            &g,
+            Microns(1.0),
+            Microns(1_000.0),
+            0.01,
+            Seconds::from_pico(10.0),
+        )
+        .unwrap();
         assert!((fast.0 / slow.0 - 10.0).abs() < 1e-9);
     }
 
@@ -226,8 +255,6 @@ mod tests {
     fn bad_inputs_rejected() {
         let g = top(TechNode::N50);
         assert!(coupled_noise(&g, Microns(1.0), Microns(1.0), 0.01, Seconds(0.0)).is_err());
-        assert!(
-            coupled_noise(&g, Microns(1.0), Microns(0.0), 0.01, Seconds(1e-12)).is_err()
-        );
+        assert!(coupled_noise(&g, Microns(1.0), Microns(0.0), 0.01, Seconds(1e-12)).is_err());
     }
 }

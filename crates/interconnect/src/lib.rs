@@ -34,8 +34,8 @@
 pub mod chip;
 pub mod crosstalk;
 pub mod elmore;
-pub mod inductance;
 mod error;
+pub mod inductance;
 pub mod lowswing;
 pub mod repeater;
 pub mod wire;

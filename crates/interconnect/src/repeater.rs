@@ -92,7 +92,9 @@ pub fn insert_repeaters(
     tech: &DriverTech,
 ) -> Result<RepeaterDesign, InterconnectError> {
     if !(tech.rd_ohm_um > 0.0 && tech.c0_per_um > 0.0) {
-        return Err(InterconnectError::BadParameter("driver parameters must be positive"));
+        return Err(InterconnectError::BadParameter(
+            "driver parameters must be positive",
+        ));
     }
     let rw = line.geometry.resistance_per_micron().0; // Ω/µm
     let cw = line.geometry.capacitance_per_micron().0; // F/µm
@@ -106,8 +108,7 @@ pub fn insert_repeaters(
     let load = Farads(w_opt * tech.c0_per_um);
     let seg_delay = seg.elmore_delay(driver_r, load);
     let wire_energy = cw * line.length.0 * tech.vdd.0 * tech.vdd.0;
-    let repeater_energy =
-        count as f64 * w_opt * c_gate * tech.vdd.0 * tech.vdd.0;
+    let repeater_energy = count as f64 * w_opt * c_gate * tech.vdd.0 * tech.vdd.0;
     Ok(RepeaterDesign {
         count,
         width: Microns(w_opt),
@@ -151,7 +152,9 @@ pub fn cluster_power_density(
     block_fraction: f64,
 ) -> Result<np_units::WattsPerCm2, InterconnectError> {
     if !(block_fraction > 0.0 && block_fraction <= 1.0) {
-        return Err(InterconnectError::BadParameter("block fraction must be in (0, 1]"));
+        return Err(InterconnectError::BadParameter(
+            "block fraction must be in (0, 1]",
+        ));
     }
     let census = repeater_census(node)?;
     // Repeater (gate + drain cap) share of the census power, spread over
@@ -244,8 +247,7 @@ mod tests {
         let node = TechNode::N50;
         let t = tech(node);
         let d1 = insert_repeaters(&cm_line(node), &t).unwrap();
-        let line2 =
-            RcLine::new(WireGeometry::top_level(node), Microns(20_000.0)).unwrap();
+        let line2 = RcLine::new(WireGeometry::top_level(node), Microns(20_000.0)).unwrap();
         let d2 = insert_repeaters(&line2, &t).unwrap();
         let ratio = d2.total_delay.0 / d1.total_delay.0;
         assert!((ratio - 2.0).abs() < 0.1, "got {ratio}");
@@ -277,7 +279,10 @@ mod tests {
             "50 nm count {}",
             c50.repeater_count
         );
-        assert!(c50.repeater_count > 20 * c180.repeater_count, "proliferation");
+        assert!(
+            c50.repeater_count > 20 * c180.repeater_count,
+            "proliferation"
+        );
     }
 
     #[test]
@@ -320,7 +325,11 @@ mod tests {
     #[test]
     fn bad_driver_rejected() {
         let line = cm_line(TechNode::N70);
-        let bad = DriverTech { rd_ohm_um: 0.0, c0_per_um: 1e-15, vdd: Volts(0.9) };
+        let bad = DriverTech {
+            rd_ohm_um: 0.0,
+            c0_per_um: 1e-15,
+            vdd: Volts(0.9),
+        };
         assert!(insert_repeaters(&line, &bad).is_err());
     }
 }

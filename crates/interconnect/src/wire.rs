@@ -77,7 +77,9 @@ impl WireGeometry {
     /// factor.
     pub fn widened(&self, factor: f64) -> Result<Self, InterconnectError> {
         if !(factor > 0.0) {
-            return Err(InterconnectError::BadParameter("width factor must be positive"));
+            return Err(InterconnectError::BadParameter(
+                "width factor must be positive",
+            ));
         }
         Ok(WireGeometry {
             width: self.width * factor,
@@ -124,8 +126,9 @@ impl WireGeometry {
         let full = self.capacitance_per_micron().0;
         let eps = self.k_dielectric * EPS0_F_PER_UM;
         let coupling_one = (full
-            - eps * (1.15 * (self.width.0 / self.height.0)
-                + 2.80 * (self.thickness.0 / self.height.0).powf(0.222)))
+            - eps
+                * (1.15 * (self.width.0 / self.height.0)
+                    + 2.80 * (self.thickness.0 / self.height.0).powf(0.222)))
             / 2.0;
         FaradsPerMicron(full - coupling_one)
     }
@@ -153,15 +156,16 @@ mod tests {
             prev = r;
         }
         // 180 nm minimum global wire: 2.2e-2/(0.8*1.6) ≈ 0.017 Ω/µm.
-        let r180 = WireGeometry::top_level(TechNode::N180).resistance_per_micron().0;
+        let r180 = WireGeometry::top_level(TechNode::N180)
+            .resistance_per_micron()
+            .0;
         assert!((r180 - 0.0172).abs() < 0.002, "got {r180}");
     }
 
     #[test]
     fn unscaled_geometry_keeps_180nm_resistance() {
         let r_scaled = WireGeometry::top_level(TechNode::N50).resistance_per_micron();
-        let r_unscaled =
-            WireGeometry::top_level_unscaled(TechNode::N50).resistance_per_micron();
+        let r_unscaled = WireGeometry::top_level_unscaled(TechNode::N50).resistance_per_micron();
         assert!(r_unscaled.0 < r_scaled.0 / 5.0);
     }
 

@@ -1,5 +1,6 @@
 //! Property-based tests on the interconnect models.
 
+use np_device::Mosfet;
 use np_interconnect::elmore::RcLine;
 use np_interconnect::inductance::{
     coupled_noise, mutual_inductance_per_um, self_inductance_per_um,
@@ -7,7 +8,6 @@ use np_interconnect::inductance::{
 use np_interconnect::lowswing::LowSwingLink;
 use np_interconnect::repeater::{insert_repeaters, DriverTech};
 use np_interconnect::wire::WireGeometry;
-use np_device::Mosfet;
 use np_roadmap::TechNode;
 use np_units::{Microns, Seconds, Volts};
 use proptest::prelude::*;

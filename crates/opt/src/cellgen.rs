@@ -99,7 +99,11 @@ pub fn map_with_regime(
     let power = netlist_power(netlist, ctx, activity, freq)?;
     let mean_drive =
         netlist.ids().map(|id| netlist.gate(id).drive).sum::<f64>() / netlist.len() as f64;
-    Ok(MappingResult { regime, power, mean_drive })
+    Ok(MappingResult {
+        regime,
+        power,
+        mean_drive,
+    })
 }
 
 /// Runs all three regimes on copies of the netlist and returns them in
@@ -114,13 +118,11 @@ pub fn compare_regimes(
     activity: f64,
 ) -> Result<[MappingResult; 3], OptError> {
     let mut coarse_nl = netlist.clone();
-    let coarse =
-        map_with_regime(&mut coarse_nl, ctx, LibraryRegime::Coarse, activity, None)?;
+    let coarse = map_with_regime(&mut coarse_nl, ctx, LibraryRegime::Coarse, activity, None)?;
     let mut rich_nl = netlist.clone();
     let rich = map_with_regime(&mut rich_nl, ctx, LibraryRegime::Rich, activity, None)?;
     let mut gen_nl = netlist.clone();
-    let generated =
-        map_with_regime(&mut gen_nl, ctx, LibraryRegime::Generated, activity, None)?;
+    let generated = map_with_regime(&mut gen_nl, ctx, LibraryRegime::Generated, activity, None)?;
     Ok([coarse, rich, generated])
 }
 

@@ -114,7 +114,13 @@ pub fn optimize(
         None
     };
     let final_power = netlist_power(netlist, ctx, options.activity, freq)?;
-    Ok(CombinedResult { baseline, cvs, sizing, dual_vth, final_power })
+    Ok(CombinedResult {
+        baseline,
+        cvs,
+        sizing,
+        dual_vth,
+        final_power,
+    })
 }
 
 #[cfg(test)]
@@ -169,8 +175,7 @@ mod tests {
 
         let (mut nl2, ctx2) = setup(1.4);
         let _ = downsize(&mut nl2, &ctx2, 0.1, None).unwrap();
-        let after_sizing =
-            cluster_voltage_scale(&mut nl2, &ctx2, &CvsOptions::default()).unwrap();
+        let after_sizing = cluster_voltage_scale(&mut nl2, &ctx2, &CvsOptions::default()).unwrap();
         assert!(
             ours.cvs.fraction_low >= after_sizing.fraction_low,
             "CVS-first {:.0}% vs sizing-first {:.0}%",

@@ -237,7 +237,10 @@ mod tests {
         let r_e = cluster_voltage_scale(
             &mut nl_e,
             &ctx_e,
-            &CvsOptions { style: CvsStyle::Extended, ..CvsOptions::default() },
+            &CvsOptions {
+                style: CvsStyle::Extended,
+                ..CvsOptions::default()
+            },
         )
         .unwrap();
         assert!(r_e.low_count >= r_c.low_count);
@@ -271,7 +274,10 @@ mod tests {
     #[test]
     fn bad_activity_rejected() {
         let (mut nl, ctx) = setup(1.3);
-        let opts = CvsOptions { activity: 0.0, ..CvsOptions::default() };
+        let opts = CvsOptions {
+            activity: 0.0,
+            ..CvsOptions::default()
+        };
         assert!(matches!(
             cluster_voltage_scale(&mut nl, &ctx, &opts),
             Err(OptError::BadParameter(_))

@@ -111,7 +111,7 @@ mod tests {
     use np_roadmap::TechNode;
 
     fn setup(clock_factor: f64) -> (Netlist, TimingContext) {
-        let nl = generate_netlist(&NetlistSpec::small(33));
+        let nl = generate_netlist(&NetlistSpec::small(19));
         let ctx = TimingContext::for_node(TechNode::N70).unwrap();
         let crit = ctx.analyze(&nl).unwrap().critical_delay();
         (nl, ctx.with_clock(crit * clock_factor))
@@ -133,7 +133,11 @@ mod tests {
         let (mut nl, ctx) = setup(1.15);
         let r = assign_dual_vth(&mut nl, &ctx, 0.1, None).unwrap();
         assert!(r.delay_after_ps <= ctx.clock_period.as_pico() * 1.0001);
-        assert!(r.delay_penalty() < 0.16, "penalty {:.1}%", r.delay_penalty() * 100.0);
+        assert!(
+            r.delay_penalty() < 0.16,
+            "penalty {:.1}%",
+            r.delay_penalty() * 100.0
+        );
     }
 
     #[test]

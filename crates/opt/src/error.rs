@@ -25,7 +25,10 @@ impl fmt::Display for OptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OptError::TimingInfeasible { worst_slack_ps } => {
-                write!(f, "design misses timing before optimization (WNS {worst_slack_ps:.1} ps)")
+                write!(
+                    f,
+                    "design misses timing before optimization (WNS {worst_slack_ps:.1} ps)"
+                )
             }
             OptError::BadParameter(m) => write!(f, "bad parameter: {m}"),
             OptError::Circuit(e) => write!(f, "circuit error: {e}"),
@@ -62,7 +65,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = OptError::TimingInfeasible { worst_slack_ps: -3.0 };
+        let e = OptError::TimingInfeasible {
+            worst_slack_ps: -3.0,
+        };
         assert!(format!("{e}").contains("-3.0"));
         assert!(format!("{}", OptError::BadParameter("x")).contains("bad parameter"));
     }

@@ -118,7 +118,13 @@ pub fn policy_curve(
         let delay = (vdd.0 / ion.0) / (vdd0.0 / ion0.0);
         let dynamic = (vdd / vdd0).powi(2);
         let static_power = vdd.0 * at.ioff_at_drain(vdd).0 / p_static0;
-        out.push(PolicyPoint { vdd, vth, delay, dynamic, static_power });
+        out.push(PolicyPoint {
+            vdd,
+            vth,
+            delay,
+            dynamic,
+            static_power,
+        });
     }
     Ok(out)
 }
@@ -179,22 +185,21 @@ mod tests {
 
     #[test]
     fn scaled_vth_recovers_most_of_the_delay() {
-        let d_const = policy_curve(&dev(), VthPolicy::ConstantVth, &[Volts(0.2)]).unwrap()[0]
-            .delay;
+        let d_const = policy_curve(&dev(), VthPolicy::ConstantVth, &[Volts(0.2)]).unwrap()[0].delay;
         let d_scaled =
-            policy_curve(&dev(), VthPolicy::ConstantStaticPower, &[Volts(0.2)]).unwrap()[0]
-                .delay;
-        let d_cons =
-            policy_curve(&dev(), VthPolicy::Conservative, &[Volts(0.2)]).unwrap()[0].delay;
-        assert!(d_scaled < d_cons && d_cons < d_const, "{d_scaled} {d_cons} {d_const}");
+            policy_curve(&dev(), VthPolicy::ConstantStaticPower, &[Volts(0.2)]).unwrap()[0].delay;
+        let d_cons = policy_curve(&dev(), VthPolicy::Conservative, &[Volts(0.2)]).unwrap()[0].delay;
+        assert!(
+            d_scaled < d_cons && d_cons < d_const,
+            "{d_scaled} {d_cons} {d_const}"
+        );
         assert!(d_scaled < d_const / 1.6, "meaningful recovery");
     }
 
     #[test]
     fn dynamic_power_falls_89_percent_at_0_2v() {
         // (0.2/0.6)² = 0.111: the paper's "dynamic power is 89% lower".
-        let c =
-            policy_curve(&dev(), VthPolicy::ConstantStaticPower, &[Volts(0.2)]).unwrap();
+        let c = policy_curve(&dev(), VthPolicy::ConstantStaticPower, &[Volts(0.2)]).unwrap();
         assert!((c[0].dynamic - 1.0 / 9.0).abs() < 1e-9);
     }
 
@@ -216,7 +221,11 @@ mod tests {
         // "the static power is being reduced linearly with Vdd so that
         // Pstatic is 1/3 that of a gate using Vdd=0.6V" at 0.2 V.
         let c = policy_curve(&dev(), VthPolicy::Conservative, &[Volts(0.2)]).unwrap();
-        assert!((c[0].static_power - 1.0 / 3.0).abs() < 0.02, "got {}", c[0].static_power);
+        assert!(
+            (c[0].static_power - 1.0 / 3.0).abs() < 0.02,
+            "got {}",
+            c[0].static_power
+        );
     }
 
     #[test]

@@ -120,7 +120,11 @@ mod tests {
         let r = simultaneous_vth_and_sizing(&mut nl, &ctx, 0.1, None).unwrap();
         assert!(!r.rounds.is_empty());
         assert!(r.rounds.len() <= MAX_ROUNDS);
-        assert!(r.total_saving() > 0.1, "saving {:.0}%", r.total_saving() * 100.0);
+        assert!(
+            r.total_saving() > 0.1,
+            "saving {:.0}%",
+            r.total_saving() * 100.0
+        );
         assert!(ctx.analyze(&nl).unwrap().is_feasible());
     }
 

@@ -121,7 +121,11 @@ pub fn downsize(
     }
     Ok(SizingResult {
         resized_count: resized,
-        mean_size_reduction: if resized > 0 { reduction_sum / resized as f64 } else { 0.0 },
+        mean_size_reduction: if resized > 0 {
+            reduction_sum / resized as f64
+        } else {
+            0.0
+        },
         gate_cap_reduction: 1.0 - gate_cap_after / gate_cap_before,
         before,
         after,
@@ -201,7 +205,11 @@ mod tests {
         let (mut nl, ctx) = setup(1.3);
         let r = downsize(&mut nl, &ctx, 0.1, None).unwrap();
         assert!(r.resized_count > nl.len() / 4);
-        assert!(r.dynamic_saving() > 0.02, "saving {:.1}%", r.dynamic_saving() * 100.0);
+        assert!(
+            r.dynamic_saving() > 0.02,
+            "saving {:.1}%",
+            r.dynamic_saving() * 100.0
+        );
         assert!(ctx.analyze(&nl).unwrap().is_feasible());
     }
 
@@ -230,7 +238,10 @@ mod tests {
         assert!((cmp.vdd_saving - 0.36).abs() < 1e-12);
         assert!(cmp.sizing_efficiency() < 1.0, "{cmp:?}");
         assert!(cmp.vdd_efficiency() > 1.5, "{cmp:?}");
-        assert!(cmp.vdd_efficiency() > 2.0 * cmp.sizing_efficiency(), "{cmp:?}");
+        assert!(
+            cmp.vdd_efficiency() > 2.0 * cmp.sizing_efficiency(),
+            "{cmp:?}"
+        );
     }
 
     #[test]

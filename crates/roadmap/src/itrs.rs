@@ -7,7 +7,7 @@
 //! parameters the paper's analyses consume.
 
 use np_units::{
-    Hertz, MicroampsPerMicron, Microns, Nanometers, SquareMillimeters, Volts, WattsPerCm2, Watts,
+    Hertz, MicroampsPerMicron, Microns, Nanometers, SquareMillimeters, Volts, Watts, WattsPerCm2,
 };
 use std::fmt;
 
@@ -415,8 +415,7 @@ mod tests {
         let d50 = TechNode::N50.params().average_power_density();
         let d35 = TechNode::N35.params().average_power_density();
         assert!(d35 < d50);
-        let area_jump =
-            TechNode::N35.params().die_area / TechNode::N50.params().die_area;
+        let area_jump = TechNode::N35.params().die_area / TechNode::N50.params().die_area;
         assert!((area_jump - 1.15).abs() < 0.01);
     }
 

@@ -212,8 +212,7 @@ mod tests {
     fn min_pitch_provisioning_is_adequate_everywhere() {
         for n in TechNode::ALL {
             let pkg = PackagingRoadmap::for_node(n);
-            let per_bump =
-                n.params().worst_case_current() / pkg.min_pitch_vdd_bumps() as f64;
+            let per_bump = n.params().worst_case_current() / pkg.min_pitch_vdd_bumps() as f64;
             assert!(
                 per_bump <= pkg.bump_current_limit,
                 "{n}: {per_bump} per bump exceeds limit"

@@ -253,9 +253,10 @@ mod tests {
     fn seventy_nm_devices_need_1_2v() {
         // Section 3.1: the 70 nm devices of [26,28] beat the ITRS Ioff but
         // need 1.2 V rather than 0.9 V.
-        for r in SURVEY.iter().filter(|r| {
-            !r.is_itrs_projection() && r.node_nm == (70, 70)
-        }) {
+        for r in SURVEY
+            .iter()
+            .filter(|r| !r.is_itrs_projection() && r.node_nm == (70, 70))
+        {
             assert_eq!(r.vdd, Volts(1.2));
             assert!(r.ioff <= MicroampsPerMicron(0.040));
         }
@@ -270,7 +271,11 @@ mod tests {
     #[test]
     fn on_off_ratios_are_positive_and_large() {
         for r in &SURVEY {
-            assert!(r.on_off_ratio() > 1_000.0, "{}: ratio too small", r.reference);
+            assert!(
+                r.on_off_ratio() > 1_000.0,
+                "{}: ratio too small",
+                r.reference
+            );
         }
     }
 

@@ -84,8 +84,7 @@ pub fn cooling_cost_dollars(power: Watts) -> f64 {
 /// the theoretical worst case and for the effective worst case
 /// (`fraction ×` theoretical).
 pub fn dtm_cooling_saving_dollars(theoretical: Watts, effective_fraction: f64) -> f64 {
-    cooling_cost_dollars(theoretical)
-        - cooling_cost_dollars(theoretical * effective_fraction)
+    cooling_cost_dollars(theoretical) - cooling_cost_dollars(theoretical * effective_fraction)
 }
 
 #[cfg(test)]

@@ -123,7 +123,9 @@ pub fn simulate(
     policy: &DtmPolicy,
 ) -> Result<DtmResult, ThermalError> {
     if !(policy.throttle_factor > 0.0 && policy.throttle_factor <= 1.0) {
-        return Err(ThermalError::BadParameter("throttle factor must be in (0, 1]"));
+        return Err(ThermalError::BadParameter(
+            "throttle factor must be in (0, 1]",
+        ));
     }
     if !(policy.hysteresis.0 > 0.0) {
         return Err(ThermalError::BadParameter("hysteresis must be positive"));
@@ -213,8 +215,7 @@ mod tests {
         // The same undersized package runs a 75%-effective application
         // trace without (significant) throttling — the paper's argument
         // for sizing packages to the effective worst case.
-        let trace =
-            WorkloadTrace::application(Watts(100.0), 0.75, 50_000, Seconds(1e-4), 5);
+        let trace = WorkloadTrace::application(Watts(100.0), 0.75, 50_000, Seconds(1e-4), 5);
         let policy = DtmPolicy::at_trigger(Celsius(100.0));
         let r = simulate(node(0.733), &trace, &policy).unwrap();
         assert!(
@@ -295,12 +296,23 @@ mod dvfs_tests {
         // Same undersized package, same trigger: the DVFS policy throttles
         // to 0.7x speed instead of 0.5x, yet its cubic power shed still
         // holds the cap — Transmeta's pitch in the paper's Section 2.1.
-        let gating = simulate(node(0.733), &virus(), &DtmPolicy::at_trigger(Celsius(100.0)))
-            .unwrap();
-        let dvfs =
-            simulate(node(0.733), &virus(), &DtmPolicy::dvfs_at_trigger(Celsius(100.0)))
-                .unwrap();
-        assert!(dvfs.max_temperature <= Celsius(101.5), "{}", dvfs.max_temperature);
+        let gating = simulate(
+            node(0.733),
+            &virus(),
+            &DtmPolicy::at_trigger(Celsius(100.0)),
+        )
+        .unwrap();
+        let dvfs = simulate(
+            node(0.733),
+            &virus(),
+            &DtmPolicy::dvfs_at_trigger(Celsius(100.0)),
+        )
+        .unwrap();
+        assert!(
+            dvfs.max_temperature <= Celsius(101.5),
+            "{}",
+            dvfs.max_temperature
+        );
         assert!(gating.max_temperature <= Celsius(101.5));
         assert!(
             dvfs.performance > gating.performance,
@@ -312,9 +324,12 @@ mod dvfs_tests {
 
     #[test]
     fn dvfs_mean_power_is_lower_while_throttled() {
-        let dvfs =
-            simulate(node(0.733), &virus(), &DtmPolicy::dvfs_at_trigger(Celsius(100.0)))
-                .unwrap();
+        let dvfs = simulate(
+            node(0.733),
+            &virus(),
+            &DtmPolicy::dvfs_at_trigger(Celsius(100.0)),
+        )
+        .unwrap();
         assert!(dvfs.mean_power < Watts(100.0));
     }
 }

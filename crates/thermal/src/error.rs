@@ -23,7 +23,10 @@ impl fmt::Display for ThermalError {
         match self {
             ThermalError::BadParameter(m) => write!(f, "bad parameter: {m}"),
             ThermalError::ThermalRunaway { last_temp } => {
-                write!(f, "thermal runaway: no stable junction temperature (reached {last_temp:.0} °C)")
+                write!(
+                    f,
+                    "thermal runaway: no stable junction temperature (reached {last_temp:.0} °C)"
+                )
             }
             ThermalError::Solve(e) => write!(f, "thermal solve failed: {e}"),
         }
@@ -53,8 +56,7 @@ mod tests {
     fn display_variants() {
         assert!(format!("{}", ThermalError::BadParameter("x")).contains("bad parameter"));
         assert!(
-            format!("{}", ThermalError::ThermalRunaway { last_temp: 160.0 })
-                .contains("runaway")
+            format!("{}", ThermalError::ThermalRunaway { last_temp: 160.0 }).contains("runaway")
         );
     }
 }

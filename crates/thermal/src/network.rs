@@ -135,8 +135,14 @@ mod tests {
             n.step(p, Seconds(tau_die.0 / 5.0));
         }
         let local_target = n.t_sink + n.r_die_sink * p;
-        assert!((n.t_die - local_target).abs().0 < 1.0, "die near its local target");
-        assert!(n.t_die < n.steady_state(p) - Celsius(10.0), "sink still cold");
+        assert!(
+            (n.t_die - local_target).abs().0 < 1.0,
+            "die near its local target"
+        );
+        assert!(
+            n.t_die < n.steady_state(p) - Celsius(10.0),
+            "sink still cold"
+        );
     }
 
     #[test]

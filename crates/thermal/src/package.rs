@@ -23,7 +23,10 @@ pub struct Package {
 impl Package {
     /// A package with the given θja at the given ambient.
     pub fn new(theta_ja: ThermalResistance, t_ambient: Celsius) -> Self {
-        Self { theta_ja, t_ambient }
+        Self {
+            theta_ja,
+            t_ambient,
+        }
     }
 
     /// The package required for `node` under ITRS junction limits.
@@ -51,7 +54,11 @@ impl Package {
 
     /// Eq. 1 solved for θja: the thermal resistance needed to keep
     /// `power` below `t_max` at this ambient.
-    pub fn required_theta_ja(power: Watts, t_max: Celsius, t_ambient: Celsius) -> ThermalResistance {
+    pub fn required_theta_ja(
+        power: Watts,
+        t_max: Celsius,
+        t_ambient: Celsius,
+    ) -> ThermalResistance {
         ThermalResistance((t_max - t_ambient).0 / power.0)
     }
 
@@ -145,12 +152,7 @@ mod tests {
         let dev = Mosfet::for_node(TechNode::N70).unwrap();
         // A 70 nm MPU: ~100 W dynamic, ~10 m of leaking width.
         let t = pkg()
-            .electro_thermal_temperature(
-                Watts(60.0),
-                &dev,
-                Microns(2.0e6),
-                Volts(0.9),
-            )
+            .electro_thermal_temperature(Watts(60.0), &dev, Microns(2.0e6), Volts(0.9))
             .unwrap();
         // Above the leakage-free temperature, below runaway.
         let t_no_leak = pkg().junction_temperature(Watts(60.0));
@@ -162,12 +164,7 @@ mod tests {
     fn excessive_leakage_is_runaway() {
         let dev = Mosfet::for_node(TechNode::N50).unwrap(); // Vth 0.02: very leaky
         let err = pkg()
-            .electro_thermal_temperature(
-                Watts(150.0),
-                &dev,
-                Microns(5.0e7),
-                Volts(0.6),
-            )
+            .electro_thermal_temperature(Watts(150.0), &dev, Microns(5.0e7), Volts(0.6))
             .unwrap_err();
         assert!(matches!(err, ThermalError::ThermalRunaway { .. }));
     }

@@ -55,7 +55,9 @@ impl SubAmbientReport {
         power: Watts,
     ) -> Result<Self, ThermalError> {
         if t_cold >= t_hot {
-            return Err(ThermalError::BadParameter("cold point must be below baseline"));
+            return Err(ThermalError::BadParameter(
+                "cold point must be below baseline",
+            ));
         }
         if power.0 < 0.0 {
             return Err(ThermalError::BadParameter("power must be non-negative"));
@@ -65,10 +67,10 @@ impl SubAmbientReport {
         let vdd = dev.nominal_vdd();
         let drive_gain = match (cold.ion(vdd), hot.ion(vdd)) {
             (Ok(c), Ok(h)) => c / h,
-            (Err(e), _) | (_, Err(e)) => {
-                return Err(ThermalError::BadParameter(match e {
-                    _ => "device cannot be evaluated at these temperatures",
-                }))
+            (Err(_), _) | (_, Err(_)) => {
+                return Err(ThermalError::BadParameter(
+                    "device cannot be evaluated at these temperatures",
+                ))
             }
         };
         let leakage_reduction = hot.ioff() / cold.ioff();
@@ -124,7 +126,11 @@ mod tests {
     #[test]
     fn cold_operation_slashes_leakage() {
         let r = report(-40.0);
-        assert!(r.leakage_reduction > 50.0, "got /{:.0}", r.leakage_reduction);
+        assert!(
+            r.leakage_reduction > 50.0,
+            "got /{:.0}",
+            r.leakage_reduction
+        );
     }
 
     #[test]
@@ -155,13 +161,9 @@ mod tests {
     #[test]
     fn cold_above_baseline_is_rejected() {
         let dev = Mosfet::for_node(TechNode::N70).unwrap();
-        assert!(SubAmbientReport::evaluate(
-            &dev,
-            Celsius(85.0),
-            Celsius(90.0),
-            Watts(1.0)
-        )
-        .is_err());
+        assert!(
+            SubAmbientReport::evaluate(&dev, Celsius(85.0), Celsius(90.0), Watts(1.0)).is_err()
+        );
     }
 
     #[test]

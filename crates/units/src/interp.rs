@@ -91,7 +91,11 @@ impl Table1d {
         if xs.windows(2).any(|w| !(w[0] < w[1])) {
             return Err(TableError::NotIncreasing);
         }
-        Ok(Self { xs, ys, extrapolate })
+        Ok(Self {
+            xs,
+            ys,
+            extrapolate,
+        })
     }
 
     /// Evaluates the table at `x`.
@@ -179,21 +183,16 @@ mod tests {
 
     #[test]
     fn linear_extrapolation() {
-        let t = Table1d::with_extrapolation(
-            vec![0.0, 1.0],
-            vec![0.0, 2.0],
-            Extrapolate::Linear,
-        )
-        .unwrap();
+        let t = Table1d::with_extrapolation(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Linear)
+            .unwrap();
         assert!((t.eval(2.0).unwrap() - 4.0).abs() < 1e-12);
         assert!((t.eval(-1.0).unwrap() + 2.0).abs() < 1e-12);
     }
 
     #[test]
     fn error_extrapolation() {
-        let t =
-            Table1d::with_extrapolation(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Error)
-                .unwrap();
+        let t = Table1d::with_extrapolation(vec![0.0, 1.0], vec![0.0, 2.0], Extrapolate::Error)
+            .unwrap();
         assert_eq!(t.eval(2.0), Err(TableError::OutOfRange));
         assert!(t.eval(0.5).is_ok());
     }

@@ -48,7 +48,10 @@ impl fmt::Display for SolveError {
                 "interval [{lo}, {hi}] does not bracket a root (f(lo)={f_lo}, f(hi)={f_hi})"
             ),
             SolveError::NoConvergence { iterations, best } => {
-                write!(f, "no convergence after {iterations} iterations (best {best})")
+                write!(
+                    f,
+                    "no convergence after {iterations} iterations (best {best})"
+                )
             }
             SolveError::NonFinite { at } => {
                 write!(f, "function evaluated to a non-finite value at {at}")
@@ -239,7 +242,10 @@ pub fn linspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
 /// ```
 pub fn logspace(lo: f64, hi: f64, n: usize) -> Vec<f64> {
     assert!(lo > 0.0 && hi > 0.0, "logspace requires positive bounds");
-    linspace(lo.ln(), hi.ln(), n).into_iter().map(f64::exp).collect()
+    linspace(lo.ln(), hi.ln(), n)
+        .into_iter()
+        .map(f64::exp)
+        .collect()
 }
 
 /// Fixed-point iteration `x_{k+1} = f(x_k)` until `|Δx| <= tol`.
@@ -369,14 +375,22 @@ mod tests {
     #[test]
     fn fixed_point_reports_exhaustion() {
         let err = fixed_point(|x| x + 1.0, 0.0, 1e-9, 10).unwrap_err();
-        assert!(matches!(err, SolveError::NoConvergence { iterations: 10, .. }));
+        assert!(matches!(
+            err,
+            SolveError::NoConvergence { iterations: 10, .. }
+        ));
     }
 
     #[test]
     fn errors_display() {
         let s = format!(
             "{}",
-            SolveError::NoBracket { lo: 0.0, hi: 1.0, f_lo: 1.0, f_hi: 2.0 }
+            SolveError::NoBracket {
+                lo: 0.0,
+                hi: 1.0,
+                f_lo: 1.0,
+                f_hi: 2.0
+            }
         );
         assert!(s.contains("does not bracket"));
         assert!(format!("{}", SolveError::BadArguments("x")).contains("bad arguments"));

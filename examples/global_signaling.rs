@@ -3,15 +3,15 @@
 //!
 //! Run with: `cargo run --example global_signaling`
 
+use nanopower::device::Mosfet;
 use nanopower::interconnect::chip::global_signaling_report;
 use nanopower::interconnect::elmore::RcLine;
 use nanopower::interconnect::repeater::{insert_repeaters, DriverTech};
 use nanopower::interconnect::wire::WireGeometry;
-use nanopower::device::Mosfet;
 use nanopower::roadmap::TechNode;
 use nanopower::units::Microns;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     println!("Global signaling along the roadmap:\n");
     for node in TechNode::ALL {
         println!("{}", global_signaling_report(node)?);

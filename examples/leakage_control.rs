@@ -11,7 +11,7 @@ use nanopower::device::Mosfet;
 use nanopower::roadmap::TechNode;
 use nanopower::units::{Microns, Volts};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     let node = TechNode::N70;
     let dev = Mosfet::for_node(node)?;
     let vdd = node.params().vdd;

@@ -7,7 +7,7 @@
 use nanopower::chip::Chip;
 use nanopower::roadmap::TechNode;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     println!("MPU power budgets along the ITRS roadmap\n");
     for node in TechNode::ALL {
         let chip = Chip::at_node(node);

@@ -8,7 +8,7 @@ use nanopower::circuit::sta::TimingContext;
 use nanopower::opt::combined::{optimize, CombinedOptions};
 use nanopower::roadmap::TechNode;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     let node = TechNode::N70;
     let mut netlist = generate_netlist(&NetlistSpec::medium(2001));
     println!(
@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "Final timing: worst slack {:.1} ps against a {:.1} ps clock — {}",
         timing.worst_slack().as_pico(),
         timing.clock.as_pico(),
-        if timing.is_feasible() { "met" } else { "VIOLATED" }
+        if timing.is_feasible() {
+            "met"
+        } else {
+            "VIOLATED"
+        }
     );
     Ok(())
 }

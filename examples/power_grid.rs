@@ -11,7 +11,7 @@ use nanopower::grid::transient::WakeUpEvent;
 use nanopower::roadmap::TechNode;
 use nanopower::units::{Microns, Seconds};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     println!("Top-level power-grid plans (Fig. 5):\n");
     for node in TechNode::ALL {
         println!("{}", GridPlan::min_pitch(node)?);

@@ -8,7 +8,7 @@ use nanopower::device::Mosfet;
 use nanopower::report::TextTable;
 use nanopower::roadmap::TechNode;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+fn main() -> Result<(), nanopower::Error> {
     println!("nanopower quickstart — compact-model snapshot per ITRS node\n");
     let mut table = TextTable::new(&[
         "node",

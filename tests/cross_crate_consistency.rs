@@ -6,7 +6,6 @@ use nanopower::circuit::generate::{generate_netlist, NetlistSpec};
 use nanopower::circuit::power::netlist_power;
 use nanopower::circuit::sta::TimingContext;
 use nanopower::device::delay::fo4_delay;
-use nanopower::device::Mosfet;
 use nanopower::roadmap::TechNode;
 use nanopower::units::{Hertz, Volts};
 
@@ -17,10 +16,12 @@ fn timing_context_multipliers_match_device_model() {
     let ctx = TimingContext::for_node(TechNode::N70).expect("ctx");
     let dev = ctx.device().clone();
     let reference = ctx.vdd_high.0 / dev.ion(ctx.vdd_high).expect("ion").0;
-    for (supply, vdd) in [(SupplyClass::High, ctx.vdd_high), (SupplyClass::Low, ctx.vdd_low)] {
+    for (supply, vdd) in [
+        (SupplyClass::High, ctx.vdd_high),
+        (SupplyClass::Low, ctx.vdd_low),
+    ] {
         for (vth_class, vth) in [(VthClass::Low, ctx.vth_low), (VthClass::High, ctx.vth_high)] {
-            let expect =
-                (vdd.0 / dev.with_vth(vth).ion(vdd).expect("ion").0) / reference;
+            let expect = (vdd.0 / dev.with_vth(vth).ion(vdd).expect("ion").0) / reference;
             let got = ctx.delay_multiplier(supply, vth_class);
             assert!(
                 (got / expect - 1.0).abs() < 1e-9,
@@ -52,7 +53,9 @@ fn netlist_leakage_recomputable_from_device_model() {
     for id in nl.ids() {
         let g = nl.gate(id);
         let vdd = ctx.supply_voltage(g.supply);
-        let ioff = dev.with_vth(ctx.threshold_voltage(g.vth)).ioff_at_drain(vdd);
+        let ioff = dev
+            .with_vth(ctx.threshold_voltage(g.vth))
+            .ioff_at_drain(vdd);
         hand += ioff.total(ctx.leak_width(g.kind, g.drive)).0 * vdd.0;
     }
     assert!((report.leakage.0 / hand - 1.0).abs() < 1e-9);
@@ -85,8 +88,7 @@ fn dual_vth_multiplier_is_universal() {
     // timing context's threshold pair, and in netlist leakage.
     let ctx = TimingContext::for_node(TechNode::N50).expect("ctx");
     let dev = ctx.device();
-    let device_ratio =
-        dev.with_vth(ctx.vth_low).ioff() / dev.with_vth(ctx.vth_high).ioff();
+    let device_ratio = dev.with_vth(ctx.vth_low).ioff() / dev.with_vth(ctx.vth_high).ioff();
     let expect = nanopower::device::dualvth::ioff_multiplier(ctx.vth_high - ctx.vth_low);
     assert!((device_ratio / expect - 1.0).abs() < 1e-9);
 }

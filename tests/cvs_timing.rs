@@ -12,12 +12,19 @@ fn run_cvs(
     seed: u64,
     clock_factor: f64,
     style: CvsStyle,
-) -> (nanopower::circuit::Netlist, TimingContext, nanopower::opt::cvs::CvsResult) {
+) -> (
+    nanopower::circuit::Netlist,
+    TimingContext,
+    nanopower::opt::cvs::CvsResult,
+) {
     let mut nl = generate_netlist(&NetlistSpec::small(seed));
     let ctx = TimingContext::for_node(node).expect("context");
     let crit = ctx.analyze(&nl).expect("sta").critical_delay();
     let ctx = ctx.with_clock(crit * clock_factor);
-    let opts = CvsOptions { style, ..CvsOptions::default() };
+    let opts = CvsOptions {
+        style,
+        ..CvsOptions::default()
+    };
     let r = cluster_voltage_scale(&mut nl, &ctx, &opts).expect("cvs");
     (nl, ctx, r)
 }

@@ -33,7 +33,10 @@ fn optimized_netlist_survives_io_round_trip_with_timing_intact() {
     let text = write_netlist(&nl);
     let back = parse_netlist(&text).expect("parse");
     let timing = ctx.analyze(&back).expect("sta");
-    assert!(timing.is_feasible(), "reloaded design must still meet timing");
+    assert!(
+        timing.is_feasible(),
+        "reloaded design must still meet timing"
+    );
     let p_orig = nanopower::circuit::power::netlist_power(
         &nl,
         &ctx,
@@ -77,9 +80,12 @@ fn sleep_mode_story_composes() {
     assert!(block.standby_reduction() > 100.0);
     // Staged wake-up over 20 µs: decap practical.
     let wake = WakeUpEvent::for_node(node, Seconds(20e-6));
-    let decap =
-        DecapPlan::size_for(node, &wake, node.params().vdd * 0.05).expect("decap");
-    assert!(decap.is_practical(0.1), "{:.1}% of die", decap.die_fraction * 100.0);
+    let decap = DecapPlan::size_for(node, &wake, node.params().vdd * 0.05).expect("decap");
+    assert!(
+        decap.is_practical(0.1),
+        "{:.1}% of die",
+        decap.die_fraction * 100.0
+    );
 }
 
 #[test]
@@ -101,7 +107,10 @@ fn dvfs_beats_clock_gating_on_the_same_package() {
     let virus = WorkloadTrace::power_virus(Watts(100.0), 40_000, Seconds(1e-4));
     let run = |policy: DtmPolicy| {
         simulate(
-            ThermalRc::new(Package::new(theta, Celsius(45.0)), DEFAULT_HEAT_CAPACITY_J_PER_C),
+            ThermalRc::new(
+                Package::new(theta, Celsius(45.0)),
+                DEFAULT_HEAT_CAPACITY_J_PER_C,
+            ),
             &virus,
             &policy,
         )
@@ -133,8 +142,7 @@ fn crosstalk_window_respects_low_swing_margins() {
     use nanopower::interconnect::crosstalk::{delay_window, NeighbourState};
     use nanopower::interconnect::elmore::RcLine;
     use nanopower::interconnect::wire::WireGeometry;
-    let line =
-        RcLine::new(WireGeometry::top_level(TechNode::N50), Microns(5_000.0)).unwrap();
+    let line = RcLine::new(WireGeometry::top_level(TechNode::N50), Microns(5_000.0)).unwrap();
     let dense = delay_window(
         &line,
         nanopower::units::Ohms(500.0),

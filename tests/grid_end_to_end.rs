@@ -13,7 +13,11 @@ fn min_pitch_is_manageable_itrs_is_not() {
     for node in TechNode::ALL {
         let a = GridPlan::min_pitch(node).expect("plan");
         assert!(a.is_routable(), "{node} min-pitch must route");
-        assert!(a.width_over_min() < 40.0, "{node}: {:.0}x", a.width_over_min());
+        assert!(
+            a.width_over_min() < 40.0,
+            "{node}: {:.0}x",
+            a.width_over_min()
+        );
         assert!(a.total_routing_fraction() < 0.25);
     }
     let itrs35 = GridPlan::itrs_pads(TechNode::N35).expect("plan");

@@ -20,7 +20,11 @@ fn combined_flow_composes_across_seeds() {
     for seed in [1u64, 12, 123] {
         let (mut nl, ctx) = setup(seed, 1.35);
         let r = optimize(&mut nl, &ctx, &CombinedOptions::default()).expect("optimize");
-        assert!(r.total_saving() > 0.25, "seed {seed}: {:.0}%", r.total_saving() * 100.0);
+        assert!(
+            r.total_saving() > 0.25,
+            "seed {seed}: {:.0}%",
+            r.total_saving() * 100.0
+        );
         assert!(r.leakage_saving() > 0.25, "seed {seed}");
         assert!(ctx.analyze(&nl).expect("sta").is_feasible(), "seed {seed}");
         // Reported final power matches an independent recomputation.

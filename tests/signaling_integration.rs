@@ -41,8 +41,7 @@ fn lowswing_report_consistent_with_link_energetics() {
     let node = TechNode::N50;
     let p = node.params();
     let report = global_signaling_report(node).expect("report");
-    let probe =
-        RcLine::new(WireGeometry::top_level(node), Microns(10_000.0)).expect("line");
+    let probe = RcLine::new(WireGeometry::top_level(node), Microns(10_000.0)).expect("line");
     let link = LowSwingLink::new(probe, p.vdd).expect("link");
     let expected = Watts(
         GLOBAL_ACTIVITY

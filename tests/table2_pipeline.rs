@@ -37,8 +37,8 @@ fn model_exceeds_itrs_leakage_at_roadmap_end() {
 fn metal_gate_and_alt_supply_relief() {
     // Observation 1: metal gates allow ~55 mV more Vth at 35 nm.
     let poly = Mosfet::for_node(TechNode::N35).expect("calibration");
-    let metal = Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal)
-        .expect("calibration");
+    let metal =
+        Mosfet::for_node_with(TechNode::N35, Volts(0.6), GateKind::Metal).expect("calibration");
     assert!(metal.vth > poly.vth);
     assert!(metal.ioff() < poly.ioff() * 0.5);
 

@@ -25,7 +25,11 @@ fn chip_closure_reports_the_33_percent_headroom() {
             "{node}: {}",
             c.dtm.max_temperature
         );
-        assert!(c.dtm.performance > 0.9, "{node}: perf {}", c.dtm.performance);
+        assert!(
+            c.dtm.performance > 0.9,
+            "{node}: perf {}",
+            c.dtm.performance
+        );
     }
 }
 
@@ -81,10 +85,12 @@ fn cooling_cost_anchors() {
 fn effective_worst_case_traces_average_75_percent() {
     let mut ratios = Vec::new();
     for seed in 0..6u64 {
-        let trace =
-            WorkloadTrace::application(Watts(100.0), 0.75, 20_000, Seconds(1e-4), seed);
+        let trace = WorkloadTrace::application(Watts(100.0), 0.75, 20_000, Seconds(1e-4), seed);
         ratios.push(trace.effective_worst_case(Seconds(0.05)).0 / 100.0);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!((0.68..=0.80).contains(&mean), "mean effective fraction {mean:.2}");
+    assert!(
+        (0.68..=0.80).contains(&mean),
+        "mean effective fraction {mean:.2}"
+    );
 }

@@ -1,0 +1,48 @@
+//! Collection strategies: `vec`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::Range;
+
+/// A strategy producing `Vec`s of `element` values with a length drawn
+/// from `sizes`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    sizes: Range<usize>,
+}
+
+/// Builds a [`VecStrategy`], mirroring `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+    assert!(
+        sizes.start < sizes.end,
+        "empty size range in collection::vec"
+    );
+    VecStrategy { element, sizes }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        let len = rng.random_range(self.sizes.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lengths_and_elements_respect_ranges() {
+        let strat = vec(-100.0..100.0f64, 1..40);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut rng);
+            assert!((1..40).contains(&v.len()));
+            assert!(v.iter().all(|x| (-100.0..100.0).contains(x)));
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Sampling strategies: `select`.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A strategy drawing uniformly from a fixed list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+/// Builds a [`Select`], mirroring `proptest::sample::select`.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires at least one item");
+    Select { items }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.items[rng.random_range(0..self.items.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn covers_all_items() {
+        let strat = select(vec![1, 2, 3]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.generate(&mut rng) - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

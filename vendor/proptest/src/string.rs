@@ -1,0 +1,161 @@
+//! A tiny regex-shaped string generator backing the `"..."` strategies.
+//!
+//! Supports the subset the workspace's property tests use: literal
+//! characters, `.` (any printable ASCII), character classes `[...]` with
+//! ranges and literal `-`/leading `^`-less members, `\x` escapes, and
+//! `{m}` / `{m,n}` repetition counts on the preceding atom. Everything
+//! else is treated as a literal character.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// Any printable ASCII character (0x20..=0x7E), the `.` class.
+    Any,
+    /// One character drawn from an explicit set.
+    Class(Vec<char>),
+    /// A fixed character.
+    Literal(char),
+}
+
+impl Atom {
+    fn emit(&self, rng: &mut StdRng, out: &mut String) {
+        match self {
+            Atom::Any => {
+                let c = rng.random_range(0x20u32..0x7F);
+                out.push(char::from_u32(c).expect("printable ascii"));
+            }
+            Atom::Class(set) => out.push(set[rng.random_range(0..set.len())]),
+            Atom::Literal(c) => out.push(*c),
+        }
+    }
+}
+
+/// Generates one string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1);
+                i = next;
+                Atom::Class(set)
+            }
+            '\\' if i + 1 < chars.len() => {
+                i += 2;
+                Atom::Literal(chars[i - 1])
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi, next) = parse_repeat(&chars, i);
+        i = next;
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..hi + 1)
+        };
+        for _ in 0..count {
+            atom.emit(rng, &mut out);
+        }
+    }
+    out
+}
+
+/// Parses the members of a `[...]` class starting just past the `[`;
+/// returns the expanded set and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if chars[i] == '\\' && i + 1 < chars.len() {
+            set.push(chars[i + 1]);
+            i += 2;
+        } else if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+            for c in lo..=hi {
+                if let Some(c) = char::from_u32(c) {
+                    set.push(c);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(!set.is_empty(), "empty character class in strategy pattern");
+    (set, i + 1)
+}
+
+/// Parses an optional `{m}` / `{m,n}` repetition at `i`; returns
+/// `(min, max, next_index)` with `(1, 1, i)` when absent.
+fn parse_repeat(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i >= chars.len() || chars[i] != '{' {
+        return (1, 1, i);
+    }
+    let close = match chars[i..].iter().position(|&c| c == '}') {
+        Some(off) => i + off,
+        None => return (1, 1, i),
+    };
+    let body: String = chars[i + 1..close].iter().collect();
+    let parsed = match body.split_once(',') {
+        Some((lo, hi)) => lo
+            .trim()
+            .parse()
+            .and_then(|lo| hi.trim().parse().map(|hi| (lo, hi))),
+        None => body.trim().parse().map(|n| (n, n)),
+    };
+    match parsed {
+        Ok((lo, hi)) if lo <= hi => (lo, hi, close + 1),
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn bounded_any_repetition() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching(".{0,400}", &mut rng);
+            assert!(s.chars().count() <= 400);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn classes_and_ranges() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let s = generate_matching("[A-Z]{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s}");
+            assert!(s.chars().all(|c| c.is_ascii_uppercase()));
+            let t = generate_matching("[a-z_]{1,8}=[-0-9a-z.]{1,8}", &mut rng);
+            let (lhs, rhs) = t.split_once('=').expect("literal equals sign");
+            assert!(!lhs.is_empty() && !rhs.is_empty());
+        }
+    }
+
+    #[test]
+    fn literals_pass_through() {
+        let mut rng = rng();
+        assert_eq!(generate_matching("gate g7", &mut rng), "gate g7");
+    }
+}

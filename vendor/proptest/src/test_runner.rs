@@ -1,0 +1,101 @@
+//! Deterministic case scheduling: per-test seeds, case RNG streams, and
+//! the error type `prop_assert!` produces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// Subset of `proptest::test_runner::Config`: the number of cases to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Config {
+    /// Generated input cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed property case (no shrinking in this stand-in).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// An assertion failed with the given message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Wraps an assertion message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Schedules the deterministic RNG stream for each case of one property.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    config: Config,
+    seed: u64,
+}
+
+impl TestRunner {
+    /// A runner for the named property; the name (use the fully-qualified
+    /// `module_path!()::name`) fixes the seed so runs are reproducible.
+    pub fn new(config: Config, name: &str) -> Self {
+        TestRunner {
+            config,
+            seed: fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Number of cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG driving `case`'s input generation.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x1000_0000_01B3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_name_same_stream() {
+        let a = TestRunner::new(Config::default(), "x::y");
+        let b = TestRunner::new(Config::default(), "x::y");
+        assert_eq!(a.rng_for_case(3).next_u64(), b.rng_for_case(3).next_u64());
+        assert_ne!(a.rng_for_case(3).next_u64(), a.rng_for_case(4).next_u64());
+    }
+}
