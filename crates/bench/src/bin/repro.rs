@@ -10,25 +10,39 @@
 //! repro --csv fig1 fig2    # CSV form (figures only)
 //! repro --json             # machine-readable run report
 //! repro --jobs 4           # worker-thread count (default: all cores)
+//! repro --timeout-secs 30  # per-artifact deadline (watchdog)
+//! repro --retries 2        # retry transient failures with backoff
 //! ```
 //!
 //! Artifacts run concurrently across `--jobs` worker threads, but output
 //! is always printed in request order and is byte-identical to a
-//! `--jobs 1` run — only the telemetry (`--json` durations and worker
-//! attribution) varies. A failing artifact doesn't stop the run: the
-//! rest regenerate, the error summary lists the casualties on stderr,
-//! and the exit code reports failure.
+//! `--jobs 1` run — only the telemetry (`--json` durations, worker
+//! attribution, attempt counts) varies. A failing artifact doesn't stop
+//! the run: the rest regenerate, the error summary lists the casualties
+//! on stderr, and the exit code reports failure. With `--timeout-secs`,
+//! an artifact that hangs is abandoned at the deadline instead of
+//! stalling the queue; with `--retries N`, failed artifacts are
+//! re-attempted up to `N` times with doubling backoff.
+//!
+//! The hidden `--chaos` flag appends three synthetic fault-injection
+//! jobs (a panicking one, a hanging one, and a fail-twice-then-succeed
+//! one) so the integration suite can exercise the failure paths of the
+//! engine through the real binary.
 
-use nanopower::engine::{self, Job, RunReport};
+use nanopower::engine::{self, Job, RunPolicy, RunReport};
 use nanopower::Error;
 use np_bench::registry;
 use std::process::ExitCode;
+use std::time::Duration;
 
 struct Options {
     list: bool,
     csv: bool,
     json: bool,
     jobs: usize,
+    timeout: Option<Duration>,
+    retries: u32,
+    chaos: bool,
     names: Vec<String>,
 }
 
@@ -44,6 +58,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         csv: false,
         json: false,
         jobs: default_jobs(),
+        timeout: None,
+        retries: 0,
+        chaos: false,
         names: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -52,13 +69,26 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
             "--list" | "-l" => opts.list = true,
             "--csv" => opts.csv = true,
             "--json" => opts.json = true,
+            "--chaos" => opts.chaos = true,
             "--jobs" | "-j" => {
                 let value = it.next().ok_or("--jobs needs a worker count")?;
                 opts.jobs = parse_jobs(&value)?;
             }
+            "--timeout-secs" => {
+                let value = it.next().ok_or("--timeout-secs needs a duration")?;
+                opts.timeout = Some(parse_timeout(&value)?);
+            }
+            "--retries" => {
+                let value = it.next().ok_or("--retries needs a count")?;
+                opts.retries = parse_retries(&value)?;
+            }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
                     opts.jobs = parse_jobs(value)?;
+                } else if let Some(value) = other.strip_prefix("--timeout-secs=") {
+                    opts.timeout = Some(parse_timeout(value)?);
+                } else if let Some(value) = other.strip_prefix("--retries=") {
+                    opts.retries = parse_retries(value)?;
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag `{other}`"));
                 } else {
@@ -77,6 +107,21 @@ fn parse_jobs(value: &str) -> Result<usize, String> {
     }
 }
 
+fn parse_timeout(value: &str) -> Result<Duration, String> {
+    match value.parse::<f64>() {
+        Ok(s) if s.is_finite() && s > 0.0 => Ok(Duration::from_secs_f64(s)),
+        _ => Err(format!(
+            "--timeout-secs needs a positive number of seconds, got `{value}`"
+        )),
+    }
+}
+
+fn parse_retries(value: &str) -> Result<u32, String> {
+    value
+        .parse::<u32>()
+        .map_err(|_| format!("--retries needs a non-negative integer, got `{value}`"))
+}
+
 fn print_list() {
     for a in registry::REGISTRY {
         let csv = if a.has_csv() { "text,csv" } else { "text" };
@@ -91,17 +136,41 @@ fn print_list() {
 /// with [`Error::UnknownArtifact`], so they surface in the run report and
 /// error summary like any other per-artifact failure instead of aborting
 /// the run.
-fn build_jobs(names: &[String], csv: bool) -> Vec<Job> {
+fn build_jobs(names: &[String], csv: bool, transient: bool) -> Vec<Job> {
     names
         .iter()
         .map(|name| match registry::find(name) {
-            Some(artifact) => artifact.job(csv),
+            Some(artifact) => artifact.job(csv).transient(transient),
             None => {
                 let name = name.clone();
-                Job::new(name.clone(), move || Err(Error::UnknownArtifact { name }))
+                Job::new(name.clone(), move || {
+                    Err(Error::UnknownArtifact { name: name.clone() })
+                })
             }
         })
         .collect()
+}
+
+/// The `--chaos` fault-injection jobs: one panics, one hangs well past
+/// any test deadline, one fails twice then succeeds (exercising retry).
+fn chaos_jobs() -> Vec<Job> {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    static FLAKY_CALLS: AtomicU32 = AtomicU32::new(0);
+    vec![
+        Job::new("chaos-panic", || panic!("chaos: injected panic")),
+        Job::new("chaos-hang", || {
+            std::thread::sleep(Duration::from_secs(300));
+            Ok("chaos: hang finished (no deadline was set)\n".into())
+        }),
+        Job::new("chaos-flaky", || {
+            if FLAKY_CALLS.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(Error::InvalidParameter("chaos: injected glitch".into()))
+            } else {
+                Ok("chaos: recovered on attempt 3\n".into())
+            }
+        })
+        .transient(true),
+    ]
 }
 
 fn print_text_outputs(report: &RunReport, csv: bool) {
@@ -131,12 +200,21 @@ fn main() -> ExitCode {
         print_list();
         return ExitCode::SUCCESS;
     }
-    let names: Vec<String> = if opts.names.is_empty() {
+    let names: Vec<String> = if opts.names.is_empty() && !opts.chaos {
         registry::names().iter().map(|n| n.to_string()).collect()
     } else {
         opts.names.clone()
     };
-    let report = engine::run(build_jobs(&names, opts.csv), opts.jobs);
+    let mut jobs = build_jobs(&names, opts.csv, opts.retries > 0);
+    if opts.chaos {
+        jobs.extend(chaos_jobs());
+    }
+    let policy = RunPolicy {
+        deadline: opts.timeout,
+        retries: opts.retries,
+        ..RunPolicy::default()
+    };
+    let report = engine::run_with_policy(jobs, opts.jobs, policy);
     if opts.json {
         print!("{}", report.to_json());
     } else {

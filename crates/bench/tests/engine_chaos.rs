@@ -1,0 +1,162 @@
+//! Chaos integration tests: the engine's failure paths exercised through
+//! the real `repro` binary via the hidden `--chaos` flag, which appends
+//! three synthetic fault-injection jobs — one that panics, one that
+//! hangs far past any test deadline, and one that fails twice before
+//! succeeding. The suite pins down the fault-tolerance contract:
+//!
+//! * a panicking job becomes a recorded failure, not a dead worker;
+//! * a hanging job is abandoned at `--timeout-secs` instead of stalling
+//!   the queue, and is reported as `timed_out` / deadline-exceeded;
+//! * a transiently failing job recovers under `--retries`, with the
+//!   attempt count surfaced in the `--json` telemetry;
+//! * output stays byte-identical across `--jobs` counts even with the
+//!   deadline/retry machinery active.
+//!
+//! Every chaos invocation passes `--timeout-secs`: `chaos-hang` sleeps
+//! five minutes, so a missing deadline would genuinely hang the test.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// The standard chaos invocation: 1 s deadline, 3 retries.
+const CHAOS: &[&str] = &["--chaos", "--timeout-secs", "1", "--retries", "3"];
+
+#[test]
+fn chaos_run_survives_panic_hang_and_flake() {
+    let out = repro(&[CHAOS, &["--jobs", "4"]].concat());
+    // chaos-panic and chaos-hang must fail; chaos-flaky must recover.
+    assert!(!out.status.success(), "two chaos jobs must fail the run");
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    let stderr = String::from_utf8(out.stderr).expect("utf8");
+    assert!(
+        stdout.contains("chaos: recovered on attempt 3"),
+        "flaky job recovered under --retries: {stdout}"
+    );
+    assert!(
+        stderr.contains("2 of 3 artifacts failed"),
+        "summary counts the panic and the hang: {stderr}"
+    );
+    assert!(
+        stderr.contains("panicked: chaos: injected panic"),
+        "panic payload preserved: {stderr}"
+    );
+    assert!(
+        stderr.contains("deadline exceeded"),
+        "hang reported as deadline exceeded: {stderr}"
+    );
+    assert!(
+        !stderr.contains("hang finished"),
+        "abandoned attempt's output must be discarded"
+    );
+}
+
+#[test]
+fn chaos_json_reports_attempts_and_deadline_status() {
+    let out = repro(&[CHAOS, &["--json", "--jobs", "2"]].concat());
+    assert!(!out.status.success());
+    let json = String::from_utf8(out.stdout).expect("utf8");
+    assert!(json.contains("\"schema\": \"nanopower-run-report/v1\""));
+    assert!(json.contains("\"failures\": 2"), "json: {json}");
+
+    // Per-record telemetry: every record carries attempts and timed_out.
+    assert_eq!(json.matches("\"attempts\":").count(), 3);
+    assert_eq!(json.matches("\"timed_out\":").count(), 3);
+
+    // The hang is the only timed-out record, and a deadline-exceeded
+    // attempt is terminal: exactly one attempt despite --retries 3.
+    let hang = record_for(&json, "chaos-hang");
+    assert!(hang.contains("\"timed_out\": true"), "hang: {hang}");
+    assert!(hang.contains("\"attempts\": 1"), "hang: {hang}");
+    assert!(hang.contains("deadline exceeded"), "hang: {hang}");
+
+    // The panicking job is not transient: one attempt, no timeout.
+    let panic = record_for(&json, "chaos-panic");
+    assert!(panic.contains("\"timed_out\": false"), "panic: {panic}");
+    assert!(panic.contains("\"attempts\": 1"), "panic: {panic}");
+    assert!(panic.contains("\"status\": \"error\""), "panic: {panic}");
+
+    // The flaky job fails twice, succeeds on the third attempt.
+    let flaky = record_for(&json, "chaos-flaky");
+    assert!(flaky.contains("\"attempts\": 3"), "flaky: {flaky}");
+    assert!(flaky.contains("\"status\": \"ok\""), "flaky: {flaky}");
+}
+
+/// Slices the JSON report down to the record object for one artifact.
+fn record_for<'a>(json: &'a str, name: &str) -> &'a str {
+    let start = json
+        .find(&format!("\"artifact\": \"{name}\""))
+        .unwrap_or_else(|| panic!("{name} missing from report: {json}"));
+    let rest = &json[start..];
+    let end = rest.find('}').unwrap_or(rest.len());
+    &rest[..end]
+}
+
+#[test]
+fn chaos_output_is_byte_identical_across_worker_counts() {
+    let serial = repro(&[CHAOS, &["table1", "fig5", "--jobs", "1"]].concat());
+    let parallel = repro(&[CHAOS, &["table1", "fig5", "--jobs", "4"]].concat());
+    assert_eq!(
+        serial.status.code(),
+        parallel.status.code(),
+        "exit codes agree"
+    );
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "stdout byte-identical with deadlines and retries active"
+    );
+    let stdout = String::from_utf8(serial.stdout).expect("utf8");
+    assert!(stdout.contains("=== table1"), "real artifacts still render");
+    assert!(stdout.contains("=== fig5"));
+}
+
+#[test]
+fn real_artifacts_pass_untouched_under_policy() {
+    // A deadline and retry budget must be invisible to healthy jobs.
+    let plain = repro(&["table1", "fig5"]);
+    let hardened = repro(&["table1", "fig5", "--timeout-secs", "30", "--retries", "2"]);
+    assert!(plain.status.success() && hardened.status.success());
+    assert_eq!(plain.stdout, hardened.stdout);
+}
+
+#[test]
+fn timeout_flag_rejects_nonsense() {
+    for bad in ["0", "-1", "nan", "inf", "soon"] {
+        let out = repro(&["--timeout-secs", bad, "table1"]);
+        assert!(
+            !out.status.success(),
+            "--timeout-secs {bad} must be rejected"
+        );
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("--timeout-secs needs a positive number"),
+            "stderr for {bad}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn retries_flag_rejects_nonsense() {
+    for bad in ["-1", "2.5", "many"] {
+        let out = repro(&["--retries", bad, "table1"]);
+        assert!(!out.status.success(), "--retries {bad} must be rejected");
+        let stderr = String::from_utf8(out.stderr).expect("utf8");
+        assert!(
+            stderr.contains("--retries needs a non-negative integer"),
+            "stderr for {bad}: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn equals_form_flags_parse() {
+    let out = repro(&["--timeout-secs=30", "--retries=1", "--jobs=2", "table1"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).expect("utf8");
+    assert!(stdout.contains("=== table1"));
+}

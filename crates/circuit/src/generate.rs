@@ -141,7 +141,12 @@ pub fn generate_netlist(spec: &NetlistSpec) -> Netlist {
         }
         gates.push(gate);
     }
-    Netlist::new(gates).expect("layered construction is acyclic by design")
+    match Netlist::new(gates) {
+        Ok(nl) => nl,
+        // Fanins reference strictly earlier gates, so Kahn's sort cannot
+        // find a cycle in a layered construction.
+        Err(e) => unreachable!("layered construction is acyclic by design: {e}"),
+    }
 }
 
 fn pick_kind(rng: &mut StdRng) -> CellKind {

@@ -160,7 +160,7 @@ impl Library {
         self.cells
             .iter()
             .filter(|c| c.kind == kind)
-            .min_by(|a, b| a.drive.partial_cmp(&b.drive).expect("finite drives"))
+            .min_by(|a, b| a.drive.total_cmp(&b.drive))
     }
 
     /// The library cell of `kind` whose drive is nearest to `drive`
@@ -176,7 +176,7 @@ impl Library {
                 wanted: format!("{kind} at drive {drive:.2}"),
             });
         }
-        candidates.sort_by(|a, b| a.drive.partial_cmp(&b.drive).expect("finite drives"));
+        candidates.sort_by(|a, b| a.drive.total_cmp(&b.drive));
         Ok(candidates
             .iter()
             .find(|c| c.drive >= drive)
@@ -197,7 +197,7 @@ impl Library {
         let drive = self.drive_for_load(kind, c_load, h_target);
         let cell = Cell::sized(kind, drive, self.unit_cap, self.unit_width);
         self.cells.push(cell);
-        self.cells.last().expect("just pushed")
+        &self.cells[self.cells.len() - 1]
     }
 }
 

@@ -161,7 +161,9 @@ impl Netlist {
             }
         }
         if topo.len() != n {
-            let stuck = (0..n).find(|&i| indeg[i] > 0).expect("cycle exists");
+            // topo.len() != n guarantees a positive in-degree exists; fall
+            // back to 0 rather than panic if that invariant ever breaks.
+            let stuck = (0..n).find(|&i| indeg[i] > 0).unwrap_or(0);
             return Err(CircuitError::CombinationalLoop { index: stuck });
         }
         Ok(Self {

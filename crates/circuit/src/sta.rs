@@ -331,26 +331,25 @@ impl TimingReport {
             .collect()
     }
 
-    /// The gates of (one) critical path, input to output.
+    /// The gates of (one) critical path, input to output. Empty when the
+    /// netlist has no timing endpoints.
     pub fn critical_path(&self, netlist: &Netlist) -> Vec<GateId> {
         // Walk back from the endpoint with the smallest slack.
-        let end = netlist
+        let Some(end) = netlist
             .timing_endpoints()
             .into_iter()
-            .min_by(|a, b| {
-                self.slack[a.index()]
-                    .partial_cmp(&self.slack[b.index()])
-                    .expect("finite slack")
-            })
-            .expect("netlists are non-empty");
+            .min_by(|a, b| self.slack[a.index()].0.total_cmp(&self.slack[b.index()].0))
+        else {
+            return Vec::new();
+        };
         let mut path = vec![end];
         let mut cur = end;
         loop {
             let g = netlist.gate(cur);
             let Some(&worst) = g.fanins.iter().max_by(|a, b| {
                 self.arrival[a.index()]
-                    .partial_cmp(&self.arrival[b.index()])
-                    .expect("finite arrival")
+                    .0
+                    .total_cmp(&self.arrival[b.index()].0)
             }) else {
                 break;
             };

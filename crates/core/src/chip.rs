@@ -58,12 +58,16 @@ impl Chip {
     /// The default scenario at a node: activity 0.1, effective worst case
     /// 75 %, junction at the ITRS limit for that node's year.
     ///
-    /// Thin wrapper over [`Chip::builder`] with the defaults, which are
-    /// always valid.
+    /// Uses the same defaults as [`Chip::builder`]; they are constants
+    /// inside the builder's accepted ranges, so no validation (and no
+    /// failure path) is needed.
     pub fn at_node(node: TechNode) -> Self {
-        Self::builder(node)
-            .build()
-            .expect("default scenario is valid")
+        Chip {
+            node,
+            activity: 0.1,
+            effective_fraction: 0.75,
+            junction_temp: PackagingRoadmap::for_node(node).t_junction_max,
+        }
     }
 
     /// Starts a validating builder for a scenario at `node`:

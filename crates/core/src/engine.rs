@@ -1,53 +1,86 @@
 //! The parallel artifact engine: a work-queue runner with per-run
-//! telemetry.
+//! telemetry, deadlines, and bounded retries.
 //!
 //! Motivated by the concurrent power/thermal-evaluation workloads of the
 //! related literature (Rosselló et al.; Atienza et al.), this module
 //! turns a list of named jobs — closures producing text — into a
 //! [`RunReport`] by fanning them out over `N` worker threads from
-//! [`std::thread::scope`]. Three guarantees shape the design:
+//! [`std::thread::scope`]. Four guarantees shape the design:
 //!
 //! 1. **Determinism.** Jobs are claimed from a shared queue in submission
 //!    order, but results are stored back by job index, so
 //!    [`RunReport::records`] — and anything rendered from it — is
 //!    byte-identical no matter how many workers ran or how they
-//!    interleaved. Only the telemetry (durations, worker attribution)
-//!    varies between runs.
+//!    interleaved. Only the telemetry (durations, worker attribution,
+//!    attempt counts) varies between runs.
 //! 2. **Failure isolation.** A job that returns an error — or panics —
 //!    marks its own record and the engine keeps going; the summary and
 //!    exit status report the damage at the end instead of aborting on the
 //!    first failure.
-//! 3. **Observability.** Every record carries wall-clock duration, the
-//!    worker that ran it, and an FNV-1a digest of its output;
-//!    [`RunReport::to_json`] emits the whole run as a machine-readable
-//!    report for tracking performance trajectory across commits.
+//! 3. **Bounded waiting.** A [`RunPolicy`] deadline puts a watchdog on
+//!    every job: an attempt that outlives the deadline is recorded as
+//!    [`Error::DeadlineExceeded`] and the worker moves on — one hung
+//!    model cannot stall the queue. (The abandoned attempt finishes on a
+//!    detached thread and its result is discarded.)
+//! 4. **Observability.** Every record carries wall-clock duration, the
+//!    worker that ran it, the number of attempts, whether the deadline
+//!    fired, and an FNV-1a digest of its output; [`RunReport::to_json`]
+//!    emits the whole run as a machine-readable report for tracking
+//!    performance trajectory across commits.
+//!
+//! Retries are opt-in per job: only jobs flagged
+//! [`Job::transient`] are re-attempted (with doubling backoff), because a
+//! deterministic model failure will fail identically every time —
+//! retrying it only burns wall-clock. A deadline-exceeded attempt is
+//! terminal even for transient jobs, so a hung job costs at most one
+//! deadline, not `retries + 1` of them.
 
 use crate::error::Error;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One unit of work: a named closure producing rendered text.
+///
+/// The runner is an `Fn` behind an [`Arc`] (not `FnOnce`) so the engine
+/// can re-invoke it on retry and hand a clone to the deadline watchdog's
+/// sacrificial thread.
 pub struct Job {
     name: String,
-    runner: Box<dyn FnOnce() -> Result<String, Error> + Send>,
+    runner: Arc<dyn Fn() -> Result<String, Error> + Send + Sync>,
+    transient: bool,
 }
 
 impl Job {
     /// Wraps a closure as a named job.
     pub fn new(
         name: impl Into<String>,
-        runner: impl FnOnce() -> Result<String, Error> + Send + 'static,
+        runner: impl Fn() -> Result<String, Error> + Send + Sync + 'static,
     ) -> Self {
         Job {
             name: name.into(),
-            runner: Box::new(runner),
+            runner: Arc::new(runner),
+            transient: false,
         }
+    }
+
+    /// Marks the job's failures as transient: under a [`RunPolicy`] with
+    /// `retries > 0`, a failed (errored or panicked — but not timed-out)
+    /// attempt is retried with backoff instead of recorded immediately.
+    pub fn transient(mut self, transient: bool) -> Self {
+        self.transient = transient;
+        self
     }
 
     /// The job's name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Whether failures of this job are flagged as transient.
+    pub fn is_transient(&self) -> bool {
+        self.transient
     }
 }
 
@@ -55,7 +88,48 @@ impl std::fmt::Debug for Job {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Job")
             .field("name", &self.name)
+            .field("transient", &self.transient)
             .finish_non_exhaustive()
+    }
+}
+
+/// Failure-handling policy for one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPolicy {
+    /// Per-attempt wall-clock budget. `None` waits forever (the
+    /// pre-policy behavior).
+    pub deadline: Option<Duration>,
+    /// Extra attempts granted to jobs flagged [`Job::transient`]. Zero
+    /// disables retries for everyone.
+    pub retries: u32,
+    /// Sleep before the first retry; doubles on each further retry.
+    pub backoff: Duration,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            deadline: None,
+            retries: 0,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+impl RunPolicy {
+    /// Attempts a job is allowed under this policy.
+    fn max_attempts(&self, job_is_transient: bool) -> u32 {
+        if job_is_transient {
+            self.retries.saturating_add(1)
+        } else {
+            1
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based), doubling each time.
+    fn backoff_before(&self, retry: u32) -> Duration {
+        let doublings = retry.saturating_sub(1).min(16);
+        self.backoff.saturating_mul(1u32 << doublings)
     }
 }
 
@@ -65,12 +139,19 @@ pub struct JobRecord {
     /// The job's name.
     pub name: String,
     /// Rendered output on success, the error otherwise (panics are
-    /// converted to [`Error::Panic`]).
+    /// converted to [`Error::Panic`], watchdog expiries to
+    /// [`Error::DeadlineExceeded`]).
     pub outcome: Result<String, Error>,
-    /// Wall-clock time the job took.
+    /// Wall-clock time the job took, across all attempts (including
+    /// backoff sleeps).
     pub duration: Duration,
     /// Index of the worker thread (0-based) that ran the job.
     pub worker: usize,
+    /// Number of attempts executed (1 unless the job was transient and
+    /// retried).
+    pub attempts: u32,
+    /// Whether the final attempt was cut off by the policy deadline.
+    pub timed_out: bool,
 }
 
 impl JobRecord {
@@ -126,15 +207,22 @@ impl RunReport {
             self.records.len()
         );
         for r in failures {
-            let err = r.outcome.as_ref().expect_err("failure record");
-            out.push_str(&format!("  {}: {err}\n", r.name));
+            if let Err(err) = &r.outcome {
+                let attempts = if r.attempts > 1 {
+                    format!(" (after {} attempts)", r.attempts)
+                } else {
+                    String::new()
+                };
+                out.push_str(&format!("  {}: {err}{attempts}\n", r.name));
+            }
         }
         out
     }
 
     /// The machine-readable run report (see DESIGN.md §"Run-report JSON
-    /// schema"): per-artifact status, duration, worker, and output digest,
-    /// plus run-level worker count and wall-clock.
+    /// schema"): per-artifact status, duration, worker, attempt count,
+    /// deadline flag, and output digest, plus run-level worker count and
+    /// wall-clock.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"nanopower-run-report/v1\",\n");
@@ -156,13 +244,15 @@ impl RunReport {
                 "\"duration_ms\": {:.3}, ",
                 r.duration.as_secs_f64() * 1e3
             ));
-            out.push_str(&format!("\"worker\": {}", r.worker));
+            out.push_str(&format!("\"worker\": {}, ", r.worker));
+            out.push_str(&format!("\"attempts\": {}, ", r.attempts));
+            out.push_str(&format!("\"timed_out\": {}", r.timed_out));
             match &r.outcome {
                 Ok(text) => {
                     out.push_str(&format!(", \"bytes\": {}", text.len()));
                     out.push_str(&format!(
-                        ", \"digest\": {}",
-                        json_string(&r.digest().expect("ok record digests"))
+                        ", \"digest\": \"fnv1a:{:016x}\"",
+                        fnv1a64(text.as_bytes())
                     ));
                 }
                 Err(e) => out.push_str(&format!(", \"error\": {}", json_string(&e.to_string()))),
@@ -178,13 +268,32 @@ impl RunReport {
     }
 }
 
-/// Runs `jobs` across `workers` threads and collects the report.
+/// Runs `jobs` across `workers` threads with the default (no-deadline,
+/// no-retry) policy and collects the report.
 ///
 /// `workers` is clamped to `1..=jobs.len()` (an empty job list returns an
 /// empty report without spawning). With `workers == 1` the jobs run
 /// strictly in submission order on one spawned worker — the serial
 /// reference that parallel runs are byte-identical to.
 pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
+    run_with_policy(jobs, workers, RunPolicy::default())
+}
+
+/// Runs `jobs` across `workers` threads under `policy`.
+///
+/// See [`run`] for the clamping and determinism contract. The policy adds
+/// two behaviors on top:
+///
+/// - **Deadline.** Each attempt runs on a watchdog: if it exceeds
+///   `policy.deadline`, the job is recorded as
+///   [`Error::DeadlineExceeded`] with `timed_out` set, and the worker
+///   claims the next job. The expired attempt keeps running on a
+///   detached thread until it finishes on its own; its result is
+///   discarded. Deadline expiry is terminal — it is never retried.
+/// - **Retry.** Jobs flagged [`Job::transient`] get up to
+///   `policy.retries` extra attempts after an error or panic, sleeping
+///   `policy.backoff` (doubling each retry) in between.
+pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> RunReport {
     let total = jobs.len();
     let start = Instant::now();
     if total == 0 {
@@ -205,41 +314,112 @@ pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
         for worker in 0..workers {
             let queue = &queue;
             let records = &records;
+            let policy = &policy;
             scope.spawn(move || loop {
                 let (index, job) = {
-                    let mut q = queue.lock().expect("queue lock");
+                    let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
                     let index = q.0;
                     if index >= total {
                         return;
                     }
                     q.0 += 1;
-                    (index, q.1[index].take().expect("job claimed once"))
+                    // Indices are handed out exactly once under the lock,
+                    // so the slot is always still populated.
+                    match q.1[index].take() {
+                        Some(job) => (index, job),
+                        None => continue,
+                    }
                 };
-                let job_start = Instant::now();
-                let outcome = catch_unwind(AssertUnwindSafe(job.runner))
-                    .unwrap_or_else(|p| Err(Error::Panic(panic_message(p.as_ref()))));
-                let record = JobRecord {
-                    name: job.name,
-                    outcome,
-                    duration: job_start.elapsed(),
-                    worker,
-                };
-                records.lock().expect("records lock")[index] = Some(record);
+                let record = run_one(job, worker, policy);
+                records.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(record);
             });
         }
     });
 
     let records = records
         .into_inner()
-        .expect("records lock")
+        .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
-        .map(|r| r.expect("every job produces a record"))
+        .enumerate()
+        .map(|(i, r)| {
+            // Every claimed index stores a record before its worker exits;
+            // a hole would mean a worker died outside catch_unwind.
+            r.unwrap_or_else(|| JobRecord {
+                name: format!("job-{i}"),
+                outcome: Err(Error::Panic("worker died before recording".into())),
+                duration: Duration::ZERO,
+                worker: 0,
+                attempts: 0,
+                timed_out: false,
+            })
+        })
         .collect();
     RunReport {
         records,
         workers,
         total_wall: start.elapsed(),
     }
+}
+
+/// Executes one job to completion under the policy: attempt, watchdog,
+/// retry loop.
+fn run_one(job: Job, worker: usize, policy: &RunPolicy) -> JobRecord {
+    let job_start = Instant::now();
+    let max_attempts = policy.max_attempts(job.transient);
+    let mut attempts = 0u32;
+    let (outcome, timed_out) = loop {
+        attempts += 1;
+        let (outcome, timed_out) = attempt(&job.runner, policy.deadline);
+        if outcome.is_ok() || timed_out || attempts >= max_attempts {
+            break (outcome, timed_out);
+        }
+        std::thread::sleep(policy.backoff_before(attempts));
+    };
+    JobRecord {
+        name: job.name,
+        outcome,
+        duration: job_start.elapsed(),
+        worker,
+        attempts,
+        timed_out,
+    }
+}
+
+/// One attempt of the runner, panic-isolated, with an optional deadline.
+/// Returns the outcome and whether the deadline fired.
+fn attempt(
+    runner: &Arc<dyn Fn() -> Result<String, Error> + Send + Sync>,
+    deadline: Option<Duration>,
+) -> (Result<String, Error>, bool) {
+    let Some(limit) = deadline else {
+        return (guarded_call(runner), false);
+    };
+    let (tx, rx) = mpsc::channel();
+    let sacrificial = Arc::clone(runner);
+    let spawned = std::thread::Builder::new()
+        .name("np-engine-watchdog".into())
+        .spawn(move || {
+            // The receiver may be long gone if the deadline fired; a
+            // closed channel just drops the late result.
+            let _ = tx.send(guarded_call(&sacrificial));
+        });
+    match spawned {
+        Ok(_) => match rx.recv_timeout(limit) {
+            Ok(outcome) => (outcome, false),
+            Err(_) => (Err(Error::DeadlineExceeded { limit }), true),
+        },
+        // Thread spawn failed (resource exhaustion): degrade to an
+        // un-watched inline attempt rather than fail the job outright.
+        Err(_) => (guarded_call(runner), false),
+    }
+}
+
+/// Invokes the runner with panics converted to [`Error::Panic`].
+fn guarded_call(
+    runner: &Arc<dyn Fn() -> Result<String, Error> + Send + Sync>,
+) -> Result<String, Error> {
+    catch_unwind(AssertUnwindSafe(|| runner()))
+        .unwrap_or_else(|p| Err(Error::Panic(panic_message(p.as_ref()))))
 }
 
 /// Extracts a human-readable message from a panic payload.
@@ -285,6 +465,7 @@ fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     fn fixed_jobs(n: usize) -> Vec<Job> {
         (0..n)
@@ -370,5 +551,177 @@ mod tests {
         assert!(json.contains("\"failures\": 1"));
         assert!(json.contains("\"duration_ms\""));
         assert!(json.contains("\"digest\": \"fnv1a:"));
+        assert!(json.contains("\"attempts\": 1"));
+        assert!(json.contains("\"timed_out\": false"));
+    }
+
+    #[test]
+    fn deadline_marks_hung_job_without_stalling_queue() {
+        let jobs = vec![
+            Job::new("hang", || {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok("never seen".into())
+            }),
+            Job::new("quick", || Ok("done\n".into())),
+        ];
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_millis(50)),
+            ..RunPolicy::default()
+        };
+        let start = Instant::now();
+        let report = run_with_policy(jobs, 1, policy);
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "queue must not wait for the hung job"
+        );
+        let hang = &report.records[0];
+        assert!(hang.timed_out);
+        assert!(matches!(hang.outcome, Err(Error::DeadlineExceeded { .. })));
+        assert!(report.records[1].is_ok(), "queue kept draining");
+        assert!(report.to_json().contains("\"timed_out\": true"));
+    }
+
+    #[test]
+    fn transient_jobs_retry_until_success() {
+        static FAILS: AtomicU32 = AtomicU32::new(0);
+        FAILS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("flaky", || {
+            if FAILS.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(Error::InvalidParameter("transient glitch".into()))
+            } else {
+                Ok("recovered\n".into())
+            }
+        })
+        .transient(true)];
+        let policy = RunPolicy {
+            retries: 3,
+            backoff: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let report = run_with_policy(jobs, 1, policy);
+        let r = &report.records[0];
+        assert!(r.is_ok(), "{:?}", r.outcome);
+        assert_eq!(r.attempts, 3, "two failures then success");
+        assert!(report.to_json().contains("\"attempts\": 3"));
+    }
+
+    #[test]
+    fn non_transient_jobs_never_retry() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("fails", || {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Err(Error::InvalidParameter("always".into()))
+        })];
+        let policy = RunPolicy {
+            retries: 5,
+            backoff: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let report = run_with_policy(jobs, 1, policy);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+        assert_eq!(report.records[0].attempts, 1);
+    }
+
+    #[test]
+    fn retries_exhaust_and_report_last_error() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("doomed", || {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            Err(Error::InvalidParameter("permanent".into()))
+        })
+        .transient(true)];
+        let policy = RunPolicy {
+            retries: 2,
+            backoff: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let report = run_with_policy(jobs, 1, policy);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
+        let r = &report.records[0];
+        assert_eq!(r.attempts, 3);
+        assert!(!r.is_ok());
+        assert!(report.error_summary().contains("after 3 attempts"));
+    }
+
+    #[test]
+    fn deadline_expiry_is_terminal_even_for_transient_jobs() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("slow", || {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(Duration::from_secs(30));
+            Ok("never".into())
+        })
+        .transient(true)];
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_millis(40)),
+            retries: 5,
+            backoff: Duration::from_millis(1),
+        };
+        let report = run_with_policy(jobs, 1, policy);
+        let r = &report.records[0];
+        assert_eq!(r.attempts, 1, "no retry after a deadline expiry");
+        assert!(r.timed_out);
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn panicking_transient_job_retries() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("panics-once", || {
+            if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("first attempt explodes");
+            }
+            Ok("second attempt fine\n".into())
+        })
+        .transient(true)];
+        let policy = RunPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let report = run_with_policy(jobs, 1, policy);
+        let r = &report.records[0];
+        assert!(r.is_ok(), "{:?}", r.outcome);
+        assert_eq!(r.attempts, 2);
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let p = RunPolicy {
+            backoff: Duration::from_millis(10),
+            ..RunPolicy::default()
+        };
+        assert_eq!(p.backoff_before(1), Duration::from_millis(10));
+        assert_eq!(p.backoff_before(2), Duration::from_millis(20));
+        assert_eq!(p.backoff_before(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn determinism_holds_under_policy() {
+        let mk = || {
+            (0..8)
+                .map(|i| {
+                    Job::new(format!("j{i}"), move || Ok(format!("payload {i}\n"))).transient(true)
+                })
+                .collect::<Vec<_>>()
+        };
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_secs(5)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let a = run_with_policy(mk(), 1, policy);
+        let b = run_with_policy(mk(), 4, policy);
+        let texts = |r: &RunReport| -> Vec<_> {
+            r.records
+                .iter()
+                .map(|j| (j.name.clone(), j.outcome.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(texts(&a), texts(&b));
     }
 }

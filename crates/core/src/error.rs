@@ -53,6 +53,12 @@ pub enum Error {
     /// A job panicked inside the engine; the payload message is preserved
     /// so the run report can show it like any other failure.
     Panic(String),
+    /// A job attempt outlived the engine policy's per-job deadline and was
+    /// abandoned by the watchdog.
+    DeadlineExceeded {
+        /// The deadline that was exceeded.
+        limit: std::time::Duration,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +79,13 @@ impl fmt::Display for Error {
                 write!(f, "artifact `{artifact}` has no {format} form")
             }
             Error::Panic(m) => write!(f, "panicked: {m}"),
+            Error::DeadlineExceeded { limit } => {
+                write!(
+                    f,
+                    "deadline exceeded: job ran past {:.3}s",
+                    limit.as_secs_f64()
+                )
+            }
         }
     }
 }

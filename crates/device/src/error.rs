@@ -1,5 +1,6 @@
 //! Error type for device-model evaluation and solving.
 
+use np_units::guard::NonFinite;
 use np_units::math::SolveError;
 use np_units::Volts;
 use std::fmt;
@@ -17,6 +18,8 @@ pub enum DeviceError {
     },
     /// A device parameter is unphysical (documented in the message).
     BadParameter(&'static str),
+    /// A numeric input was NaN, infinite, or outside its physical domain.
+    NonFinite(NonFinite),
     /// A numerical solve inside the model failed.
     Solve(SolveError),
     /// No threshold voltage in the search window can meet the requested
@@ -36,6 +39,7 @@ impl fmt::Display for DeviceError {
                 write!(f, "no gate overdrive: Vdd {vdd} at or below Vth {vth}")
             }
             DeviceError::BadParameter(msg) => write!(f, "unphysical device parameter: {msg}"),
+            DeviceError::NonFinite(e) => write!(f, "bad input: {e}"),
             DeviceError::Solve(e) => write!(f, "device solve failed: {e}"),
             DeviceError::TargetUnreachable {
                 vdd,
@@ -52,6 +56,7 @@ impl std::error::Error for DeviceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DeviceError::Solve(e) => Some(e),
+            DeviceError::NonFinite(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +65,12 @@ impl std::error::Error for DeviceError {
 impl From<SolveError> for DeviceError {
     fn from(e: SolveError) -> Self {
         DeviceError::Solve(e)
+    }
+}
+
+impl From<NonFinite> for DeviceError {
+    fn from(e: NonFinite) -> Self {
+        DeviceError::NonFinite(e)
     }
 }
 

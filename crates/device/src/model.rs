@@ -6,7 +6,7 @@ use crate::oxide::{self, GateKind};
 use crate::substrate::Substrate;
 use np_roadmap::TechNode;
 use np_units::{
-    Celsius, FaradsPerCm2, FaradsPerMicron, Kelvin, MicroampsPerMicron, Nanometers, Volts,
+    guard, Celsius, FaradsPerCm2, FaradsPerMicron, Kelvin, MicroampsPerMicron, Nanometers, Volts,
     VoltsPerMicron,
 };
 use std::fmt;
@@ -175,15 +175,22 @@ impl Mosfet {
     /// # Errors
     ///
     /// [`DeviceError::NoOverdrive`] when `Vdd ≤ Vth`;
-    /// [`DeviceError::BadParameter`] for unphysical geometry.
+    /// [`DeviceError::BadParameter`] for unphysical geometry;
+    /// [`DeviceError::NonFinite`] for a NaN/infinite supply or field, or
+    /// an overdrive so large the effective mobility underflows to zero.
     pub fn idsat0(&self, vdd: Volts) -> Result<MicroampsPerMicron, DeviceError> {
         self.validate()?;
+        guard::finite(vdd.0, "Vdd", "Mosfet::idsat0")?;
         let vth = self.vth_at_temp();
         let vov = (vdd - vth).0;
         if vov <= 0.0 {
             return Err(DeviceError::NoOverdrive { vdd, vth });
         }
+        // An extreme (but finite) overdrive underflows the mobility to
+        // zero; surface that as a domain error instead of letting the
+        // Esat helper's positivity assertion fire.
         let mu = self.mu_eff(vdd); // cm²/Vs
+        guard::finite_positive(mu, "effective mobility", "Mosfet::idsat0")?;
         let coxe = self.coxe().0; // F/cm²
         let leff_cm = self.leff.as_cm();
         let esat_l = mobility::esat_v_per_cm(mu) * leff_cm; // volts
@@ -249,6 +256,7 @@ impl Mosfet {
     /// [`DeviceError::BadParameter`] for unphysical geometry.
     pub fn linear_resistance_ohm_um(&self, vgs: Volts) -> Result<f64, DeviceError> {
         self.validate()?;
+        guard::finite(vgs.0, "Vgs", "Mosfet::linear_resistance_ohm_um")?;
         let vov = (vgs - self.vth_at_temp()).0;
         if vov <= 0.0 {
             return Err(DeviceError::NoOverdrive {
@@ -257,6 +265,7 @@ impl Mosfet {
             });
         }
         let mu = self.mu_eff(vgs); // cm²/Vs
+        guard::finite_positive(mu, "effective mobility", "Mosfet::linear_resistance_ohm_um")?;
         let coxe = self.coxe().0; // F/cm²
                                   // Conductance per µm of width: µ·Coxe·(1 µm / Leff)·Vov, in S/µm.
         let g_per_um = mu * coxe * (1e-4 / self.leff.as_cm()) * vov;
@@ -270,7 +279,24 @@ impl Mosfet {
         FaradsPerMicron(area_cap + OVERLAP_CAP_F_PER_UM)
     }
 
-    fn validate(&self) -> Result<(), DeviceError> {
+    /// Validates the device's fields: geometry positive, mobility and
+    /// parasitics physical, every field finite. Called by the fallible
+    /// model entry points before evaluation so a NaN planted in a public
+    /// field surfaces as a typed error at the first use, not as NaN
+    /// output three models downstream.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::BadParameter`] for out-of-domain values,
+    /// [`DeviceError::NonFinite`] for NaN/infinite fields.
+    pub fn validate(&self) -> Result<(), DeviceError> {
+        let ctx = "Mosfet::validate";
+        guard::finite(self.leff.0, "Leff", ctx)?;
+        guard::finite(self.tox_phys.0, "Tox", ctx)?;
+        guard::finite(self.mu0, "mu0", ctx)?;
+        guard::finite(self.rs_ohm_um, "Rs", ctx)?;
+        guard::finite(self.vth.0, "Vth", ctx)?;
+        guard::finite(self.temp.0, "temperature", ctx)?;
         if !(self.leff.0 > 0.0) {
             return Err(DeviceError::BadParameter("Leff must be positive"));
         }

@@ -17,34 +17,38 @@ use std::sync::OnceLock;
 /// (room temperature, exactly 300 K).
 pub const T_TABLE2: Celsius = Celsius(26.85);
 
-fn template(node: TechNode, gate: GateKind) -> Mosfet {
+fn template(node: TechNode, gate: GateKind) -> Result<Mosfet, DeviceError> {
     let p = node.params();
-    Mosfet {
+    Ok(Mosfet {
         leff: p.leff,
         tox_phys: p.tox_phys,
         gate,
         vth: Volts(0.0),
-        mu0: calibrated_mu0(),
+        mu0: try_calibrated_mu0()?,
         rs_ohm_um: p.rs_ohm_um,
         temp: T_TABLE2,
         substrate: crate::substrate::Substrate::Bulk,
         node: Some(node),
-    }
+    })
 }
 
-/// The workspace-wide calibrated low-field mobility (cm²/V·s).
+/// The workspace-wide calibrated low-field mobility (cm²/V·s), as a
+/// `Result`.
 ///
 /// Solved once so that the poly-gate 180 nm device meets 750 µA/µm at
-/// 1.8 V with `Vth = 0.30 V` — the paper's Table 2 anchor.
+/// 1.8 V with `Vth = 0.30 V` — the paper's Table 2 anchor. The
+/// calibration runs at most once per process; both the success value and
+/// a failure are cached, so a failed calibration is reported identically
+/// on every call rather than retried.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the calibration cannot converge, which would mean the
-/// roadmap constants are internally inconsistent (a programming error,
-/// not a user error).
-pub fn calibrated_mu0() -> f64 {
-    static MU0: OnceLock<f64> = OnceLock::new();
-    *MU0.get_or_init(|| {
+/// The [`DeviceError`] from the underlying solve when the calibration
+/// cannot converge, which would mean the roadmap constants are
+/// internally inconsistent (a programming error, not a user error).
+pub fn try_calibrated_mu0() -> Result<f64, DeviceError> {
+    static MU0: OnceLock<Result<f64, DeviceError>> = OnceLock::new();
+    MU0.get_or_init(|| {
         let p = TechNode::N180.params();
         let proto = Mosfet {
             leff: p.leff,
@@ -57,8 +61,26 @@ pub fn calibrated_mu0() -> f64 {
             substrate: crate::substrate::Substrate::Bulk,
             node: Some(TechNode::N180),
         };
-        calibrate_mu0(&proto, p.vdd).expect("180 nm mobility calibration must converge")
+        calibrate_mu0(&proto, p.vdd)
     })
+    .clone()
+}
+
+/// The workspace-wide calibrated low-field mobility (cm²/V·s).
+///
+/// The infallible convenience accessor over [`try_calibrated_mu0`]; use
+/// that form where a typed error is preferable to an abort.
+///
+/// # Panics
+///
+/// Panics if the calibration cannot converge (see
+/// [`try_calibrated_mu0`]'s error contract). With the shipped roadmap
+/// constants this cannot happen.
+pub fn calibrated_mu0() -> f64 {
+    match try_calibrated_mu0() {
+        Ok(mu0) => mu0,
+        Err(e) => panic!("180 nm mobility calibration must converge: {e}"),
+    }
 }
 
 impl Mosfet {
@@ -86,7 +108,7 @@ impl Mosfet {
         vdd: Volts,
         gate: GateKind,
     ) -> Result<Mosfet, DeviceError> {
-        let proto = template(node, gate);
+        let proto = template(node, gate)?;
         let vth = solve_vth_for_ion(&proto, vdd, node.params().ion_target)?;
         Ok(proto.with_vth(vth))
     }
@@ -161,9 +183,19 @@ mod tests {
     }
 
     #[test]
+    fn try_calibrated_mu0_agrees_with_infallible_accessor() {
+        // Regression for the expect() that used to live inside the cache:
+        // the fallible form must return the same cached value, as Ok, on
+        // every call.
+        let fallible = try_calibrated_mu0().expect("calibration converges");
+        assert_eq!(fallible, calibrated_mu0());
+        assert_eq!(try_calibrated_mu0(), try_calibrated_mu0());
+    }
+
+    #[test]
     fn custom_target_can_be_unreachable() {
         let p = TechNode::N50.params();
-        let proto = template(TechNode::N50, GateKind::PolySilicon);
+        let proto = template(TechNode::N50, GateKind::PolySilicon).unwrap();
         let err =
             solve_vth_for_ion(&proto, Volts(0.25), MicroampsPerMicron(p.ion_target.0)).unwrap_err();
         assert!(matches!(err, DeviceError::TargetUnreachable { .. }));

@@ -10,7 +10,7 @@
 use crate::error::DeviceError;
 use crate::model::Mosfet;
 use np_units::math::bisect;
-use np_units::{MicroampsPerMicron, Volts};
+use np_units::{guard, MicroampsPerMicron, Volts};
 
 /// Lowest threshold the solver will consider. Slightly negative thresholds
 /// are physical for the most aggressive projections (the paper's 50 nm
@@ -59,6 +59,9 @@ pub fn solve_vth_for_ion(
     vdd: Volts,
     target: MicroampsPerMicron,
 ) -> Result<Volts, DeviceError> {
+    let ctx = "solve_vth_for_ion";
+    guard::finite(vdd.0, "Vdd", ctx)?;
+    guard::finite(target.0, "Ion target", ctx)?;
     if !(target.0 > 0.0) {
         return Err(DeviceError::BadParameter("Ion target must be positive"));
     }
@@ -111,6 +114,7 @@ pub fn solve_vth_for_ion(
 /// Propagates solver failures; returns [`DeviceError::Solve`] when no
 /// mobility in the physical window `[100, 2000] cm²/Vs` anchors the node.
 pub fn calibrate_mu0(template_180nm: &Mosfet, vdd: Volts) -> Result<f64, DeviceError> {
+    guard::finite(vdd.0, "Vdd", "calibrate_mu0")?;
     let solved_vth = |mu0: f64| -> f64 {
         let mut d = template_180nm.clone();
         d.mu0 = mu0;

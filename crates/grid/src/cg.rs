@@ -10,6 +10,7 @@
 
 use crate::error::GridError;
 use crate::solver::MeshProblem;
+use np_units::convergence::{Breakdown, ResidualTrace};
 
 /// Applies the mesh Laplacian `G·v` (pinned nodes held at zero).
 fn apply(m: &MeshProblem, v: &[f64], out: &mut [f64]) {
@@ -51,14 +52,22 @@ fn apply(m: &MeshProblem, v: &[f64], out: &mut [f64]) {
 ///
 /// # Errors
 ///
-/// [`GridError::BadParameter`] when no node is pinned;
-/// [`GridError::NoConvergence`] if the iteration stalls (cannot happen
-/// for a well-posed SPD system within the generous budget, kept for API
-/// honesty).
+/// [`GridError::BadParameter`]/[`GridError::NonFinite`] when
+/// [`MeshProblem::validate`] rejects the problem;
+/// [`GridError::NoConvergence`] if the iteration stalls, with a
+/// diagnostic whose reason distinguishes a plain budget exhaustion from
+/// a loss of positive-definiteness
+/// ([`Breakdown::IndefiniteOperator`]) — the latter means the system is
+/// singular/indefinite and re-running cannot help.
 pub fn solve_cg(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
-    if !m.pinned.iter().any(|&p| p) {
-        return Err(GridError::BadParameter("at least one node must be pinned"));
-    }
+    m.validate()?;
+    cg_iterate(m)
+}
+
+/// The CG iteration proper, after [`MeshProblem::validate`] has accepted
+/// the inputs. Kept separate so the breakdown watchdogs can be exercised
+/// on inputs `validate` would reject.
+fn cg_iterate(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
     let n = m.nx * m.ny;
     // RHS: -I at free nodes (current draw pulls the node negative),
     // 0 at pinned nodes.
@@ -73,14 +82,31 @@ pub fn solve_cg(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
     let b_norm = rs_old.sqrt().max(1e-300);
     let tol = 1e-12 * b_norm;
     let max_iters = 10 * n;
+    let mut trace = ResidualTrace::new();
     for _ in 0..max_iters {
         if rs_old.sqrt() <= tol {
             return Ok(x);
         }
         apply(m, &p, &mut ap);
         let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        if !p_ap.is_finite() {
+            return Err(GridError::NoConvergence {
+                diag: trace.diagnostic(Breakdown::NonFinite {
+                    at_iteration: trace.iterations(),
+                }),
+            });
+        }
         if p_ap <= 0.0 {
-            break; // loss of positive-definiteness: numerical breakdown
+            // Loss of positive-definiteness is a structural breakdown, not
+            // a budget problem — report it as its own reason so callers
+            // don't retry a solve that cannot succeed. A solution already
+            // within the relaxed tolerance is still accepted.
+            if rs_old.sqrt() <= tol * 10.0 {
+                return Ok(x);
+            }
+            return Err(GridError::NoConvergence {
+                diag: trace.diagnostic(Breakdown::IndefiniteOperator { curvature: p_ap }),
+            });
         }
         let alpha = rs_old / p_ap;
         for i in 0..n {
@@ -93,13 +119,13 @@ pub fn solve_cg(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
             p[i] = r[i] + beta * p[i];
         }
         rs_old = rs_new;
+        trace.record(rs_old.sqrt());
     }
     if rs_old.sqrt() <= tol * 10.0 {
         Ok(x)
     } else {
         Err(GridError::NoConvergence {
-            iterations: max_iters,
-            residual: rs_old.sqrt(),
+            diag: trace.diagnostic(Breakdown::IterationBudget),
         })
     }
 }
@@ -167,6 +193,41 @@ mod tests {
     fn unpinned_rejected() {
         let m = MeshProblem::new(4, 4, 1.0);
         assert!(matches!(solve_cg(&m), Err(GridError::BadParameter(_))));
+    }
+
+    #[test]
+    fn non_finite_injection_rejected_with_typed_error() {
+        let mut m = loaded_mesh(5);
+        m.injection[3] = f64::NAN;
+        assert!(matches!(solve_cg(&m), Err(GridError::NonFinite(_))));
+    }
+
+    #[test]
+    fn mismatched_injection_length_rejected_not_panicking() {
+        let mut m = loaded_mesh(5);
+        m.injection.truncate(3);
+        assert!(matches!(solve_cg(&m), Err(GridError::BadParameter(_))));
+    }
+
+    #[test]
+    fn indefinite_operator_reports_breakdown_reason() {
+        use np_units::convergence::Breakdown;
+        // A negative conductance makes the operator negative-definite:
+        // pᵀAp < 0 on the first step. `validate` rejects this at the
+        // public API; the iteration's own watchdog must still name the
+        // structural cause rather than a generic budget exhaustion.
+        let mut m = loaded_mesh(5);
+        m.edge_conductance = -1.0;
+        match cg_iterate(&m) {
+            Err(GridError::NoConvergence { diag }) => {
+                assert!(
+                    matches!(diag.reason, Breakdown::IndefiniteOperator { curvature } if curvature < 0.0),
+                    "got {:?}",
+                    diag.reason
+                );
+            }
+            other => panic!("expected breakdown, got {other:?}"),
+        }
     }
 
     #[test]

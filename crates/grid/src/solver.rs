@@ -5,6 +5,8 @@
 //! the discrete form of a power-grid sheet fed by bumps.
 
 use crate::error::GridError;
+use np_units::convergence::{Breakdown, ResidualTrace};
+use np_units::guard;
 
 /// A rectangular resistive mesh problem.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +52,38 @@ impl MeshProblem {
         y * self.nx + x
     }
 
+    /// Validates the problem before a solve: a pinned node must exist,
+    /// the conductance must be finite and positive, the injection vector
+    /// must be finite and sized to the mesh, and the pin mask must match.
+    ///
+    /// # Errors
+    ///
+    /// [`GridError::BadParameter`] or [`GridError::NonFinite`] naming the
+    /// offending field.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.nx < 2 || self.ny < 2 {
+            return Err(GridError::BadParameter("mesh needs at least 2x2 nodes"));
+        }
+        guard::finite_positive(
+            self.edge_conductance,
+            "edge conductance",
+            "MeshProblem::solve",
+        )?;
+        if self.injection.len() != self.nx * self.ny {
+            return Err(GridError::BadParameter(
+                "injection vector must have nx*ny entries",
+            ));
+        }
+        if self.pinned.len() != self.nx * self.ny {
+            return Err(GridError::BadParameter("pin mask must have nx*ny entries"));
+        }
+        guard::all_finite(&self.injection, "injection", "MeshProblem::solve")?;
+        if !self.pinned.iter().any(|&p| p) {
+            return Err(GridError::BadParameter("at least one node must be pinned"));
+        }
+        Ok(())
+    }
+
     /// Solves for node voltages by red-black SOR.
     ///
     /// Voltages are drops below the (0 V) bump potential: load current
@@ -58,19 +92,22 @@ impl MeshProblem {
     ///
     /// # Errors
     ///
-    /// [`GridError::BadParameter`] when no node is pinned (singular
-    /// system); [`GridError::NoConvergence`] when the iteration stalls.
+    /// [`GridError::BadParameter`]/[`GridError::NonFinite`] when
+    /// [`MeshProblem::validate`] rejects the problem;
+    /// [`GridError::NoConvergence`] (with a [`Convergence`] diagnostic)
+    /// when the iteration stalls.
+    ///
+    /// [`Convergence`]: np_units::convergence::Convergence
     pub fn solve(&self) -> Result<Vec<f64>, GridError> {
-        if !self.pinned.iter().any(|&p| p) {
-            return Err(GridError::BadParameter("at least one node must be pinned"));
-        }
+        self.validate()?;
         let (nx, ny) = (self.nx, self.ny);
         let g = self.edge_conductance;
         let mut v = vec![0.0f64; nx * ny];
         let omega = 1.9;
         let max_iters = 50_000;
         let tol = 1e-12;
-        for iter in 0..max_iters {
+        let mut trace = ResidualTrace::new();
+        for _ in 0..max_iters {
             let mut max_delta = 0.0f64;
             for color in 0..2 {
                 for y in 0..ny {
@@ -108,17 +145,21 @@ impl MeshProblem {
                     }
                 }
             }
+            trace.record(max_delta);
+            if !max_delta.is_finite() {
+                return Err(GridError::NoConvergence {
+                    diag: trace.diagnostic(Breakdown::NonFinite {
+                        at_iteration: trace.iterations(),
+                    }),
+                });
+            }
             if max_delta < tol {
                 return Ok(v);
             }
-            if iter == max_iters - 1 {
-                return Err(GridError::NoConvergence {
-                    iterations: max_iters,
-                    residual: max_delta,
-                });
-            }
         }
-        unreachable!("loop returns or errors");
+        Err(GridError::NoConvergence {
+            diag: trace.diagnostic(Breakdown::IterationBudget),
+        })
     }
 }
 

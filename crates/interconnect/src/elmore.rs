@@ -12,7 +12,7 @@
 
 use crate::error::InterconnectError;
 use crate::wire::WireGeometry;
-use np_units::{Farads, Microns, Ohms, Seconds};
+use np_units::{guard, Farads, Microns, Ohms, Seconds};
 
 /// A concrete wire segment: geometry × length.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,8 +28,24 @@ impl RcLine {
     ///
     /// # Errors
     ///
-    /// Returns [`InterconnectError::BadParameter`] for non-positive length.
+    /// Returns [`InterconnectError::BadParameter`] for non-positive
+    /// length, [`InterconnectError::NonFinite`] for a NaN/infinite length
+    /// or a geometry with a NaN/infinite cross-section.
     pub fn new(geometry: WireGeometry, length: Microns) -> Result<Self, InterconnectError> {
+        let ctx = "RcLine::new";
+        guard::finite(length.0, "line length", ctx)?;
+        guard::all_finite(
+            &[
+                geometry.width.0,
+                geometry.spacing.0,
+                geometry.thickness.0,
+                geometry.height.0,
+                geometry.k_dielectric,
+                geometry.resistivity,
+            ],
+            "wire geometry",
+            ctx,
+        )?;
         if !(length.0 > 0.0) {
             return Err(InterconnectError::BadParameter(
                 "line length must be positive",

@@ -1,6 +1,7 @@
 //! Error type for interconnect modeling.
 
 use np_device::DeviceError;
+use np_units::guard::NonFinite;
 use std::fmt;
 
 /// Error returned by wire, repeater, and signaling models.
@@ -8,6 +9,8 @@ use std::fmt;
 pub enum InterconnectError {
     /// A geometry or electrical parameter is unphysical.
     BadParameter(&'static str),
+    /// A numeric input was NaN, infinite, or outside its physical domain.
+    NonFinite(NonFinite),
     /// The underlying device model failed.
     Device(DeviceError),
     /// A requested link cannot meet its constraint (documented in the
@@ -19,6 +22,7 @@ impl fmt::Display for InterconnectError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             InterconnectError::BadParameter(m) => write!(f, "bad parameter: {m}"),
+            InterconnectError::NonFinite(e) => write!(f, "bad input: {e}"),
             InterconnectError::Device(e) => write!(f, "device model error: {e}"),
             InterconnectError::Infeasible(m) => write!(f, "infeasible link: {m}"),
         }
@@ -29,6 +33,7 @@ impl std::error::Error for InterconnectError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             InterconnectError::Device(e) => Some(e),
+            InterconnectError::NonFinite(e) => Some(e),
             _ => None,
         }
     }
@@ -37,6 +42,12 @@ impl std::error::Error for InterconnectError {
 impl From<DeviceError> for InterconnectError {
     fn from(e: DeviceError) -> Self {
         InterconnectError::Device(e)
+    }
+}
+
+impl From<NonFinite> for InterconnectError {
+    fn from(e: NonFinite) -> Self {
+        InterconnectError::NonFinite(e)
     }
 }
 

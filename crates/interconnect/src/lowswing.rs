@@ -12,7 +12,7 @@
 use crate::elmore::RcLine;
 use crate::error::InterconnectError;
 use crate::repeater::DriverTech;
-use np_units::{Farads, Microns, Ohms, Seconds, Volts, Watts};
+use np_units::{guard, Farads, Microns, Ohms, Seconds, Volts, Watts};
 
 /// Default swing as a fraction of `Vdd` (the Alpha 21264 figure).
 pub const DEFAULT_SWING_FRACTION: f64 = 0.1;
@@ -59,6 +59,9 @@ impl LowSwingLink {
     /// [`MIN_RESOLVABLE_SWING`] — the paper's open question of "tolerable
     /// voltage swings".
     pub fn with_swing(line: RcLine, vdd: Volts, swing: Volts) -> Result<Self, InterconnectError> {
+        let ctx = "LowSwingLink::with_swing";
+        guard::finite(vdd.0, "Vdd", ctx)?;
+        guard::finite(swing.0, "swing", ctx)?;
         if !(swing.0 > 0.0) || swing > vdd {
             return Err(InterconnectError::BadParameter("swing must be in (0, vdd]"));
         }

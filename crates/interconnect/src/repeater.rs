@@ -19,7 +19,7 @@ use crate::error::InterconnectError;
 use crate::wire::WireGeometry;
 use np_device::Mosfet;
 use np_roadmap::TechNode;
-use np_units::{Farads, Microns, Ohms, Seconds, Volts, Watts};
+use np_units::{guard, Farads, Microns, Ohms, Seconds, Volts, Watts};
 
 /// Repeater drain (self-load) capacitance relative to its gate cap.
 pub const DRAIN_CAP_FRACTION: f64 = 1.0;
@@ -49,6 +49,7 @@ impl DriverTech {
     ///
     /// Propagates drive-model errors.
     pub fn from_device(dev: &Mosfet, vdd: Volts) -> Result<Self, InterconnectError> {
+        guard::finite(vdd.0, "Vdd", "DriverTech::from_device")?;
         let ion = dev.ion(vdd)?; // µA/µm
         Ok(DriverTech {
             rd_ohm_um: vdd.0 / (ion.0 * 1e-6),
@@ -91,6 +92,10 @@ pub fn insert_repeaters(
     line: &RcLine,
     tech: &DriverTech,
 ) -> Result<RepeaterDesign, InterconnectError> {
+    let ctx = "insert_repeaters";
+    guard::finite(tech.rd_ohm_um, "driver resistance", ctx)?;
+    guard::finite(tech.c0_per_um, "driver gate cap", ctx)?;
+    guard::finite(tech.vdd.0, "Vdd", ctx)?;
     if !(tech.rd_ohm_um > 0.0 && tech.c0_per_um > 0.0) {
         return Err(InterconnectError::BadParameter(
             "driver parameters must be positive",

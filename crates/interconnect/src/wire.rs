@@ -8,7 +8,7 @@
 
 use crate::error::InterconnectError;
 use np_roadmap::TechNode;
-use np_units::{FaradsPerMicron, Microns, Ohms};
+use np_units::{guard, FaradsPerMicron, Microns, Ohms};
 
 /// Vacuum permittivity in F/µm.
 const EPS0_F_PER_UM: f64 = 8.854e-18;
@@ -74,8 +74,9 @@ impl WireGeometry {
     /// # Errors
     ///
     /// Returns [`InterconnectError::BadParameter`] for a non-positive
-    /// factor.
+    /// factor, [`InterconnectError::NonFinite`] for a NaN/infinite one.
     pub fn widened(&self, factor: f64) -> Result<Self, InterconnectError> {
+        guard::finite(factor, "width factor", "WireGeometry::widened")?;
         if !(factor > 0.0) {
             return Err(InterconnectError::BadParameter(
                 "width factor must be positive",

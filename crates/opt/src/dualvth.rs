@@ -76,8 +76,8 @@ pub fn assign_dual_vth(
     let mut order: Vec<GateId> = netlist.ids().collect();
     order.sort_by(|a, b| {
         baseline.slack[b.index()]
-            .partial_cmp(&baseline.slack[a.index()])
-            .expect("finite slack")
+            .0
+            .total_cmp(&baseline.slack[a.index()].0)
     });
     let mut sta = IncrementalSta::new(ctx, netlist);
     for id in order {

@@ -144,7 +144,7 @@ pub fn lowest_vdd_at_ratio(
     curve
         .iter()
         .filter(|p| p.power_ratio(ratio0) >= target_ratio)
-        .min_by(|a, b| a.vdd.partial_cmp(&b.vdd).expect("finite vdd"))
+        .min_by(|a, b| a.vdd.0.total_cmp(&b.vdd.0))
         .copied()
 }
 

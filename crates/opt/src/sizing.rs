@@ -82,8 +82,8 @@ pub fn downsize(
     let mut order: Vec<GateId> = netlist.ids().collect();
     order.sort_by(|a, b| {
         baseline.slack[b.index()]
-            .partial_cmp(&baseline.slack[a.index()])
-            .expect("finite slack")
+            .0
+            .total_cmp(&baseline.slack[a.index()].0)
     });
     // Multiple passes: shrinking one gate frees slack elsewhere.
     let mut sta = IncrementalSta::new(ctx, netlist);

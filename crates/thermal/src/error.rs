@@ -1,5 +1,7 @@
 //! Error type for thermal modeling.
 
+use np_units::convergence::Convergence;
+use np_units::guard::NonFinite;
 use np_units::math::SolveError;
 use std::fmt;
 
@@ -8,11 +10,20 @@ use std::fmt;
 pub enum ThermalError {
     /// A parameter is unphysical (documented in the message).
     BadParameter(&'static str),
+    /// A numeric input was NaN, infinite, or outside its physical domain.
+    NonFinite(NonFinite),
     /// The electro-thermal fixed point diverged — thermal runaway: leakage
     /// heating raises leakage faster than the package can shed it.
     ThermalRunaway {
         /// Temperature (°C) at which the iteration was abandoned.
         last_temp: f64,
+        /// What the fixed-point iteration did before it was abandoned.
+        diag: Convergence,
+    },
+    /// An iterative thermal solve exhausted its budget without settling.
+    NoConvergence {
+        /// What the iteration did before giving up.
+        diag: Convergence,
     },
     /// A numerical solve failed.
     Solve(SolveError),
@@ -22,11 +33,15 @@ impl fmt::Display for ThermalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ThermalError::BadParameter(m) => write!(f, "bad parameter: {m}"),
-            ThermalError::ThermalRunaway { last_temp } => {
+            ThermalError::NonFinite(e) => write!(f, "bad input: {e}"),
+            ThermalError::ThermalRunaway { last_temp, diag } => {
                 write!(
                     f,
-                    "thermal runaway: no stable junction temperature (reached {last_temp:.0} °C)"
+                    "thermal runaway: no stable junction temperature (reached {last_temp:.0} °C; {diag})"
                 )
+            }
+            ThermalError::NoConvergence { diag } => {
+                write!(f, "thermal solve stalled: {diag}")
             }
             ThermalError::Solve(e) => write!(f, "thermal solve failed: {e}"),
         }
@@ -37,6 +52,7 @@ impl std::error::Error for ThermalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ThermalError::Solve(e) => Some(e),
+            ThermalError::NonFinite(e) => Some(e),
             _ => None,
         }
     }
@@ -48,15 +64,39 @@ impl From<SolveError> for ThermalError {
     }
 }
 
+impl From<NonFinite> for ThermalError {
+    fn from(e: NonFinite) -> Self {
+        ThermalError::NonFinite(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use np_units::convergence::{Breakdown, ResidualTrace};
 
     #[test]
     fn display_variants() {
         assert!(format!("{}", ThermalError::BadParameter("x")).contains("bad parameter"));
-        assert!(
-            format!("{}", ThermalError::ThermalRunaway { last_temp: 160.0 }).contains("runaway")
-        );
+        let mut trace = ResidualTrace::new();
+        trace.record(4.0);
+        let runaway = ThermalError::ThermalRunaway {
+            last_temp: 160.0,
+            diag: trace.diagnostic(Breakdown::DomainEscape {
+                value: 260.0,
+                bound: 250.0,
+            }),
+        };
+        let s = format!("{runaway}");
+        assert!(s.contains("runaway"), "{s}");
+        assert!(s.contains("escaped"), "{s}");
+        let stalled = ThermalError::NoConvergence {
+            diag: trace.diagnostic(Breakdown::IterationBudget),
+        };
+        assert!(format!("{stalled}").contains("stalled"));
+        let bad: ThermalError = np_units::guard::finite(f64::NAN, "P", "t")
+            .unwrap_err()
+            .into();
+        assert!(format!("{bad}").contains("bad input"));
     }
 }

@@ -8,7 +8,8 @@
 use crate::error::ThermalError;
 use np_device::Mosfet;
 use np_roadmap::TechNode;
-use np_units::{math, Celsius, Microns, ThermalResistance, Volts, Watts};
+use np_units::convergence::{Breakdown, ResidualTrace};
+use np_units::{guard, Celsius, Microns, ThermalResistance, Volts, Watts};
 
 /// A packaging/cooling solution characterized by its junction-to-ambient
 /// thermal resistance.
@@ -77,11 +78,22 @@ impl Package {
     /// `leak_width` is the total leaking transistor width on the die and
     /// `vdd` the rail it leaks from.
     ///
+    /// The junction-temperature ceiling above which the fixed point is
+    /// reported as runaway rather than a solution.
+    pub const RUNAWAY_CEILING_C: f64 = 250.0;
+
     /// # Errors
     ///
     /// [`ThermalError::ThermalRunaway`] when no stable temperature below
-    /// 250 °C exists; [`ThermalError::BadParameter`] for a non-positive
-    /// width.
+    /// [`Package::RUNAWAY_CEILING_C`] exists — the attached
+    /// [`Convergence`] diagnostic records the iteration count, the final
+    /// temperature update, and a tail of the update history so a diverging
+    /// loop is distinguishable from a slow one;
+    /// [`ThermalError::NonFinite`] when `dynamic`, `vdd`, θja, or the
+    /// ambient is NaN/infinite (or `dynamic` negative);
+    /// [`ThermalError::BadParameter`] for a non-positive width.
+    ///
+    /// [`Convergence`]: np_units::convergence::Convergence
     pub fn electro_thermal_temperature(
         &self,
         dynamic: Watts,
@@ -89,26 +101,57 @@ impl Package {
         leak_width: Microns,
         vdd: Volts,
     ) -> Result<Celsius, ThermalError> {
+        let ctx = "Package::electro_thermal_temperature";
+        guard::finite_non_negative(dynamic.0, "dynamic power", ctx)?;
+        guard::finite(vdd.0, "Vdd", ctx)?;
+        guard::finite_positive(self.theta_ja.0, "theta_ja", ctx)?;
+        guard::finite(self.t_ambient.0, "ambient temperature", ctx)?;
         if !(leak_width.0 > 0.0) {
             return Err(ThermalError::BadParameter("leak width must be positive"));
         }
+        guard::finite(leak_width.0, "leak width", ctx)?;
         let map = |t: f64| -> f64 {
             let hot = dev.with_temperature(Celsius(t));
             let p_leak = hot.ioff().total(leak_width) * vdd;
             self.junction_temperature(dynamic + p_leak).0
         };
-        match math::fixed_point(map, self.t_ambient.0, 1e-6, 500) {
-            Ok(t) if t < 250.0 => Ok(Celsius(t)),
-            Ok(t) => Err(ThermalError::ThermalRunaway { last_temp: t }),
-            Err(math::SolveError::NoConvergence { best, .. }) => {
-                Err(ThermalError::ThermalRunaway { last_temp: best })
+        // Fixed-point iteration with a residual trace: the |ΔT| per step
+        // is the residual, so the diagnostic's tail shows whether the
+        // loop was contracting, stalled, or blowing up.
+        const TOL: f64 = 1e-6;
+        const MAX_ITERS: usize = 500;
+        let mut trace = ResidualTrace::new();
+        let mut t = self.t_ambient.0;
+        for _ in 0..MAX_ITERS {
+            let next = map(t);
+            if !next.is_finite() {
+                // Leakage blowing up to a non-finite value *is* runaway.
+                return Err(ThermalError::ThermalRunaway {
+                    last_temp: t,
+                    diag: trace.diagnostic(Breakdown::NonFinite {
+                        at_iteration: trace.iterations(),
+                    }),
+                });
             }
-            // Leakage blowing up to a non-finite value *is* runaway.
-            Err(math::SolveError::NonFinite { at }) => {
-                Err(ThermalError::ThermalRunaway { last_temp: at })
+            trace.record((next - t).abs());
+            if next >= Self::RUNAWAY_CEILING_C {
+                return Err(ThermalError::ThermalRunaway {
+                    last_temp: next,
+                    diag: trace.diagnostic(Breakdown::DomainEscape {
+                        value: next,
+                        bound: Self::RUNAWAY_CEILING_C,
+                    }),
+                });
             }
-            Err(e) => Err(e.into()),
+            if (next - t).abs() <= TOL {
+                return Ok(Celsius(next));
+            }
+            t = next;
         }
+        Err(ThermalError::ThermalRunaway {
+            last_temp: t,
+            diag: trace.diagnostic(Breakdown::IterationBudget),
+        })
     }
 }
 

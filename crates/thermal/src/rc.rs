@@ -5,8 +5,10 @@
 //! of `C·dT/dt = P − (T − Ta)/θ` is applied, so the integration is
 //! unconditionally stable for any sample period.
 
+use crate::error::ThermalError;
 use crate::package::Package;
-use np_units::{Celsius, Seconds, Watts};
+use np_units::convergence::{Breakdown, ResidualTrace};
+use np_units::{guard, Celsius, Seconds, Watts};
 
 /// Representative die + spreader heat capacity, J/°C. With θja ≈ 0.7 °C/W
 /// this gives the tens-of-milliseconds thermal time constant that on-die
@@ -39,9 +41,75 @@ impl ThermalRc {
         }
     }
 
+    /// A node starting at ambient, with the capacity validated instead of
+    /// asserted — the panic-free form of [`ThermalRc::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::NonFinite`] when the heat capacity, θja, or the
+    /// ambient temperature is NaN, infinite, or non-positive.
+    pub fn try_new(package: Package, heat_capacity: f64) -> Result<Self, ThermalError> {
+        let ctx = "ThermalRc::try_new";
+        guard::finite_positive(heat_capacity, "heat capacity", ctx)?;
+        guard::finite_positive(package.theta_ja.0, "theta_ja", ctx)?;
+        guard::finite(package.t_ambient.0, "ambient temperature", ctx)?;
+        Ok(Self {
+            package,
+            heat_capacity,
+            temperature: package.t_ambient,
+        })
+    }
+
     /// The thermal time constant `τ = θja · C_th`.
     pub fn time_constant(&self) -> Seconds {
         Seconds(self.package.theta_ja.0 * self.heat_capacity)
+    }
+
+    /// Steps the node at constant dissipation until the temperature
+    /// update falls below `tol_c` degrees, returning the settled
+    /// temperature — the iterative counterpart of
+    /// [`ThermalRc::steady_state`], with a watchdog: if `max_steps`
+    /// elapse first, the error's [`Convergence`] diagnostic carries the
+    /// step count and the tail of the update history.
+    ///
+    /// # Errors
+    ///
+    /// [`ThermalError::NonFinite`] for a NaN/infinite power or
+    /// non-positive `dt`/`tol_c`; [`ThermalError::NoConvergence`] when
+    /// the node has not settled within `max_steps`.
+    ///
+    /// [`Convergence`]: np_units::convergence::Convergence
+    pub fn settle(
+        &mut self,
+        power: Watts,
+        dt: Seconds,
+        tol_c: f64,
+        max_steps: usize,
+    ) -> Result<Celsius, ThermalError> {
+        let ctx = "ThermalRc::settle";
+        guard::finite_non_negative(power.0, "power", ctx)?;
+        guard::finite_positive(dt.0, "dt", ctx)?;
+        guard::finite_positive(tol_c, "tolerance", ctx)?;
+        let mut trace = ResidualTrace::new();
+        for _ in 0..max_steps {
+            let before = self.temperature;
+            let after = self.step(power, dt);
+            let delta = (after - before).abs().0;
+            if !delta.is_finite() {
+                return Err(ThermalError::NoConvergence {
+                    diag: trace.diagnostic(Breakdown::NonFinite {
+                        at_iteration: trace.iterations(),
+                    }),
+                });
+            }
+            trace.record(delta);
+            if delta <= tol_c {
+                return Ok(after);
+            }
+        }
+        Err(ThermalError::NoConvergence {
+            diag: trace.diagnostic(Breakdown::IterationBudget),
+        })
     }
 
     /// Advances the node by `dt` at constant dissipation `power`, using
@@ -124,5 +192,57 @@ mod tests {
     #[should_panic(expected = "heat capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = ThermalRc::new(Package::new(ThermalResistance(0.8), Celsius(45.0)), 0.0);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_capacity_without_panicking() {
+        use crate::error::ThermalError;
+        let pkg = Package::new(ThermalResistance(0.8), Celsius(45.0));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ThermalRc::try_new(pkg, bad),
+                Err(ThermalError::NonFinite(_))
+            ));
+        }
+        assert!(ThermalRc::try_new(pkg, 0.08).is_ok());
+    }
+
+    #[test]
+    fn settle_matches_steady_state() {
+        let mut n = node();
+        let p = Watts(60.0);
+        let settled = n.settle(p, Seconds(1e-3), 1e-9, 2_000_000).unwrap();
+        assert!((settled - n.steady_state(p)).abs().0 < 1e-3);
+    }
+
+    #[test]
+    fn settle_watchdog_reports_budget_with_diagnostic() {
+        use crate::error::ThermalError;
+        use np_units::convergence::Breakdown;
+        let mut n = node();
+        // Far too few steps to settle from ambient to ~93 °C.
+        match n.settle(Watts(60.0), Seconds(1e-6), 1e-9, 5) {
+            Err(ThermalError::NoConvergence { diag }) => {
+                assert_eq!(diag.iterations, 5);
+                assert_eq!(diag.reason, Breakdown::IterationBudget);
+                assert!(!diag.residual_tail.is_empty());
+                assert!(diag.final_residual.is_finite());
+            }
+            other => panic!("expected watchdog error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn settle_rejects_non_finite_power() {
+        use crate::error::ThermalError;
+        let mut n = node();
+        assert!(matches!(
+            n.settle(Watts(f64::NAN), Seconds(1e-3), 1e-6, 10),
+            Err(ThermalError::NonFinite(_))
+        ));
+        assert!(matches!(
+            n.settle(Watts(60.0), Seconds(0.0), 1e-6, 10),
+            Err(ThermalError::NonFinite(_))
+        ));
     }
 }

@@ -1,0 +1,221 @@
+//! The shared solver-convergence diagnostic.
+//!
+//! Every iterative solver in the workspace (SOR and CG on the power
+//! grid, the thermal-RC settle loop, the electro-thermal fixed point)
+//! fails the same way: the residual stops shrinking. A bare "did not
+//! converge" hides *how* it stopped — budget exhausted, operator lost
+//! positive-definiteness, residual went NaN, or the iterate escaped its
+//! physical domain — and that distinction decides whether the caller
+//! retries, re-conditions, or reports runaway. [`Convergence`] carries
+//! the iterations used, the final residual, a short tail of the residual
+//! history, and a typed [`Breakdown`] reason; solvers build it through a
+//! [`ResidualTrace`] they update as they iterate.
+
+use std::fmt;
+
+/// How many trailing residuals a [`ResidualTrace`] keeps by default.
+pub const DEFAULT_RESIDUAL_TAIL: usize = 8;
+
+/// Why an iteration stopped short of its tolerance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Breakdown {
+    /// The iteration budget was exhausted before the tolerance was met.
+    IterationBudget,
+    /// The operator lost positive-definiteness (CG's `pᵀAp ≤ 0`): the
+    /// problem is singular or indefinite, and more iterations cannot help.
+    IndefiniteOperator {
+        /// The offending curvature `pᵀAp`.
+        curvature: f64,
+    },
+    /// A residual or iterate became NaN or infinite.
+    NonFinite {
+        /// Iteration at which finiteness was lost.
+        at_iteration: usize,
+    },
+    /// The iterate left its physical domain (e.g. a junction temperature
+    /// above the runaway ceiling).
+    DomainEscape {
+        /// The escaping value.
+        value: f64,
+        /// The domain bound it crossed.
+        bound: f64,
+    },
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Breakdown::IterationBudget => write!(f, "iteration budget exhausted"),
+            Breakdown::IndefiniteOperator { curvature } => {
+                write!(f, "operator not positive-definite (pᵀAp = {curvature:.3e})")
+            }
+            Breakdown::NonFinite { at_iteration } => {
+                write!(f, "residual became non-finite at iteration {at_iteration}")
+            }
+            Breakdown::DomainEscape { value, bound } => {
+                write!(
+                    f,
+                    "iterate escaped its domain ({value:.3e} past {bound:.3e})"
+                )
+            }
+        }
+    }
+}
+
+/// The diagnostic attached to no-convergence errors: what the iteration
+/// did before it gave up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Convergence {
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Residual at the moment the solver stopped (NaN when the solver
+    /// never computed one).
+    pub final_residual: f64,
+    /// The last few residuals, oldest first — enough to see whether the
+    /// iteration was stalled, diverging, or oscillating.
+    pub residual_tail: Vec<f64>,
+    /// Why the iteration stopped.
+    pub reason: Breakdown,
+}
+
+impl fmt::Display for Convergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} iterations (residual {:.3e}; tail ",
+            self.reason, self.iterations, self.final_residual
+        )?;
+        for (i, r) in self.residual_tail.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{r:.2e}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rolling residual recorder solvers update each sweep; at failure it
+/// freezes into a [`Convergence`].
+#[derive(Debug, Clone)]
+pub struct ResidualTrace {
+    iterations: usize,
+    tail: Vec<f64>,
+    cap: usize,
+}
+
+impl ResidualTrace {
+    /// A trace keeping the last [`DEFAULT_RESIDUAL_TAIL`] residuals.
+    pub fn new() -> Self {
+        Self::with_tail(DEFAULT_RESIDUAL_TAIL)
+    }
+
+    /// A trace keeping the last `cap` residuals (`cap ≥ 1`).
+    pub fn with_tail(cap: usize) -> Self {
+        Self {
+            iterations: 0,
+            tail: Vec::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Records the residual of one completed iteration.
+    pub fn record(&mut self, residual: f64) {
+        self.iterations += 1;
+        if self.tail.len() == self.cap {
+            self.tail.remove(0);
+        }
+        self.tail.push(residual);
+    }
+
+    /// Iterations recorded so far.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// The most recent residual, or NaN before the first [`record`].
+    ///
+    /// [`record`]: ResidualTrace::record
+    pub fn last_residual(&self) -> f64 {
+        self.tail.last().copied().unwrap_or(f64::NAN)
+    }
+
+    /// Freezes the trace into the diagnostic attached to an error.
+    pub fn diagnostic(&self, reason: Breakdown) -> Convergence {
+        Convergence {
+            iterations: self.iterations,
+            final_residual: self.last_residual(),
+            residual_tail: self.tail.clone(),
+            reason,
+        }
+    }
+}
+
+impl Default for ResidualTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_keeps_only_the_tail() {
+        let mut t = ResidualTrace::with_tail(3);
+        for r in [5.0, 4.0, 3.0, 2.0, 1.0] {
+            t.record(r);
+        }
+        assert_eq!(t.iterations(), 5);
+        assert_eq!(t.last_residual(), 1.0);
+        let d = t.diagnostic(Breakdown::IterationBudget);
+        assert_eq!(d.residual_tail, vec![3.0, 2.0, 1.0]);
+        assert_eq!(d.iterations, 5);
+        assert_eq!(d.final_residual, 1.0);
+    }
+
+    #[test]
+    fn empty_trace_has_nan_residual() {
+        let d = ResidualTrace::new().diagnostic(Breakdown::IterationBudget);
+        assert!(d.final_residual.is_nan());
+        assert!(d.residual_tail.is_empty());
+        assert_eq!(d.iterations, 0);
+    }
+
+    #[test]
+    fn display_names_the_reason_and_tail() {
+        let mut t = ResidualTrace::new();
+        t.record(1e-3);
+        t.record(2e-3);
+        let s = format!("{}", t.diagnostic(Breakdown::IterationBudget));
+        assert!(s.contains("iteration budget"), "{s}");
+        assert!(s.contains("2.000e-3"), "{s}");
+        assert!(s.contains("1.00e-3 → 2.00e-3"), "{s}");
+    }
+
+    #[test]
+    fn breakdown_reasons_display_distinctly() {
+        let texts = [
+            format!("{}", Breakdown::IterationBudget),
+            format!("{}", Breakdown::IndefiniteOperator { curvature: -1.0 }),
+            format!("{}", Breakdown::NonFinite { at_iteration: 7 }),
+            format!(
+                "{}",
+                Breakdown::DomainEscape {
+                    value: 300.0,
+                    bound: 250.0
+                }
+            ),
+        ];
+        assert!(texts[0].contains("budget"));
+        assert!(texts[1].contains("positive-definite"));
+        assert!(texts[2].contains("iteration 7"));
+        assert!(texts[3].contains("escaped"));
+        for (i, a) in texts.iter().enumerate() {
+            for b in texts.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -35,7 +35,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod convergence;
+pub mod guard;
 pub mod interp;
 pub mod math;
 pub mod quantity;

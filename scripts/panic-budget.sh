@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Panic-site budget: the number of potential panic sites in the model and
+# harness sources may only go down, never up.
+#
+# The hardening PR converted every non-test `unwrap`/`expect` in the
+# library crates to typed errors and locked the door behind it with
+# `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`.
+# That lint only covers non-test code in library crates, so this check
+# adds a second, cruder fence around *everything* under `crates/*/src`
+# (tests, binaries, macros included): a plain token count of `unwrap(`,
+# `expect(`, and `panic!`. New code that needs one of these must retire
+# one elsewhere — or justify raising the baseline in this script.
+#
+# Usage: scripts/panic-budget.sh [--update]
+#   --update  print the current count in baseline format and exit 0
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Post-hardening baseline (see git history of this file).
+BASELINE=420
+
+count=$(grep -rEo 'unwrap\(|expect\(|panic!' crates/*/src --include='*.rs' | wc -l)
+
+if [[ "${1:-}" == "--update" ]]; then
+    echo "BASELINE=$count"
+    exit 0
+fi
+
+echo "panic-site tokens in crates/*/src: $count (budget: $BASELINE)"
+if (( count > BASELINE )); then
+    echo "error: panic-site count grew past the budget." >&2
+    echo "Convert the new unwrap/expect/panic to a typed error, or" >&2
+    echo "justify raising BASELINE in scripts/panic-budget.sh." >&2
+    echo >&2
+    echo "Top offenders:" >&2
+    grep -rEo 'unwrap\(|expect\(|panic!' crates/*/src --include='*.rs' \
+        | cut -d: -f1 | sort | uniq -c | sort -rn | head -10 >&2
+    exit 1
+fi
