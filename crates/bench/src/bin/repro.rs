@@ -12,6 +12,7 @@
 //! repro --jobs 4           # worker-thread count (default: all cores)
 //! repro --timeout-secs 30  # per-artifact deadline (watchdog)
 //! repro --retries 2        # retry transient failures with backoff
+//! repro --trace-out t.json # Chrome trace_event profile of the run
 //! ```
 //!
 //! Artifacts run concurrently across `--jobs` worker threads, but output
@@ -28,10 +29,16 @@
 //! jobs (a panicking one, a hanging one, and a fail-twice-then-succeed
 //! one) so the integration suite can exercise the failure paths of the
 //! engine through the real binary.
+//!
+//! Every run records telemetry (spans, counters, value statistics — see
+//! [`nanopower::telemetry`]): `--json` reports embed it as a `telemetry`
+//! section, and `--trace-out FILE` writes the full span timeline as
+//! Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
 
 use nanopower::engine::{self, Job, RunPolicy, RunReport};
-use nanopower::Error;
+use nanopower::{telemetry, Error};
 use np_bench::registry;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -43,6 +50,7 @@ struct Options {
     timeout: Option<Duration>,
     retries: u32,
     chaos: bool,
+    trace_out: Option<PathBuf>,
     names: Vec<String>,
 }
 
@@ -61,6 +69,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         timeout: None,
         retries: 0,
         chaos: false,
+        trace_out: None,
         names: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -82,6 +91,10 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 let value = it.next().ok_or("--retries needs a count")?;
                 opts.retries = parse_retries(&value)?;
             }
+            "--trace-out" => {
+                let value = it.next().ok_or("--trace-out needs a file path")?;
+                opts.trace_out = Some(PathBuf::from(value));
+            }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
                     opts.jobs = parse_jobs(value)?;
@@ -89,6 +102,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     opts.timeout = Some(parse_timeout(value)?);
                 } else if let Some(value) = other.strip_prefix("--retries=") {
                     opts.retries = parse_retries(value)?;
+                } else if let Some(value) = other.strip_prefix("--trace-out=") {
+                    opts.trace_out = Some(PathBuf::from(value));
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag `{other}`"));
                 } else {
@@ -214,7 +229,20 @@ fn main() -> ExitCode {
         retries: opts.retries,
         ..RunPolicy::default()
     };
-    let report = engine::run_with_policy(jobs, opts.jobs, policy);
+    // A collector is always installed: `--json` then carries a
+    // `telemetry` section and `--trace-out` can dump the span timeline.
+    // Text output is unaffected, preserving the byte-identical contract.
+    let collector = telemetry::Collector::new();
+    let report = {
+        let _guard = telemetry::install(&collector);
+        engine::run_with_policy(jobs, opts.jobs, policy)
+    };
+    if let Some(path) = &opts.trace_out {
+        if let Err(e) = std::fs::write(path, collector.chrome_trace()) {
+            eprintln!("cannot write trace to {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
     if opts.json {
         print!("{}", report.to_json());
     } else {

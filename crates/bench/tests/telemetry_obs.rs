@@ -1,0 +1,173 @@
+//! Observability integration tests: the `repro` binary's `--trace-out`
+//! Chrome trace export, the `telemetry` section of `--json` reports, and
+//! the determinism of both modulo timing digits.
+//!
+//! These drive the real binary (`CARGO_BIN_EXE_repro`) so the whole
+//! chain is exercised: CLI flag parsing → collector install → engine
+//! span nesting → solver instrumentation → exporter output.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("np-telemetry-test-{}-{name}", std::process::id()));
+    p
+}
+
+/// Extremely small JSON validity check: balanced braces/brackets outside
+/// string literals. The full serde round-trip is out of reach in this
+/// offline workspace, but unbalanced output is the realistic failure.
+fn assert_balanced_json(s: &str) {
+    let (mut depth, mut in_str, mut esc) = (0i64, false, false);
+    for c in s.chars() {
+        if in_str {
+            match (esc, c) {
+                (true, _) => esc = false,
+                (false, '\\') => esc = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                assert!(depth >= 0, "closing brace before open:\n{s}");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced JSON:\n{s}");
+    assert!(!in_str, "unterminated string:\n{s}");
+}
+
+#[test]
+fn trace_out_writes_chrome_trace_with_nested_spans() {
+    let path = temp_path("trace.json");
+    let out = repro(&["--trace-out", path.to_str().unwrap(), "table2"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let trace = std::fs::read_to_string(&path).expect("trace file written");
+    let _ = std::fs::remove_file(&path);
+    assert_balanced_json(&trace);
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"ph\": \"X\""), "complete events: {trace}");
+    // The full engine → artifact → solver chain must appear.
+    for name in [
+        "engine.run",
+        "engine.worker",
+        "table2",
+        "engine.attempt",
+        "device.solve_vth",
+    ] {
+        assert!(
+            trace.contains(&format!("\"name\": \"{name}\"")),
+            "missing span {name}"
+        );
+    }
+    // The artifact span nests below the worker span; the solver below the
+    // attempt. Depths are recorded in the event args.
+    let depth_of = |name: &str| -> u32 {
+        let at = trace.find(&format!("\"name\": \"{name}\"")).unwrap();
+        let rest = &trace[at..];
+        let at = rest.find("\"depth\": ").unwrap() + 9;
+        rest[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect::<String>()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(depth_of("engine.worker"), 0);
+    assert_eq!(depth_of("table2"), 1);
+    assert_eq!(depth_of("engine.attempt"), 2);
+    assert!(
+        depth_of("device.solve_vth") >= 3,
+        "solver nests under the attempt"
+    );
+    // Solver counters ride along.
+    assert!(trace.contains("\"device.solve_vth.evals\""), "{trace}");
+}
+
+#[test]
+fn json_report_gains_additive_telemetry_section() {
+    let out = repro(&["--json", "fig1", "fig2"]);
+    assert!(out.status.success());
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert_balanced_json(&json);
+    // Existing consumers' fields are untouched...
+    assert!(json.contains("\"schema\": \"nanopower-run-report/v1\""));
+    assert!(json.contains("\"artifacts\""));
+    assert!(json.contains("\"failures\": 0"));
+    // ...and the new section is present with engine counters.
+    assert!(json.contains("\"telemetry\""), "{json}");
+    assert!(json.contains("\"engine.jobs\": 2"), "{json}");
+    assert!(json.contains("\"engine.run\""), "{json}");
+    assert!(json.contains("\"engine.queue_wait_us\""), "{json}");
+}
+
+#[test]
+fn trace_export_is_deterministic_modulo_timing_digits() {
+    // One worker, one artifact: the span/counter structure is fixed, only
+    // the timing numbers differ between runs. Each digit *run* collapses
+    // to one `#` so differing magnitudes (9 µs vs 12 µs) still compare
+    // equal structurally.
+    let strip = |s: &str| -> String {
+        let mut out = String::with_capacity(s.len());
+        let mut in_digits = false;
+        for c in s.chars() {
+            if c.is_ascii_digit() {
+                if !in_digits {
+                    out.push('#');
+                }
+                in_digits = true;
+            } else {
+                out.push(c);
+                in_digits = false;
+            }
+        }
+        out
+    };
+    let run = || {
+        let path = temp_path("det.json");
+        let out = repro(&["--jobs", "1", "--trace-out", path.to_str().unwrap(), "fig3"]);
+        assert!(out.status.success());
+        let trace = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        strip(&trace)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn trace_out_does_not_change_text_output() {
+    let path = temp_path("quiet.json");
+    let plain = repro(&["fig4"]);
+    let traced = repro(&["--trace-out", path.to_str().unwrap(), "fig4"]);
+    let _ = std::fs::remove_file(&path);
+    assert!(plain.status.success() && traced.status.success());
+    assert_eq!(
+        plain.stdout, traced.stdout,
+        "tracing must not perturb output"
+    );
+}
+
+#[test]
+fn trace_out_unwritable_path_fails_cleanly() {
+    let out = repro(&["--trace-out", "/nonexistent-dir/trace.json", "fig1"]);
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot write trace"), "{err}");
+}

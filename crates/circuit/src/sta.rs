@@ -241,7 +241,11 @@ impl TimingContext {
     /// Currently infallible for valid netlists; the `Result` is kept for
     /// future load-dependent model failures ([`CircuitError`]).
     pub fn analyze(&self, netlist: &Netlist) -> Result<TimingReport, CircuitError> {
+        let _span = np_telemetry::span("circuit.sta.analyze");
         let n = netlist.len();
+        np_telemetry::counter("circuit.sta.gates", n as u64);
+        // One forward (arrival) and one backward (required) level pass.
+        np_telemetry::counter("circuit.sta.level_passes", 2);
         let mut delay = vec![Seconds(0.0); n];
         for id in netlist.ids() {
             delay[id.index()] = self.gate_delay(netlist, id);

@@ -224,6 +224,13 @@ pub struct ChipBuilder {
 impl ChipBuilder {
     /// Sets the average switching activity (validated in `build`: must be
     /// a finite value in `(0, 1]`).
+    ///
+    /// ```
+    /// # use nanopower::{chip::Chip, roadmap::TechNode};
+    /// let chip = Chip::builder(TechNode::N100).activity(0.2).build()?;
+    /// assert_eq!(chip.activity, 0.2);
+    /// # Ok::<(), nanopower::Error>(())
+    /// ```
     pub fn activity(mut self, activity: f64) -> Self {
         self.activity = activity;
         self
@@ -231,6 +238,13 @@ impl ChipBuilder {
 
     /// Sets the effective-to-theoretical worst-case power ratio
     /// (validated in `build`: must be a finite value in `(0, 1]`).
+    ///
+    /// ```
+    /// # use nanopower::{chip::Chip, roadmap::TechNode};
+    /// let chip = Chip::builder(TechNode::N100).effective_fraction(0.9).build()?;
+    /// assert_eq!(chip.effective_fraction, 0.9);
+    /// # Ok::<(), nanopower::Error>(())
+    /// ```
     pub fn effective_fraction(mut self, fraction: f64) -> Self {
         self.effective_fraction = fraction;
         self
@@ -238,6 +252,16 @@ impl ChipBuilder {
 
     /// Overrides the junction temperature used for leakage analyses;
     /// defaults to the ITRS limit for the node's year.
+    ///
+    /// ```
+    /// # use nanopower::{chip::Chip, roadmap::TechNode};
+    /// use nanopower::units::Celsius;
+    /// let chip = Chip::builder(TechNode::N70)
+    ///     .junction_temp(Celsius(85.0))
+    ///     .build()?;
+    /// assert_eq!(chip.junction_temp, Celsius(85.0));
+    /// # Ok::<(), nanopower::Error>(())
+    /// ```
     pub fn junction_temp(mut self, temp: Celsius) -> Self {
         self.junction_temp = Some(temp);
         self
@@ -249,7 +273,13 @@ impl ChipBuilder {
     ///
     /// [`Error::InvalidParameter`] when activity or effective fraction is
     /// outside `(0, 1]`, or the junction temperature is outside the
-    /// physically sensible `[-55, 250] °C` range.
+    /// physically sensible `[-55, 250] °C` range:
+    ///
+    /// ```
+    /// # use nanopower::{chip::Chip, roadmap::TechNode};
+    /// assert!(Chip::builder(TechNode::N100).activity(0.0).build().is_err());
+    /// assert!(Chip::builder(TechNode::N100).activity(0.1).build().is_ok());
+    /// ```
     pub fn build(self) -> Result<Chip, Error> {
         if !(self.activity > 0.0 && self.activity <= 1.0) {
             return Err(Error::InvalidParameter(format!(

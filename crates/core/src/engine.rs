@@ -94,6 +94,22 @@ impl std::fmt::Debug for Job {
 }
 
 /// Failure-handling policy for one engine run.
+///
+/// # Examples
+///
+/// ```
+/// use nanopower::engine::{self, Job, RunPolicy};
+/// use std::time::Duration;
+///
+/// let policy = RunPolicy {
+///     deadline: Some(Duration::from_secs(30)),
+///     retries: 2,
+///     ..RunPolicy::default()
+/// };
+/// let jobs = vec![Job::new("quick", || Ok("done\n".into()))];
+/// let report = engine::run_with_policy(jobs, 1, policy);
+/// assert!(report.all_ok());
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunPolicy {
     /// Per-attempt wall-clock budget. `None` waits forever (the
@@ -182,6 +198,12 @@ pub struct RunReport {
     pub workers: usize,
     /// Wall-clock time of the whole run.
     pub total_wall: Duration,
+    /// Aggregated [`np_telemetry`] summary — counters, value statistics,
+    /// and per-span wall time from every instrumented path the run
+    /// touched (engine lifecycle and the model solvers underneath).
+    /// `None` unless a collector was installed on the calling thread
+    /// when the run started.
+    pub telemetry: Option<np_telemetry::Summary>,
 }
 
 impl RunReport {
@@ -232,6 +254,9 @@ impl RunReport {
             self.total_wall.as_secs_f64() * 1e3
         ));
         out.push_str(&format!("  \"failures\": {},\n", self.failures().len()));
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str(&format!("  \"telemetry\": {},\n", telemetry.to_json(2)));
+        }
         out.push_str("  \"artifacts\": [\n");
         for (i, r) in self.records.iter().enumerate() {
             out.push_str("    {");
@@ -296,14 +321,21 @@ pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
 pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> RunReport {
     let total = jobs.len();
     let start = Instant::now();
+    // Telemetry propagates from the calling thread onto every worker:
+    // capture the collector (if one is installed) here, install a clone
+    // inside each spawned worker. All instrumentation below is a no-op
+    // when `collector` is `None`.
+    let collector = np_telemetry::current();
     if total == 0 {
         return RunReport {
             records: Vec::new(),
             workers: 0,
             total_wall: start.elapsed(),
+            telemetry: collector.map(|c| c.summary()),
         };
     }
     let workers = workers.clamp(1, total);
+    let run_span = np_telemetry::span("engine.run");
     // Slots the workers take jobs from; `next` hands out indices in
     // submission order.
     let queue: Mutex<(usize, Vec<Option<Job>>)> =
@@ -315,26 +347,36 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
             let queue = &queue;
             let records = &records;
             let policy = &policy;
-            scope.spawn(move || loop {
-                let (index, job) = {
-                    let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
-                    let index = q.0;
-                    if index >= total {
-                        return;
-                    }
-                    q.0 += 1;
-                    // Indices are handed out exactly once under the lock,
-                    // so the slot is always still populated.
-                    match q.1[index].take() {
-                        Some(job) => (index, job),
-                        None => continue,
-                    }
-                };
-                let record = run_one(job, worker, policy);
-                records.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(record);
+            let collector = &collector;
+            scope.spawn(move || {
+                let _telemetry = collector.as_ref().map(np_telemetry::install);
+                let _worker_span = np_telemetry::span("engine.worker");
+                loop {
+                    let (index, job) = {
+                        let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
+                        let index = q.0;
+                        if index >= total {
+                            return;
+                        }
+                        q.0 += 1;
+                        // Indices are handed out exactly once under the lock,
+                        // so the slot is always still populated.
+                        match q.1[index].take() {
+                            Some(job) => (index, job),
+                            None => continue,
+                        }
+                    };
+                    // How long the job sat in the queue before a worker
+                    // claimed it (submission-to-claim, not attempt time).
+                    np_telemetry::value("engine.queue_wait_us", start.elapsed().as_micros() as f64);
+                    let record = run_one(job, worker, policy);
+                    records.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(record);
+                }
             });
         }
     });
+    drop(run_span);
+    let telemetry = collector.map(|c| c.summary());
 
     let records = records
         .into_inner()
@@ -358,23 +400,35 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
         records,
         workers,
         total_wall: start.elapsed(),
+        telemetry,
     }
 }
 
 /// Executes one job to completion under the policy: attempt, watchdog,
 /// retry loop.
 fn run_one(job: Job, worker: usize, policy: &RunPolicy) -> JobRecord {
+    let job_span = np_telemetry::span(job.name.clone());
     let job_start = Instant::now();
     let max_attempts = policy.max_attempts(job.transient);
     let mut attempts = 0u32;
     let (outcome, timed_out) = loop {
         attempts += 1;
+        let attempt_span = np_telemetry::span("engine.attempt");
         let (outcome, timed_out) = attempt(&job.runner, policy.deadline);
+        drop(attempt_span);
         if outcome.is_ok() || timed_out || attempts >= max_attempts {
             break (outcome, timed_out);
         }
         std::thread::sleep(policy.backoff_before(attempts));
     };
+    drop(job_span);
+    np_telemetry::counter("engine.jobs", 1);
+    if attempts > 1 {
+        np_telemetry::counter("engine.retries", u64::from(attempts - 1));
+    }
+    if timed_out {
+        np_telemetry::counter("engine.deadline_exceeded", 1);
+    }
     JobRecord {
         name: job.name,
         outcome,
@@ -396,9 +450,14 @@ fn attempt(
     };
     let (tx, rx) = mpsc::channel();
     let sacrificial = Arc::clone(runner);
+    // The sacrificial thread has no thread-local collector of its own,
+    // so re-install the caller's — otherwise solver telemetry vanishes
+    // whenever a deadline is in force.
+    let collector = np_telemetry::current();
     let spawned = std::thread::Builder::new()
         .name("np-engine-watchdog".into())
         .spawn(move || {
+            let _telemetry = collector.as_ref().map(np_telemetry::install);
             // The receiver may be long gone if the deadline fired; a
             // closed channel just drops the late result.
             let _ = tx.send(guarded_call(&sacrificial));
@@ -723,5 +782,114 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(texts(&a), texts(&b));
+    }
+
+    #[test]
+    fn telemetry_absent_without_collector() {
+        let report = run(fixed_jobs(2), 2);
+        assert!(report.telemetry.is_none());
+        assert!(!report.to_json().contains("\"telemetry\""));
+    }
+
+    #[test]
+    fn telemetry_captures_spans_and_counters_across_workers() {
+        let c = np_telemetry::Collector::new();
+        let report = {
+            let _g = np_telemetry::install(&c);
+            run(fixed_jobs(6), 3)
+        };
+        let summary = report.telemetry.as_ref().expect("collector was installed");
+        let counter = |name: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("engine.jobs"), Some(6));
+        let span_names: Vec<&str> = summary.spans.iter().map(|(n, _)| n.as_str()).collect();
+        assert!(span_names.contains(&"engine.run"), "{span_names:?}");
+        assert!(span_names.contains(&"engine.worker"));
+        assert!(span_names.contains(&"engine.attempt"));
+        assert!(span_names.contains(&"job0"), "per-job span by name");
+        let attempts = summary
+            .spans
+            .iter()
+            .find(|(n, _)| n == "engine.attempt")
+            .unwrap();
+        assert_eq!(attempts.1.count, 6, "one attempt per job");
+        assert!(summary
+            .values
+            .iter()
+            .any(|(n, _)| n == "engine.queue_wait_us"));
+        let json = report.to_json();
+        assert!(json.contains("\"telemetry\""), "{json}");
+        assert!(json.contains("\"engine.jobs\": 6"), "{json}");
+    }
+
+    #[test]
+    fn telemetry_counts_retries_and_deadline_expiries() {
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![
+            Job::new("flaky", || {
+                if CALLS.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(Error::InvalidParameter("glitch".into()))
+                } else {
+                    Ok("ok\n".into())
+                }
+            })
+            .transient(true),
+            Job::new("hang", || {
+                std::thread::sleep(Duration::from_secs(30));
+                Ok("never".into())
+            }),
+        ];
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_millis(50)),
+            retries: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let c = np_telemetry::Collector::new();
+        let report = {
+            let _g = np_telemetry::install(&c);
+            run_with_policy(jobs, 2, policy)
+        };
+        let summary = report.telemetry.expect("collector was installed");
+        let counter = |name: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("engine.retries"), Some(1));
+        assert_eq!(counter("engine.deadline_exceeded"), Some(1));
+    }
+
+    #[test]
+    fn telemetry_reaches_through_the_deadline_watchdog() {
+        // Solver spans opened inside a job must survive even when the
+        // job runs on the watchdog's sacrificial thread.
+        let jobs = vec![Job::new("instrumented", || {
+            let _s = np_telemetry::span("inner.work");
+            np_telemetry::counter("inner.iterations", 11);
+            Ok("done\n".into())
+        })];
+        let policy = RunPolicy {
+            deadline: Some(Duration::from_secs(5)),
+            ..RunPolicy::default()
+        };
+        let c = np_telemetry::Collector::new();
+        let report = {
+            let _g = np_telemetry::install(&c);
+            run_with_policy(jobs, 1, policy)
+        };
+        let summary = report.telemetry.expect("collector was installed");
+        assert!(summary.spans.iter().any(|(n, _)| n == "inner.work"));
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(n, v)| n == "inner.iterations" && *v == 11));
     }
 }

@@ -54,6 +54,7 @@ pub use np_grid as grid;
 pub use np_interconnect as interconnect;
 pub use np_opt as opt;
 pub use np_roadmap as roadmap;
+pub use np_telemetry as telemetry;
 pub use np_thermal as thermal;
 pub use np_units as units;
 

@@ -65,42 +65,53 @@ pub fn solve_vth_for_ion(
     if !(target.0 > 0.0) {
         return Err(DeviceError::BadParameter("Ion target must be positive"));
     }
-    let vth_max = vdd - Volts(0.02);
-    if vth_max <= VTH_SEARCH_MIN {
-        return Err(DeviceError::TargetUnreachable {
-            vdd,
-            target_ua_per_um: target.0,
-        });
-    }
-    let ion_at = |vth: f64| -> f64 {
-        template
-            .with_vth(Volts(vth))
-            .ion(vdd)
-            .map(|i| i.0)
-            .unwrap_or(0.0)
+    let _span = np_telemetry::span("device.solve_vth");
+    let evals = std::cell::Cell::new(0u64);
+    // The labeled block funnels every exit through one point so the
+    // drive-model evaluation count is recorded exactly once.
+    let result = 'solve: {
+        let vth_max = vdd - Volts(0.02);
+        if vth_max <= VTH_SEARCH_MIN {
+            break 'solve Err(DeviceError::TargetUnreachable {
+                vdd,
+                target_ua_per_um: target.0,
+            });
+        }
+        let ion_at = |vth: f64| -> f64 {
+            evals.set(evals.get() + 1);
+            template
+                .with_vth(Volts(vth))
+                .ion(vdd)
+                .map(|i| i.0)
+                .unwrap_or(0.0)
+        };
+        // Ion is strictly decreasing in Vth; check reachability at the lower end.
+        if ion_at(VTH_SEARCH_MIN.0) < target.0 {
+            break 'solve Err(DeviceError::TargetUnreachable {
+                vdd,
+                target_ua_per_um: target.0,
+            });
+        }
+        if ion_at(vth_max.0) > target.0 {
+            // Even a threshold a hair under the supply over-delivers: the
+            // device is faster than the target everywhere in the window.
+            break 'solve Err(DeviceError::TargetUnreachable {
+                vdd,
+                target_ua_per_um: target.0,
+            });
+        }
+        match bisect(
+            |vth| ion_at(vth) - target.0,
+            VTH_SEARCH_MIN.0,
+            vth_max.0,
+            1e-7,
+        ) {
+            Ok(root) => Ok(Volts(root)),
+            Err(e) => Err(e.into()),
+        }
     };
-    // Ion is strictly decreasing in Vth; check reachability at the lower end.
-    if ion_at(VTH_SEARCH_MIN.0) < target.0 {
-        return Err(DeviceError::TargetUnreachable {
-            vdd,
-            target_ua_per_um: target.0,
-        });
-    }
-    if ion_at(vth_max.0) > target.0 {
-        // Even a threshold a hair under the supply over-delivers: the
-        // device is faster than the target everywhere in the window.
-        return Err(DeviceError::TargetUnreachable {
-            vdd,
-            target_ua_per_um: target.0,
-        });
-    }
-    let root = bisect(
-        |vth| ion_at(vth) - target.0,
-        VTH_SEARCH_MIN.0,
-        vth_max.0,
-        1e-7,
-    )?;
-    Ok(Volts(root))
+    np_telemetry::counter("device.solve_vth.evals", evals.get());
+    result
 }
 
 /// Calibrates the low-field mobility so that the 180 nm device template
@@ -115,6 +126,7 @@ pub fn solve_vth_for_ion(
 /// mobility in the physical window `[100, 2000] cm²/Vs` anchors the node.
 pub fn calibrate_mu0(template_180nm: &Mosfet, vdd: Volts) -> Result<f64, DeviceError> {
     guard::finite(vdd.0, "Vdd", "calibrate_mu0")?;
+    let _span = np_telemetry::span("device.calibrate_mu0");
     let solved_vth = |mu0: f64| -> f64 {
         let mut d = template_180nm.clone();
         d.mu0 = mu0;

@@ -68,6 +68,7 @@ pub fn solve_cg(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
 /// the inputs. Kept separate so the breakdown watchdogs can be exercised
 /// on inputs `validate` would reject.
 fn cg_iterate(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
+    let _span = np_telemetry::span("grid.cg.solve");
     let n = m.nx * m.ny;
     // RHS: -I at free nodes (current draw pulls the node negative),
     // 0 at pinned nodes.
@@ -83,51 +84,58 @@ fn cg_iterate(m: &MeshProblem) -> Result<Vec<f64>, GridError> {
     let tol = 1e-12 * b_norm;
     let max_iters = 10 * n;
     let mut trace = ResidualTrace::new();
-    for _ in 0..max_iters {
-        if rs_old.sqrt() <= tol {
-            return Ok(x);
-        }
-        apply(m, &p, &mut ap);
-        let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
-        if !p_ap.is_finite() {
-            return Err(GridError::NoConvergence {
-                diag: trace.diagnostic(Breakdown::NonFinite {
-                    at_iteration: trace.iterations(),
-                }),
-            });
-        }
-        if p_ap <= 0.0 {
-            // Loss of positive-definiteness is a structural breakdown, not
-            // a budget problem — report it as its own reason so callers
-            // don't retry a solve that cannot succeed. A solution already
-            // within the relaxed tolerance is still accepted.
-            if rs_old.sqrt() <= tol * 10.0 {
-                return Ok(x);
+    // The labeled block funnels every exit path through one point so the
+    // iteration count and final residual are recorded exactly once.
+    let result = 'solve: {
+        for _ in 0..max_iters {
+            if rs_old.sqrt() <= tol {
+                break 'solve Ok(x);
             }
-            return Err(GridError::NoConvergence {
-                diag: trace.diagnostic(Breakdown::IndefiniteOperator { curvature: p_ap }),
-            });
+            apply(m, &p, &mut ap);
+            let p_ap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+            if !p_ap.is_finite() {
+                break 'solve Err(GridError::NoConvergence {
+                    diag: trace.diagnostic(Breakdown::NonFinite {
+                        at_iteration: trace.iterations(),
+                    }),
+                });
+            }
+            if p_ap <= 0.0 {
+                // Loss of positive-definiteness is a structural breakdown, not
+                // a budget problem — report it as its own reason so callers
+                // don't retry a solve that cannot succeed. A solution already
+                // within the relaxed tolerance is still accepted.
+                if rs_old.sqrt() <= tol * 10.0 {
+                    break 'solve Ok(x);
+                }
+                break 'solve Err(GridError::NoConvergence {
+                    diag: trace.diagnostic(Breakdown::IndefiniteOperator { curvature: p_ap }),
+                });
+            }
+            let alpha = rs_old / p_ap;
+            for i in 0..n {
+                x[i] += alpha * p[i];
+                r[i] -= alpha * ap[i];
+            }
+            let rs_new: f64 = r.iter().map(|v| v * v).sum();
+            let beta = rs_new / rs_old;
+            for i in 0..n {
+                p[i] = r[i] + beta * p[i];
+            }
+            rs_old = rs_new;
+            trace.record(rs_old.sqrt());
         }
-        let alpha = rs_old / p_ap;
-        for i in 0..n {
-            x[i] += alpha * p[i];
-            r[i] -= alpha * ap[i];
+        if rs_old.sqrt() <= tol * 10.0 {
+            Ok(x)
+        } else {
+            Err(GridError::NoConvergence {
+                diag: trace.diagnostic(Breakdown::IterationBudget),
+            })
         }
-        let rs_new: f64 = r.iter().map(|v| v * v).sum();
-        let beta = rs_new / rs_old;
-        for i in 0..n {
-            p[i] = r[i] + beta * p[i];
-        }
-        rs_old = rs_new;
-        trace.record(rs_old.sqrt());
-    }
-    if rs_old.sqrt() <= tol * 10.0 {
-        Ok(x)
-    } else {
-        Err(GridError::NoConvergence {
-            diag: trace.diagnostic(Breakdown::IterationBudget),
-        })
-    }
+    };
+    np_telemetry::counter("grid.cg.iterations", trace.iterations() as u64);
+    np_telemetry::value("grid.cg.final_residual", rs_old.sqrt());
+    result
 }
 
 #[cfg(test)]

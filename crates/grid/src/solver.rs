@@ -100,6 +100,7 @@ impl MeshProblem {
     /// [`Convergence`]: np_units::convergence::Convergence
     pub fn solve(&self) -> Result<Vec<f64>, GridError> {
         self.validate()?;
+        let _span = np_telemetry::span("grid.sor.solve");
         let (nx, ny) = (self.nx, self.ny);
         let g = self.edge_conductance;
         let mut v = vec![0.0f64; nx * ny];
@@ -107,59 +108,65 @@ impl MeshProblem {
         let max_iters = 50_000;
         let tol = 1e-12;
         let mut trace = ResidualTrace::new();
-        for _ in 0..max_iters {
-            let mut max_delta = 0.0f64;
-            for color in 0..2 {
-                for y in 0..ny {
-                    for x in 0..nx {
-                        if (x + y) % 2 != color {
-                            continue;
+        // The labeled block funnels every exit through one point so the
+        // sweep count is recorded exactly once, success or failure.
+        let result = 'solve: {
+            for _ in 0..max_iters {
+                let mut max_delta = 0.0f64;
+                for color in 0..2 {
+                    for y in 0..ny {
+                        for x in 0..nx {
+                            if (x + y) % 2 != color {
+                                continue;
+                            }
+                            let i = y * nx + x;
+                            if self.pinned[i] {
+                                continue;
+                            }
+                            let mut sum = 0.0;
+                            let mut deg = 0.0;
+                            if x > 0 {
+                                sum += v[i - 1];
+                                deg += 1.0;
+                            }
+                            if x + 1 < nx {
+                                sum += v[i + 1];
+                                deg += 1.0;
+                            }
+                            if y > 0 {
+                                sum += v[i - nx];
+                                deg += 1.0;
+                            }
+                            if y + 1 < ny {
+                                sum += v[i + nx];
+                                deg += 1.0;
+                            }
+                            // KCL: deg*g*v_i = g*sum - I_i  (I positive = draw).
+                            let target = (g * sum - self.injection[i]) / (deg * g);
+                            let next = v[i] + omega * (target - v[i]);
+                            max_delta = max_delta.max((next - v[i]).abs());
+                            v[i] = next;
                         }
-                        let i = y * nx + x;
-                        if self.pinned[i] {
-                            continue;
-                        }
-                        let mut sum = 0.0;
-                        let mut deg = 0.0;
-                        if x > 0 {
-                            sum += v[i - 1];
-                            deg += 1.0;
-                        }
-                        if x + 1 < nx {
-                            sum += v[i + 1];
-                            deg += 1.0;
-                        }
-                        if y > 0 {
-                            sum += v[i - nx];
-                            deg += 1.0;
-                        }
-                        if y + 1 < ny {
-                            sum += v[i + nx];
-                            deg += 1.0;
-                        }
-                        // KCL: deg*g*v_i = g*sum - I_i  (I positive = draw).
-                        let target = (g * sum - self.injection[i]) / (deg * g);
-                        let next = v[i] + omega * (target - v[i]);
-                        max_delta = max_delta.max((next - v[i]).abs());
-                        v[i] = next;
                     }
                 }
+                trace.record(max_delta);
+                if !max_delta.is_finite() {
+                    break 'solve Err(GridError::NoConvergence {
+                        diag: trace.diagnostic(Breakdown::NonFinite {
+                            at_iteration: trace.iterations(),
+                        }),
+                    });
+                }
+                if max_delta < tol {
+                    break 'solve Ok(v);
+                }
             }
-            trace.record(max_delta);
-            if !max_delta.is_finite() {
-                return Err(GridError::NoConvergence {
-                    diag: trace.diagnostic(Breakdown::NonFinite {
-                        at_iteration: trace.iterations(),
-                    }),
-                });
-            }
-            if max_delta < tol {
-                return Ok(v);
-            }
-        }
-        Err(GridError::NoConvergence {
-            diag: trace.diagnostic(Breakdown::IterationBudget),
-        })
+            Err(GridError::NoConvergence {
+                diag: trace.diagnostic(Breakdown::IterationBudget),
+            })
+        };
+        np_telemetry::counter("grid.sor.iterations", trace.iterations() as u64);
+        result
     }
 }
 

@@ -1,0 +1,363 @@
+//! The thread-safe collector and its summary types.
+//!
+//! A [`Collector`] is an `Arc` around a mutex-guarded sink of closed
+//! [`SpanRecord`]s, monotonic counters, and [`ValueStats`] observation
+//! streams. Clones share the sink, so a runner can hand clones to
+//! worker threads and export once at the end. All timestamps are
+//! microseconds since the collector's creation, which makes exports
+//! reproducible in everything but the timing numbers themselves.
+
+use std::borrow::Cow;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A thread-safe telemetry sink; clone freely, all clones share state.
+///
+/// # Examples
+///
+/// ```
+/// use np_telemetry::Collector;
+/// # if cfg!(feature = "off") { return; }
+///
+/// let c = Collector::new();
+/// let worker = c.clone();
+/// std::thread::spawn(move || {
+///     let _guard = np_telemetry::install(&worker);
+///     np_telemetry::counter("jobs", 1);
+/// })
+/// .join()
+/// .unwrap();
+/// assert_eq!(c.summary().counters.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Collector {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    epoch: Instant,
+    state: Mutex<State>,
+}
+
+#[derive(Debug, Default)]
+struct State {
+    spans: Vec<SpanRecord>,
+    counters: BTreeMap<String, u64>,
+    values: BTreeMap<String, ValueStats>,
+}
+
+/// One closed span: a named wall-clock interval on one thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `grid.cg.solve` or an artifact name).
+    pub name: String,
+    /// Start, microseconds since the collector was created.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+    /// Dense id of the thread the span ran on.
+    pub tid: u64,
+    /// Nesting depth at open time (0 = top-level on its thread).
+    pub depth: u32,
+}
+
+/// Min/max/mean statistics over a stream of observations.
+///
+/// # Examples
+///
+/// ```
+/// use np_telemetry::ValueStats;
+///
+/// let mut s = ValueStats::default();
+/// s.observe(2.0);
+/// s.observe(4.0);
+/// assert_eq!(s.count, 2);
+/// assert_eq!(s.min, 2.0);
+/// assert_eq!(s.max, 4.0);
+/// assert_eq!(s.mean(), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Smallest observation (`0.0` before the first).
+    pub min: f64,
+    /// Largest observation (`0.0` before the first).
+    pub max: f64,
+    /// Sum of observations.
+    pub sum: f64,
+}
+
+impl Default for ValueStats {
+    fn default() -> Self {
+        ValueStats {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            sum: 0.0,
+        }
+    }
+}
+
+impl ValueStats {
+    /// Folds one observation in.
+    pub fn observe(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the observations (`0.0` before the first).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Aggregate statistics for all spans sharing a name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of spans with this name.
+    pub count: u64,
+    /// Total wall-clock across them, microseconds.
+    pub total_us: u64,
+}
+
+/// A point-in-time aggregation of a collector: sorted counter, value,
+/// and per-span-name statistics. This is the `telemetry` section of the
+/// engine's run-report JSON.
+///
+/// # Examples
+///
+/// ```
+/// use np_telemetry::{Collector, install, counter, span};
+/// # if cfg!(feature = "off") { return; }
+///
+/// let c = Collector::new();
+/// {
+///     let _g = install(&c);
+///     let _s = span("solve");
+///     counter("iterations", 7);
+/// }
+/// let summary = c.summary();
+/// assert_eq!(summary.counters, vec![("iterations".to_string(), 7)]);
+/// assert_eq!(summary.spans[0].0, "solve");
+/// assert_eq!(summary.spans[0].1.count, 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    /// `(name, total)` for every counter, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, stats)` for every observed value, name-sorted.
+    pub values: Vec<(String, ValueStats)>,
+    /// `(name, stats)` aggregated over spans, name-sorted.
+    pub spans: Vec<(String, SpanStats)>,
+}
+
+impl Collector {
+    /// A fresh, empty, enabled collector; its creation instant is the
+    /// zero point of all span timestamps.
+    pub fn new() -> Self {
+        Collector {
+            inner: Arc::new(Inner {
+                epoch: Instant::now(),
+                state: Mutex::new(State::default()),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub(crate) fn record_span(
+        &self,
+        name: Cow<'static, str>,
+        start: Instant,
+        end: Instant,
+        tid: u64,
+        depth: u32,
+    ) {
+        if cfg!(feature = "off") {
+            return;
+        }
+        let start_us = start
+            .saturating_duration_since(self.inner.epoch)
+            .as_micros() as u64;
+        let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+        self.lock().spans.push(SpanRecord {
+            name: name.into_owned(),
+            start_us,
+            dur_us,
+            tid,
+            depth,
+        });
+    }
+
+    pub(crate) fn record_counter(&self, name: &str, n: u64) {
+        if cfg!(feature = "off") {
+            return;
+        }
+        let mut state = self.lock();
+        match state.counters.get_mut(name) {
+            Some(slot) => *slot = slot.saturating_add(n),
+            None => {
+                state.counters.insert(name.to_string(), n);
+            }
+        }
+    }
+
+    pub(crate) fn record_value(&self, name: &str, v: f64) {
+        if cfg!(feature = "off") {
+            return;
+        }
+        let mut state = self.lock();
+        match state.values.get_mut(name) {
+            Some(slot) => slot.observe(v),
+            None => {
+                let mut stats = ValueStats::default();
+                stats.observe(v);
+                state.values.insert(name.to_string(), stats);
+            }
+        }
+    }
+
+    /// Every closed span so far, in a deterministic order: by thread,
+    /// then start time, then longest-first (so a parent precedes the
+    /// children that share its start microsecond).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use np_telemetry::{Collector, install, span};
+    /// # if cfg!(feature = "off") { return; }
+    ///
+    /// let c = Collector::new();
+    /// {
+    ///     let _g = install(&c);
+    ///     let _outer = span("outer");
+    ///     let _inner = span("inner");
+    /// }
+    /// let records = c.records();
+    /// assert_eq!(records[0].name, "outer");
+    /// assert_eq!(records[1].name, "inner");
+    /// assert_eq!(records[1].depth, records[0].depth + 1);
+    /// ```
+    pub fn records(&self) -> Vec<SpanRecord> {
+        let mut spans = self.lock().spans.clone();
+        spans.sort_by(|a, b| {
+            (a.tid, a.start_us, std::cmp::Reverse(a.dur_us), a.depth).cmp(&(
+                b.tid,
+                b.start_us,
+                std::cmp::Reverse(b.dur_us),
+                b.depth,
+            ))
+        });
+        spans
+    }
+
+    /// Aggregates the collector into a [`Summary`].
+    pub fn summary(&self) -> Summary {
+        let state = self.lock();
+        let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
+        for s in &state.spans {
+            let entry = spans.entry(s.name.clone()).or_insert(SpanStats {
+                count: 0,
+                total_us: 0,
+            });
+            entry.count += 1;
+            entry.total_us = entry.total_us.saturating_add(s.dur_us);
+        }
+        Summary {
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            values: state.values.iter().map(|(k, v)| (k.clone(), *v)).collect(),
+            spans: spans.into_iter().collect(),
+        }
+    }
+}
+
+impl Default for Collector {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(all(test, not(feature = "off")))]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn value_stats_track_min_max_mean() {
+        let mut s = ValueStats::default();
+        assert_eq!(s.mean(), 0.0);
+        for v in [5.0, -1.0, 3.0] {
+            s.observe(v);
+        }
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, -1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.mean() - 7.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let c = Collector::new();
+        c.record_counter("big", u64::MAX - 1);
+        c.record_counter("big", 5);
+        assert_eq!(c.summary().counters, vec![("big".to_string(), u64::MAX)]);
+    }
+
+    #[test]
+    fn summary_aggregates_spans_by_name() {
+        let c = Collector::new();
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            c.record_span("solve".into(), t0, t0 + Duration::from_micros(10), 0, 0);
+        }
+        c.record_span("other".into(), t0, t0 + Duration::from_micros(1), 0, 1);
+        let summary = c.summary();
+        assert_eq!(summary.spans.len(), 2);
+        let solve = summary.spans.iter().find(|(n, _)| n == "solve").unwrap();
+        assert_eq!(solve.1.count, 3);
+        assert_eq!(solve.1.total_us, 30);
+    }
+
+    #[test]
+    fn records_order_parents_before_children() {
+        let c = Collector::new();
+        let t0 = Instant::now();
+        // Child closed (recorded) before the parent, same start µs.
+        c.record_span("child".into(), t0, t0 + Duration::from_micros(5), 7, 1);
+        c.record_span("parent".into(), t0, t0 + Duration::from_micros(50), 7, 0);
+        let r = c.records();
+        assert_eq!(r[0].name, "parent");
+        assert_eq!(r[1].name, "child");
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let a = Collector::new();
+        let b = a.clone();
+        b.record_counter("shared", 2);
+        assert_eq!(a.summary().counters, vec![("shared".to_string(), 2)]);
+    }
+}

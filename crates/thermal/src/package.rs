@@ -120,38 +120,45 @@ impl Package {
         // loop was contracting, stalled, or blowing up.
         const TOL: f64 = 1e-6;
         const MAX_ITERS: usize = 500;
+        let _span = np_telemetry::span("thermal.fixed_point");
         let mut trace = ResidualTrace::new();
         let mut t = self.t_ambient.0;
-        for _ in 0..MAX_ITERS {
-            let next = map(t);
-            if !next.is_finite() {
-                // Leakage blowing up to a non-finite value *is* runaway.
-                return Err(ThermalError::ThermalRunaway {
-                    last_temp: t,
-                    diag: trace.diagnostic(Breakdown::NonFinite {
-                        at_iteration: trace.iterations(),
-                    }),
-                });
+        // The labeled block funnels every exit through one point so the
+        // iteration count is recorded exactly once, converged or not.
+        let result = 'solve: {
+            for _ in 0..MAX_ITERS {
+                let next = map(t);
+                if !next.is_finite() {
+                    // Leakage blowing up to a non-finite value *is* runaway.
+                    break 'solve Err(ThermalError::ThermalRunaway {
+                        last_temp: t,
+                        diag: trace.diagnostic(Breakdown::NonFinite {
+                            at_iteration: trace.iterations(),
+                        }),
+                    });
+                }
+                trace.record((next - t).abs());
+                if next >= Self::RUNAWAY_CEILING_C {
+                    break 'solve Err(ThermalError::ThermalRunaway {
+                        last_temp: next,
+                        diag: trace.diagnostic(Breakdown::DomainEscape {
+                            value: next,
+                            bound: Self::RUNAWAY_CEILING_C,
+                        }),
+                    });
+                }
+                if (next - t).abs() <= TOL {
+                    break 'solve Ok(Celsius(next));
+                }
+                t = next;
             }
-            trace.record((next - t).abs());
-            if next >= Self::RUNAWAY_CEILING_C {
-                return Err(ThermalError::ThermalRunaway {
-                    last_temp: next,
-                    diag: trace.diagnostic(Breakdown::DomainEscape {
-                        value: next,
-                        bound: Self::RUNAWAY_CEILING_C,
-                    }),
-                });
-            }
-            if (next - t).abs() <= TOL {
-                return Ok(Celsius(next));
-            }
-            t = next;
-        }
-        Err(ThermalError::ThermalRunaway {
-            last_temp: t,
-            diag: trace.diagnostic(Breakdown::IterationBudget),
-        })
+            Err(ThermalError::ThermalRunaway {
+                last_temp: t,
+                diag: trace.diagnostic(Breakdown::IterationBudget),
+            })
+        };
+        np_telemetry::counter("thermal.fixed_point.iterations", trace.iterations() as u64);
+        result
     }
 }
 

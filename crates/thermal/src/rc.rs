@@ -90,26 +90,33 @@ impl ThermalRc {
         guard::finite_non_negative(power.0, "power", ctx)?;
         guard::finite_positive(dt.0, "dt", ctx)?;
         guard::finite_positive(tol_c, "tolerance", ctx)?;
+        let _span = np_telemetry::span("thermal.rc.settle");
         let mut trace = ResidualTrace::new();
-        for _ in 0..max_steps {
-            let before = self.temperature;
-            let after = self.step(power, dt);
-            let delta = (after - before).abs().0;
-            if !delta.is_finite() {
-                return Err(ThermalError::NoConvergence {
-                    diag: trace.diagnostic(Breakdown::NonFinite {
-                        at_iteration: trace.iterations(),
-                    }),
-                });
+        // The labeled block funnels every exit through one point so the
+        // step count is recorded exactly once, settled or not.
+        let result = 'solve: {
+            for _ in 0..max_steps {
+                let before = self.temperature;
+                let after = self.step(power, dt);
+                let delta = (after - before).abs().0;
+                if !delta.is_finite() {
+                    break 'solve Err(ThermalError::NoConvergence {
+                        diag: trace.diagnostic(Breakdown::NonFinite {
+                            at_iteration: trace.iterations(),
+                        }),
+                    });
+                }
+                trace.record(delta);
+                if delta <= tol_c {
+                    break 'solve Ok(after);
+                }
             }
-            trace.record(delta);
-            if delta <= tol_c {
-                return Ok(after);
-            }
-        }
-        Err(ThermalError::NoConvergence {
-            diag: trace.diagnostic(Breakdown::IterationBudget),
-        })
+            Err(ThermalError::NoConvergence {
+                diag: trace.diagnostic(Breakdown::IterationBudget),
+            })
+        };
+        np_telemetry::counter("thermal.rc.settle_steps", trace.iterations() as u64);
+        result
     }
 
     /// Advances the node by `dt` at constant dissipation `power`, using
