@@ -13,6 +13,10 @@
 //! repro --timeout-secs 30  # per-artifact deadline (watchdog)
 //! repro --retries 2        # retry transient failures with backoff
 //! repro --trace-out t.json # Chrome trace_event profile of the run
+//! repro --bench            # perf harness: grid/thermal/STA kernels
+//! repro --bench --bench-quick          # smallest mesh only (CI smoke)
+//! repro --bench --bench-out BENCH.json # report path (default
+//!                                      # BENCH_grid.json)
 //! ```
 //!
 //! Artifacts run concurrently across `--jobs` worker threads, but output
@@ -51,6 +55,9 @@ struct Options {
     retries: u32,
     chaos: bool,
     trace_out: Option<PathBuf>,
+    bench: bool,
+    bench_quick: bool,
+    bench_out: PathBuf,
     names: Vec<String>,
 }
 
@@ -70,6 +77,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         retries: 0,
         chaos: false,
         trace_out: None,
+        bench: false,
+        bench_quick: false,
+        bench_out: PathBuf::from("BENCH_grid.json"),
         names: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -95,6 +105,12 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 let value = it.next().ok_or("--trace-out needs a file path")?;
                 opts.trace_out = Some(PathBuf::from(value));
             }
+            "--bench" => opts.bench = true,
+            "--bench-quick" => opts.bench_quick = true,
+            "--bench-out" => {
+                let value = it.next().ok_or("--bench-out needs a file path")?;
+                opts.bench_out = PathBuf::from(value);
+            }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
                     opts.jobs = parse_jobs(value)?;
@@ -104,6 +120,8 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                     opts.retries = parse_retries(value)?;
                 } else if let Some(value) = other.strip_prefix("--trace-out=") {
                     opts.trace_out = Some(PathBuf::from(value));
+                } else if let Some(value) = other.strip_prefix("--bench-out=") {
+                    opts.bench_out = PathBuf::from(value);
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag `{other}`"));
                 } else {
@@ -213,6 +231,29 @@ fn main() -> ExitCode {
     };
     if opts.list {
         print_list();
+        return ExitCode::SUCCESS;
+    }
+    if opts.bench {
+        let report = np_bench::perf::run(np_bench::perf::BenchOptions {
+            quick: opts.bench_quick,
+        });
+        let json = report.to_json();
+        if let Err(e) = std::fs::write(&opts.bench_out, &json) {
+            eprintln!(
+                "cannot write bench report to {}: {e}",
+                opts.bench_out.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        if let Some(speedup) = report.speedup("grid.pcg.seq", "grid.pcg.par") {
+            println!(
+                "pcg parallel speedup x{speedup:.2} on {} mesh ({} shards, {} cpus)",
+                report.mesh_sizes.iter().max().copied().unwrap_or(0),
+                report.shards,
+                report.ncpu
+            );
+        }
+        println!("bench report written to {}", opts.bench_out.display());
         return ExitCode::SUCCESS;
     }
     let names: Vec<String> = if opts.names.is_empty() && !opts.chaos {

@@ -1,0 +1,262 @@
+//! The `repro --bench` perf harness: times the repo's numeric hot paths
+//! and emits the machine-readable `BENCH_grid.json` baseline.
+//!
+//! Built on the vendored criterion shim ([`criterion::Criterion`]), the
+//! harness times three kernel families:
+//!
+//! * **grid** — sequential and parallel SOR, plain CG, sequential and
+//!   parallel Jacobi-PCG, and the warm [`np_grid::mesh::MeshCache`] path,
+//!   across three bump-cell mesh sizes (one in `--bench-quick` mode);
+//! * **thermal** — the electro-thermal fixed point of
+//!   [`np_thermal::package::Package::electro_thermal_temperature`];
+//! * **sta** — [`np_circuit::sta::TimingContext::analyze`] over a
+//!   generated netlist.
+//!
+//! The report schema (`nanopower-bench/v1`) is documented in
+//! `BENCHMARKS.md`; its *shape* is deterministic (same keys, same kernel
+//! entries in the same order for a given configuration) while the timing
+//! values vary run to run.
+
+use criterion::{black_box, Criterion};
+use np_circuit::generate::{generate_netlist, NetlistSpec};
+use np_circuit::sta::TimingContext;
+use np_device::Mosfet;
+use np_grid::cg::{solve_cg, solve_pcg, solve_pcg_parallel};
+use np_grid::mesh::MeshCache;
+use np_grid::plan::thread_budget;
+use np_grid::solver::MeshProblem;
+use np_roadmap::TechNode;
+use np_thermal::package::Package;
+use np_units::{Celsius, Microns, ThermalResistance, Volts, Watts};
+
+/// Mesh sizes (nodes per side) of the full grid sweep.
+pub const MESH_SIZES: [usize; 3] = [33, 65, 129];
+
+/// Configuration for one harness run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BenchOptions {
+    /// Restrict the grid sweep to the smallest mesh and shrink sample
+    /// counts — the CI smoke configuration.
+    pub quick: bool,
+}
+
+/// One timed kernel in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelResult {
+    /// Kernel identifier, e.g. `grid.pcg.par`.
+    pub name: String,
+    /// Mesh nodes per side for grid kernels; `0` for mesh-independent
+    /// kernels (thermal, STA).
+    pub mesh: usize,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Timed iterations behind the mean.
+    pub iterations: u64,
+}
+
+/// A completed harness run, ready to serialize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Threads the parallel kernels were sharded across.
+    pub shards: usize,
+    /// The machine's available parallelism when the run started.
+    pub ncpu: usize,
+    /// Whether this was a `--bench-quick` run.
+    pub quick: bool,
+    /// Mesh sizes the grid kernels swept.
+    pub mesh_sizes: Vec<usize>,
+    /// Every timed kernel, in sweep order.
+    pub kernels: Vec<KernelResult>,
+}
+
+/// The uniformly loaded, centre-pinned bump-cell mesh every grid kernel
+/// solves (the numeric shape of the paper's Fig. 5 study).
+fn bench_mesh(n: usize) -> MeshProblem {
+    let mut m = MeshProblem::new(n, n, 1.0);
+    m.injection = vec![1e-4; n * n];
+    let centre = m.index(n / 2, n / 2);
+    m.pinned[centre] = true;
+    m
+}
+
+/// Runs the full harness and collects the report.
+///
+/// Progress lines print to stdout as each kernel completes (the shim's
+/// behavior); the structured result carries the same numbers.
+pub fn run(opts: BenchOptions) -> BenchReport {
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let shards = thread_budget();
+    let mesh_sizes: Vec<usize> = if opts.quick {
+        vec![MESH_SIZES[0]]
+    } else {
+        MESH_SIZES.to_vec()
+    };
+    let samples = if opts.quick { 3 } else { 7 };
+    let mut criterion = Criterion::default();
+    let mut kernels = Vec::new();
+
+    for &n in &mesh_sizes {
+        let m = bench_mesh(n);
+        let mut group = criterion.benchmark_group(format!("grid/{n}"));
+        group.sample_size(samples);
+        group.bench_function("grid.sor.seq", |b| b.iter(|| black_box(&m).solve()));
+        group.bench_function("grid.sor.par", |b| {
+            b.iter(|| black_box(&m).solve_parallel(shards))
+        });
+        group.bench_function("grid.cg.seq", |b| b.iter(|| solve_cg(black_box(&m))));
+        group.bench_function("grid.pcg.seq", |b| b.iter(|| solve_pcg(black_box(&m))));
+        group.bench_function("grid.pcg.par", |b| {
+            b.iter(|| solve_pcg_parallel(black_box(&m), shards))
+        });
+        // Warm-path cache: prime once, then time the hit + warm-start.
+        let mut cache = MeshCache::new();
+        let _prime =
+            cache.worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), n);
+        group.bench_function("grid.cache.warm", |b| {
+            b.iter(|| {
+                cache.worst_drop_with_resolution(
+                    TechNode::N35,
+                    Microns(80.0),
+                    black_box(Microns(4.0)),
+                    n,
+                )
+            })
+        });
+        group.finish();
+        for r in criterion.records().iter().skip(kernels.len()) {
+            kernels.push(KernelResult {
+                name: r.name.clone(),
+                mesh: n,
+                mean_ns: r.mean_ns,
+                iterations: r.iterations,
+            });
+        }
+    }
+
+    {
+        let mut group = criterion.benchmark_group("models");
+        group.sample_size(samples);
+        let pkg = Package::new(ThermalResistance(0.8), Celsius(45.0));
+        let dev = Mosfet::for_node(TechNode::N70);
+        if let Ok(dev) = dev {
+            group.bench_function("thermal.fixed_point", |b| {
+                b.iter(|| {
+                    pkg.electro_thermal_temperature(
+                        black_box(Watts(60.0)),
+                        &dev,
+                        Microns(2.0e6),
+                        Volts(0.9),
+                    )
+                })
+            });
+        }
+        let netlist = generate_netlist(&NetlistSpec::small(1));
+        if let Ok(ctx) = TimingContext::for_node(TechNode::N100) {
+            group.bench_function("sta.analyze", |b| {
+                b.iter(|| ctx.analyze(black_box(&netlist)))
+            });
+        }
+        group.finish();
+    }
+    for r in criterion.records().iter().skip(kernels.len()) {
+        kernels.push(KernelResult {
+            name: r.name.clone(),
+            mesh: 0,
+            mean_ns: r.mean_ns,
+            iterations: r.iterations,
+        });
+    }
+
+    BenchReport {
+        shards,
+        ncpu,
+        quick: opts.quick,
+        mesh_sizes,
+        kernels,
+    }
+}
+
+impl BenchReport {
+    /// Mean time of `name` at mesh size `mesh`, if that kernel ran.
+    pub fn mean_ns(&self, name: &str, mesh: usize) -> Option<f64> {
+        self.kernels
+            .iter()
+            .find(|k| k.name == name && k.mesh == mesh)
+            .map(|k| k.mean_ns)
+    }
+
+    /// Sequential-over-parallel speedup of `seq`/`par` on the largest
+    /// mesh swept (values > 1 mean the parallel solver is faster).
+    pub fn speedup(&self, seq: &str, par: &str) -> Option<f64> {
+        let mesh = *self.mesh_sizes.iter().max()?;
+        Some(self.mean_ns(seq, mesh)? / self.mean_ns(par, mesh)?)
+    }
+
+    /// Serializes the report as `nanopower-bench/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"nanopower-bench/v1\",\n");
+        out.push_str(&format!("  \"ncpu\": {},\n", self.ncpu));
+        out.push_str(&format!("  \"shards\": {},\n", self.shards));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        let sizes: Vec<String> = self.mesh_sizes.iter().map(ToString::to_string).collect();
+        out.push_str(&format!("  \"mesh_sizes\": [{}],\n", sizes.join(", ")));
+        if let (Some(sor), Some(pcg)) = (
+            self.speedup("grid.sor.seq", "grid.sor.par"),
+            self.speedup("grid.pcg.seq", "grid.pcg.par"),
+        ) {
+            let mesh = self.mesh_sizes.iter().max().copied().unwrap_or(0);
+            out.push_str(&format!(
+                "  \"speedup\": {{\"mesh\": {mesh}, \"sor\": {sor:.3}, \"pcg\": {pcg:.3}}},\n"
+            ));
+        }
+        out.push_str("  \"kernels\": [\n");
+        for (i, k) in self.kernels.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mesh\": {}, \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+                k.name,
+                k.mesh,
+                k.mean_ns,
+                k.iterations,
+                if i + 1 < self.kernels.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_times_every_kernel_and_serializes() {
+        let report = run(BenchOptions { quick: true });
+        assert_eq!(report.mesh_sizes, vec![33]);
+        for name in [
+            "grid.sor.seq",
+            "grid.sor.par",
+            "grid.cg.seq",
+            "grid.pcg.seq",
+            "grid.pcg.par",
+            "grid.cache.warm",
+        ] {
+            assert!(
+                report.mean_ns(name, 33).is_some_and(|ns| ns > 0.0),
+                "{name} missing or unmeasured"
+            );
+        }
+        for name in ["thermal.fixed_point", "sta.analyze"] {
+            assert!(
+                report.mean_ns(name, 0).is_some_and(|ns| ns > 0.0),
+                "{name} missing or unmeasured"
+            );
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"nanopower-bench/v1\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"grid.pcg.par\""));
+        assert!(json.contains("\"quick\": true"));
+    }
+}

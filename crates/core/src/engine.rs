@@ -335,6 +335,12 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
         };
     }
     let workers = workers.clamp(1, total);
+    // Split the machine between engine workers and the grid solver's
+    // shards: with W workers each running jobs that may call a parallel
+    // solve, give every job cores/W solver threads so the two layers of
+    // parallelism don't oversubscribe. Restored when the run ends.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let _solver_budget = np_grid::plan::scoped_thread_budget((cores / workers).max(1));
     let run_span = np_telemetry::span("engine.run");
     // Slots the workers take jobs from; `next` hands out indices in
     // submission order.
@@ -782,6 +788,37 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(texts(&a), texts(&b));
+    }
+
+    #[test]
+    fn solver_thread_budget_is_capped_inside_jobs() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let jobs = (0..4)
+            .map(|i| {
+                let seen = Arc::clone(&seen);
+                Job::new(format!("probe{i}"), move || {
+                    seen.lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(np_grid::plan::thread_budget());
+                    Ok("ok\n".into())
+                })
+            })
+            .collect();
+        let report = run(jobs, 2);
+        assert!(report.all_ok());
+        // The budget is process-global, so concurrent engine runs from
+        // other tests may briefly adjust it; assert the invariant (a
+        // worker never sees more solver threads than the machine has)
+        // rather than the exact cores/workers split.
+        let seen = seen.lock().unwrap_or_else(PoisonError::into_inner);
+        assert_eq!(seen.len(), 4);
+        for &budget in seen.iter() {
+            assert!(
+                (1..=cores).contains(&budget),
+                "budget {budget} vs {cores} cores"
+            );
+        }
     }
 
     #[test]

@@ -9,9 +9,14 @@
 //!   rail width required for a <10 % drop budget;
 //! * [`solver`] / [`mesh`] — an independent resistive-mesh field solver
 //!   (successive over-relaxation) used to validate the analytic model;
+//! * [`cg`] / [`shard`] — conjugate-gradient solvers (plain and
+//!   Jacobi-preconditioned, sequential and row-band parallel) over the
+//!   same mesh, plus the lock-free sharing primitives they build on;
 //! * [`plan`] — the Fig. 5 study: required rail width (normalized to the
 //!   minimum top-metal width) and routing-resource share per node, under
-//!   (a) minimum attainable bump pitch and (b) ITRS pad counts;
+//!   (a) minimum attainable bump pitch and (b) ITRS pad counts — and the
+//!   [`plan::SolvePlan`] strategy enum that routes a mesh to the right
+//!   solver under the process-wide thread budget;
 //! * [`transient`] — `L·di/dt` noise from sleep-mode wake-up;
 //! * [`mcml`] — MOS current-mode logic as a current-transient-free
 //!   alternative (ref. \[42\]).
@@ -34,7 +39,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analytic;
@@ -45,8 +50,9 @@ pub mod hotspot;
 pub mod mcml;
 pub mod mesh;
 pub mod plan;
+pub mod shard;
 pub mod solver;
 pub mod transient;
 
 pub use error::GridError;
-pub use plan::GridPlan;
+pub use plan::{GridPlan, SolvePlan, SolveStrategy};

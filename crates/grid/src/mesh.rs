@@ -8,10 +8,13 @@
 //! `k_geo` factor.
 
 use crate::analytic::hotspot_current_density;
+use crate::cg::{solve_pcg_parallel_warm, solve_pcg_warm, PreparedMesh};
 use crate::error::GridError;
+use crate::plan::{SolvePlan, SolveStrategy};
 use crate::solver::MeshProblem;
 use np_roadmap::TechNode;
 use np_units::{Microns, Volts};
+use std::collections::HashMap;
 
 /// Default mesh resolution per bump cell (nodes per side).
 pub const DEFAULT_RESOLUTION: usize = 33;
@@ -42,6 +45,24 @@ pub fn mesh_worst_drop_with_resolution(
     rail_width: Microns,
     resolution: usize,
 ) -> Result<Volts, GridError> {
+    let (m, _i_per_node) = assemble_bump_cell(node, pitch, rail_width, resolution)?;
+    let v = m.solve()?;
+    Ok(worst_drop_of(&v))
+}
+
+/// Builds the bump-cell [`MeshProblem`] — effective sheet conductance
+/// from rail geometry, uniform hot-spot injection, centre node pinned —
+/// returning it together with the per-node injection current.
+///
+/// # Errors
+///
+/// Rejects non-positive geometry and resolutions < 5.
+fn assemble_bump_cell(
+    node: TechNode,
+    pitch: Microns,
+    rail_width: Microns,
+    resolution: usize,
+) -> Result<(MeshProblem, f64), GridError> {
     if !(pitch.0 > 0.0 && rail_width.0 > 0.0) {
         return Err(GridError::BadParameter("pitch and width must be positive"));
     }
@@ -67,8 +88,195 @@ pub fn mesh_worst_drop_with_resolution(
     }
     let centre = m.index(n / 2, n / 2);
     m.pinned[centre] = true;
-    let v = m.solve()?;
-    Ok(Volts(-v.iter().copied().fold(f64::INFINITY, f64::min)))
+    Ok((m, i_per_node))
+}
+
+/// The worst (most negative) node voltage, reported as a positive drop.
+fn worst_drop_of(v: &[f64]) -> Volts {
+    Volts(-v.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Cache key: everything `assemble_bump_cell` depends on. Geometry is
+/// keyed by exact bit pattern — the electro-thermal fixed point re-solves
+/// the *same* geometry, which is the case the cache exists for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CacheKey {
+    node: TechNode,
+    pitch_bits: u64,
+    width_bits: u64,
+    resolution: usize,
+}
+
+/// One memoized mesh: the assembled problem, its Jacobi preconditioner,
+/// and the most recent solution for warm-starting the next solve.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    problem: MeshProblem,
+    prepared: PreparedMesh,
+    last_solution: Option<Vec<f64>>,
+    i_per_node: f64,
+}
+
+/// Memoizes bump-cell mesh setup across repeated solves.
+///
+/// The electro-thermal fixed point (and any sweep that revisits a
+/// geometry) re-assembles and re-solves the same mesh every iteration.
+/// The cache keeps the assembled [`MeshProblem`] and its
+/// [`PreparedMesh`] per distinct `(node, pitch, width, resolution)` key
+/// and warm-starts each solve from the previous solution, so repeat
+/// solves converge in a handful of PCG iterations instead of `O(nx)`.
+///
+/// ```
+/// use np_grid::mesh::MeshCache;
+/// use np_roadmap::TechNode;
+/// use np_units::Microns;
+///
+/// let mut cache = MeshCache::new();
+/// let cold = cache.worst_drop(TechNode::N50, Microns(90.0), Microns(3.0))?;
+/// let warm = cache.worst_drop(TechNode::N50, Microns(90.0), Microns(3.0))?;
+/// assert!((cold.0 - warm.0).abs() <= 1e-9 * cold.0.abs());
+/// assert_eq!((cache.misses(), cache.hits()), (1, 1));
+/// # Ok::<(), np_grid::GridError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MeshCache {
+    entries: HashMap<CacheKey, CacheEntry>,
+    plan: SolvePlan,
+    hits: u64,
+    misses: u64,
+}
+
+impl MeshCache {
+    /// An empty cache solving with [`SolvePlan::auto`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache solving with an explicit [`SolvePlan`].
+    pub fn with_plan(plan: SolvePlan) -> Self {
+        Self {
+            plan,
+            ..Self::default()
+        }
+    }
+
+    /// Cached counterpart of [`mesh_worst_drop`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`mesh_worst_drop`].
+    pub fn worst_drop(
+        &mut self,
+        node: TechNode,
+        pitch: Microns,
+        rail_width: Microns,
+    ) -> Result<Volts, GridError> {
+        self.worst_drop_with_resolution(node, pitch, rail_width, DEFAULT_RESOLUTION)
+    }
+
+    /// Cached counterpart of [`mesh_worst_drop_with_resolution`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`mesh_worst_drop_with_resolution`].
+    pub fn worst_drop_with_resolution(
+        &mut self,
+        node: TechNode,
+        pitch: Microns,
+        rail_width: Microns,
+        resolution: usize,
+    ) -> Result<Volts, GridError> {
+        self.worst_drop_scaled(node, pitch, rail_width, resolution, 1.0)
+    }
+
+    /// [`MeshCache::worst_drop_with_resolution`] with the hot-spot
+    /// injection scaled by `scale` — the electro-thermal loop's knob,
+    /// where leakage growth multiplies the load current while the mesh
+    /// geometry stays fixed.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`mesh_worst_drop_with_resolution`]; additionally rejects
+    /// a non-finite or negative `scale`.
+    pub fn worst_drop_scaled(
+        &mut self,
+        node: TechNode,
+        pitch: Microns,
+        rail_width: Microns,
+        resolution: usize,
+        scale: f64,
+    ) -> Result<Volts, GridError> {
+        if !scale.is_finite() || scale < 0.0 {
+            return Err(GridError::BadParameter(
+                "injection scale must be finite and non-negative",
+            ));
+        }
+        let key = CacheKey {
+            node,
+            pitch_bits: pitch.0.to_bits(),
+            width_bits: rail_width.0.to_bits(),
+            resolution,
+        };
+        if let std::collections::hash_map::Entry::Vacant(slot) = self.entries.entry(key) {
+            let (problem, i_per_node) = assemble_bump_cell(node, pitch, rail_width, resolution)?;
+            let prepared = PreparedMesh::new(&problem);
+            slot.insert(CacheEntry {
+                problem,
+                prepared,
+                last_solution: None,
+                i_per_node,
+            });
+            self.misses += 1;
+            np_telemetry::counter("grid.mesh_cache.miss", 1);
+        } else {
+            self.hits += 1;
+            np_telemetry::counter("grid.mesh_cache.hit", 1);
+        }
+        // Entry exists by construction; avoid unwrap to satisfy the
+        // crate-wide unwrap ban.
+        let Some(entry) = self.entries.get_mut(&key) else {
+            return Err(GridError::BadParameter("mesh cache entry vanished"));
+        };
+        let n_nodes = entry.problem.nx * entry.problem.ny;
+        let m = MeshProblem {
+            injection: vec![entry.i_per_node * scale; n_nodes],
+            ..entry.problem.clone()
+        };
+        let (strategy, shards) = self.plan.resolve(m.nx * m.ny);
+        let x0 = entry.last_solution.as_deref();
+        let v = match strategy {
+            SolveStrategy::ParallelSor => m.solve_parallel(shards),
+            SolveStrategy::SequentialSor => m.solve(),
+            SolveStrategy::ParallelCg => solve_pcg_parallel_warm(&m, &entry.prepared, shards, x0),
+            // Auto never survives `resolve`; SequentialCg takes the
+            // warm-started preconditioned path.
+            SolveStrategy::SequentialCg | SolveStrategy::Auto => {
+                solve_pcg_warm(&m, &entry.prepared, x0)
+            }
+        }?;
+        entry.last_solution = Some(v.clone());
+        Ok(worst_drop_of(&v))
+    }
+
+    /// Solves served from a memoized mesh.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Solves that had to assemble the mesh first.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct meshes currently memoized.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no meshes yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 #[cfg(test)]
@@ -122,5 +330,74 @@ mod tests {
         assert!(
             mesh_worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(1.0), 3).is_err()
         );
+    }
+
+    #[test]
+    fn cache_matches_the_free_function() {
+        let mut cache = MeshCache::new();
+        let cached = cache
+            .worst_drop(TechNode::N35, Microns(80.0), Microns(4.0))
+            .unwrap();
+        let direct = mesh_worst_drop(TechNode::N35, Microns(80.0), Microns(4.0)).unwrap();
+        // Different solvers (warm PCG vs SOR), same physics: agree to
+        // solver tolerance, far tighter than the model's own accuracy.
+        assert!(
+            (cached.0 - direct.0).abs() <= 1e-6 * direct.0.abs(),
+            "cached {cached} vs direct {direct}"
+        );
+        assert_eq!((cache.misses(), cache.hits()), (1, 0));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn repeat_solves_hit_the_cache_and_agree() {
+        let mut cache = MeshCache::new();
+        let first = cache
+            .worst_drop(TechNode::N50, Microns(90.0), Microns(3.0))
+            .unwrap();
+        let second = cache
+            .worst_drop(TechNode::N50, Microns(90.0), Microns(3.0))
+            .unwrap();
+        assert!((first.0 - second.0).abs() <= 1e-9 * first.0.abs());
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        // A different geometry is a fresh entry, not a stale hit.
+        cache
+            .worst_drop(TechNode::N50, Microns(91.0), Microns(3.0))
+            .unwrap();
+        assert_eq!((cache.misses(), cache.hits()), (2, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn scaled_injection_scales_the_drop_linearly() {
+        let mut cache = MeshCache::new();
+        let base = cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, 1.0)
+            .unwrap();
+        let doubled = cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, 2.0)
+            .unwrap();
+        // The operator is linear in the injection.
+        assert!(
+            (doubled.0 - 2.0 * base.0).abs() <= 1e-6 * base.0.abs(),
+            "base {base}, doubled {doubled}"
+        );
+        assert!(cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, f64::NAN)
+            .is_err());
+    }
+
+    #[test]
+    fn cache_honours_an_explicit_plan() {
+        let mut cache = MeshCache::with_plan(
+            SolvePlan::with_strategy(SolveStrategy::ParallelSor).with_shards(3),
+        );
+        let v = cache
+            .worst_drop(TechNode::N35, Microns(80.0), Microns(4.0))
+            .unwrap();
+        let direct = mesh_worst_drop(TechNode::N35, Microns(80.0), Microns(4.0)).unwrap();
+        // Parallel SOR is bitwise identical to the sequential sweep.
+        assert_eq!(v, direct);
     }
 }

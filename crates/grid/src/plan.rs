@@ -1,11 +1,16 @@
-//! The Fig. 5 study: per-node grid plans under minimum bump pitch versus
-//! ITRS pad counts.
+//! The Fig. 5 study — per-node grid plans under minimum bump pitch
+//! versus ITRS pad counts — plus the [`SolvePlan`] strategy layer that
+//! routes a mesh problem to the right solver under the process-wide
+//! [`thread_budget`].
 
 use crate::analytic::{rail_routing_fraction, required_rail_width, IrBudget};
+use crate::cg::{solve_cg, solve_pcg, solve_pcg_parallel};
 use crate::error::GridError;
+use crate::solver::MeshProblem;
 use np_roadmap::{PackagingRoadmap, TechNode};
 use np_units::Microns;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Which bump-provisioning assumption a plan uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -131,6 +136,153 @@ pub fn fig5_series() -> Result<Vec<(GridPlan, GridPlan)>, GridError> {
         .collect()
 }
 
+/// Meshes below this node count solve faster sequentially than the
+/// barrier overhead of sharded workers can recoup (a 128×128 mesh sits
+/// right at the boundary on commodity cores).
+pub const AUTO_PARALLEL_THRESHOLD: usize = 16_384;
+
+/// The process-wide solver thread budget; `0` means "unset", which
+/// resolves to the machine's available parallelism.
+static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads a parallel solve may use right now.
+///
+/// Defaults to [`std::thread::available_parallelism`]; the engine caps
+/// it while worker threads are running (via [`scoped_thread_budget`]) so
+/// engine workers and solver shards don't oversubscribe the machine.
+pub fn thread_budget() -> usize {
+    match THREAD_BUDGET.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Caps [`thread_budget`] at `budget` (at least 1) until the returned
+/// guard is dropped, which restores the previous setting.
+///
+/// The budget is process-global: the engine installs one guard around a
+/// whole run, dividing the machine between its own workers and each
+/// worker's solver shards. Nested guards restore in LIFO drop order.
+pub fn scoped_thread_budget(budget: usize) -> ThreadBudgetGuard {
+    let previous = THREAD_BUDGET.swap(budget.max(1), Ordering::Relaxed);
+    ThreadBudgetGuard { previous }
+}
+
+/// Restores the prior [`thread_budget`] on drop; created by
+/// [`scoped_thread_budget`].
+#[derive(Debug)]
+pub struct ThreadBudgetGuard {
+    previous: usize,
+}
+
+impl Drop for ThreadBudgetGuard {
+    fn drop(&mut self) {
+        THREAD_BUDGET.store(self.previous, Ordering::Relaxed);
+    }
+}
+
+/// Which algorithm a [`SolvePlan`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SolveStrategy {
+    /// Pick per mesh: sequential PCG below [`AUTO_PARALLEL_THRESHOLD`]
+    /// nodes or when the [`thread_budget`] is 1, parallel PCG otherwise.
+    #[default]
+    Auto,
+    /// The red-black SOR sweep of [`MeshProblem::solve`].
+    SequentialSor,
+    /// Row-band-sharded SOR ([`MeshProblem::solve_parallel`]); bitwise
+    /// identical to [`SolveStrategy::SequentialSor`].
+    ParallelSor,
+    /// Plain conjugate gradients ([`solve_cg`]).
+    SequentialCg,
+    /// Jacobi-preconditioned CG, sharded ([`solve_pcg_parallel`]).
+    ParallelCg,
+}
+
+/// A solver selection: strategy plus an optional explicit shard count.
+///
+/// ```
+/// use np_grid::solver::MeshProblem;
+/// use np_grid::SolvePlan;
+///
+/// let mut m = MeshProblem::new(9, 9, 1.0);
+/// m.injection = vec![1e-4; 81];
+/// let centre = m.index(4, 4);
+/// m.pinned[centre] = true;
+/// let v = SolvePlan::auto().solve(&m)?;
+/// assert_eq!(v.len(), 81);
+/// # Ok::<(), np_grid::GridError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SolvePlan {
+    /// The algorithm to run (or [`SolveStrategy::Auto`]).
+    pub strategy: SolveStrategy,
+    /// Shard count for the parallel strategies; `None` uses the
+    /// [`thread_budget`].
+    pub shards: Option<usize>,
+}
+
+impl SolvePlan {
+    /// The default plan: [`SolveStrategy::Auto`] with budget-derived
+    /// shards.
+    pub fn auto() -> Self {
+        Self::default()
+    }
+
+    /// A plan running `strategy` with budget-derived shards.
+    pub fn with_strategy(strategy: SolveStrategy) -> Self {
+        Self {
+            strategy,
+            shards: None,
+        }
+    }
+
+    /// Overrides the shard count for parallel strategies.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
+        self
+    }
+
+    /// The concrete (strategy, shards) pair this plan uses for a mesh of
+    /// `nodes` total nodes.
+    pub fn resolve(&self, nodes: usize) -> (SolveStrategy, usize) {
+        let shards = self.shards.unwrap_or_else(thread_budget).max(1);
+        let strategy = match self.strategy {
+            SolveStrategy::Auto => {
+                if nodes < AUTO_PARALLEL_THRESHOLD || shards == 1 {
+                    SolveStrategy::SequentialCg
+                } else {
+                    SolveStrategy::ParallelCg
+                }
+            }
+            other => other,
+        };
+        (strategy, shards)
+    }
+
+    /// Solves `m` with the resolved strategy.
+    ///
+    /// # Errors
+    ///
+    /// Those of the underlying solver ([`MeshProblem::solve`] /
+    /// [`solve_cg`] / [`solve_pcg`]).
+    pub fn solve(&self, m: &MeshProblem) -> Result<Vec<f64>, GridError> {
+        match self.resolve(m.nx * m.ny) {
+            (SolveStrategy::SequentialSor, _) => m.solve(),
+            (SolveStrategy::ParallelSor, shards) => m.solve_parallel(shards),
+            (SolveStrategy::SequentialCg, _) => {
+                if self.strategy == SolveStrategy::Auto {
+                    solve_pcg(m) // Auto prefers the preconditioned path
+                } else {
+                    solve_cg(m)
+                }
+            }
+            (SolveStrategy::ParallelCg, shards) => solve_pcg_parallel(m, shards),
+            (SolveStrategy::Auto, _) => unreachable!("resolve never returns Auto"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +342,69 @@ mod tests {
         assert!(format!("{p}").contains("UNROUTABLE"));
         let p = GridPlan::min_pitch(TechNode::N35).unwrap();
         assert!(format!("{p}").contains("routable"));
+    }
+
+    fn loaded_mesh(n: usize) -> MeshProblem {
+        let mut m = MeshProblem::new(n, n, 1.0);
+        m.injection = vec![1e-4; n * n];
+        let centre = m.index(n / 2, n / 2);
+        m.pinned[centre] = true;
+        m
+    }
+
+    // One test owns every THREAD_BUDGET mutation: the budget is
+    // process-global, and the test runner is multi-threaded.
+    #[test]
+    fn auto_resolves_by_size_and_budget_and_guard_restores() {
+        let outer = thread_budget();
+        {
+            let _guard = scoped_thread_budget(8);
+            assert_eq!(thread_budget(), 8);
+            let plan = SolvePlan::auto();
+            assert_eq!(plan.resolve(100), (SolveStrategy::SequentialCg, 8));
+            assert_eq!(
+                plan.resolve(AUTO_PARALLEL_THRESHOLD),
+                (SolveStrategy::ParallelCg, 8)
+            );
+            {
+                let _inner = scoped_thread_budget(1);
+                assert_eq!(
+                    plan.resolve(AUTO_PARALLEL_THRESHOLD),
+                    (SolveStrategy::SequentialCg, 1)
+                );
+            }
+            assert_eq!(thread_budget(), 8);
+        }
+        assert_eq!(thread_budget(), outer);
+    }
+
+    #[test]
+    fn explicit_shards_override_the_budget() {
+        let plan = SolvePlan::with_strategy(SolveStrategy::ParallelSor).with_shards(3);
+        assert_eq!(plan.resolve(10_000), (SolveStrategy::ParallelSor, 3));
+    }
+
+    #[test]
+    fn all_strategies_agree_on_a_loaded_mesh() {
+        let m = loaded_mesh(11);
+        let reference = m.solve().unwrap();
+        for strategy in [
+            SolveStrategy::Auto,
+            SolveStrategy::SequentialSor,
+            SolveStrategy::ParallelSor,
+            SolveStrategy::SequentialCg,
+            SolveStrategy::ParallelCg,
+        ] {
+            let v = SolvePlan::with_strategy(strategy)
+                .with_shards(3)
+                .solve(&m)
+                .unwrap();
+            for (a, b) in v.iter().zip(&reference) {
+                assert!(
+                    (a - b).abs() <= 1e-9 * (1.0 + b.abs()),
+                    "{strategy:?} disagrees with SOR: {a} vs {b}"
+                );
+            }
+        }
     }
 }

@@ -1,13 +1,33 @@
 //! Property-based tests on the mesh solver and IR-drop models.
 
 use np_grid::analytic::{required_rail_width, worst_case_drop, IrBudget};
+use np_grid::cg::{solve_pcg, solve_pcg_parallel};
 use np_grid::solver::MeshProblem;
+use np_grid::{SolvePlan, SolveStrategy};
 use np_roadmap::TechNode;
 use np_units::Microns;
 use proptest::prelude::*;
 
 fn any_node() -> impl Strategy<Value = TechNode> {
     prop::sample::select(TechNode::ALL.to_vec())
+}
+
+/// Shard counts the parallel-equivalence properties sweep: serial
+/// fallback, a couple of awkward splits, and the machine's parallelism.
+fn any_shards() -> impl Strategy<Value = usize> {
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    prop::sample::select(vec![1usize, 2, 7, ncpu])
+}
+
+/// A loaded mesh: uniform injection, pin at `(px, py)`.
+fn loaded_mesh(n: usize, g: f64, load: f64, px: usize, py: usize) -> MeshProblem {
+    let mut m = MeshProblem::new(n, n, g);
+    let pin = m.index(px.min(n - 1), py.min(n - 1));
+    m.pinned[pin] = true;
+    for i in 0..m.injection.len() {
+        m.injection[i] = load / (n * n) as f64;
+    }
+    m
 }
 
 proptest! {
@@ -81,6 +101,91 @@ proptest! {
             let allowed = budget.per_net(node.params().vdd).unwrap();
             prop_assert!(drop.0 <= allowed.0 * 1.0001);
             prop_assert!(w.0 >= node.params().top_metal_min_width.0);
+        }
+    }
+
+    // Parallel SOR shares every arithmetic operation with the sequential
+    // sweep (same-color nodes are independent; the convergence reduction
+    // is an associative max) — so equality is exact, well inside the
+    // 1e-9 relative tolerance the contract demands.
+    #[test]
+    fn parallel_sor_matches_sequential(
+        n in 5usize..20,
+        g in 0.1..10.0f64,
+        load in 1e-4..1e-1f64,
+        px in 0usize..20,
+        py in 0usize..20,
+        shards in any_shards(),
+    ) {
+        let m = loaded_mesh(n, g, load, px, py);
+        let seq = m.solve().unwrap();
+        let par = m.solve_parallel(shards).unwrap();
+        for i in 0..seq.len() {
+            prop_assert!(
+                (seq[i] - par[i]).abs() <= 1e-9 * (1.0 + seq[i].abs()),
+                "shards={shards} node {i}: {} vs {}",
+                seq[i],
+                par[i]
+            );
+        }
+    }
+
+    // Parallel PCG re-associates the dot products, so agreement is to
+    // solver tolerance rather than bitwise.
+    #[test]
+    fn parallel_pcg_matches_sequential(
+        n in 5usize..20,
+        g in 0.1..10.0f64,
+        load in 1e-4..1e-1f64,
+        px in 0usize..20,
+        py in 0usize..20,
+        shards in any_shards(),
+    ) {
+        let m = loaded_mesh(n, g, load, px, py);
+        let seq = solve_pcg(&m).unwrap();
+        let par = solve_pcg_parallel(&m, shards).unwrap();
+        for i in 0..seq.len() {
+            prop_assert!(
+                (seq[i] - par[i]).abs() <= 1e-9 * (1.0 + seq[i].abs()),
+                "shards={shards} node {i}: {} vs {}",
+                seq[i],
+                par[i]
+            );
+        }
+    }
+
+    // Every strategy the SolvePlan enum can route to answers the same
+    // physics: all agree with the SOR reference within tolerance.
+    #[test]
+    fn every_solve_plan_strategy_agrees(
+        n in 5usize..16,
+        load in 1e-4..1e-1f64,
+        shards in any_shards(),
+    ) {
+        let m = loaded_mesh(n, 1.0, load, n / 2, n / 2);
+        let reference = m.solve().unwrap();
+        for strategy in [
+            SolveStrategy::Auto,
+            SolveStrategy::ParallelSor,
+            SolveStrategy::SequentialCg,
+            SolveStrategy::ParallelCg,
+        ] {
+            let v = SolvePlan::with_strategy(strategy)
+                .with_shards(shards)
+                .solve(&m)
+                .unwrap();
+            // Cross-algorithm comparison (CG-family vs the SOR
+            // reference): both stop at their own 1e-12-scaled criteria,
+            // so agreement is to solver accuracy, not parallel-vs-
+            // sequential tightness.
+            for i in 0..reference.len() {
+                prop_assert!(
+                    (reference[i] - v[i]).abs() <= 1e-6 * (1.0 + reference[i].abs()),
+                    "{strategy:?} shards={shards} node {i}: {} vs {}",
+                    reference[i],
+                    v[i]
+                );
+            }
         }
     }
 

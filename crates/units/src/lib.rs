@@ -34,7 +34,7 @@
 //! [C-OVERLOAD]: https://rust-lang.github.io/api-guidelines/predictability.html
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod convergence;

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Runs the perf harness (repro --bench) in release mode and leaves
+# BENCH_grid.json at the repo root. Extra flags pass through, e.g.:
+#   scripts/bench.sh --bench-quick
+#   scripts/bench.sh --bench-out /tmp/bench.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+exec cargo run --release -p np-bench --bin repro -- --bench "$@"

@@ -19,15 +19,32 @@ use std::time::{Duration, Instant};
 /// the real implementation on modern toolchains.
 pub use std::hint::black_box;
 
+/// One completed measurement: what [`Bencher::iter`] observed for a
+/// named benchmark. Collected on the driving [`Criterion`] so harnesses
+/// can emit machine-readable reports instead of scraping stdout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// The benchmark's (group-qualified, as printed) name.
+    pub name: String,
+    /// Mean wall-clock per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Number of timed iterations behind the mean.
+    pub iterations: u64,
+}
+
 /// The top-level benchmark driver.
 #[derive(Debug)]
 pub struct Criterion {
     sample_size: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: 10,
+            records: Vec::new(),
+        }
     }
 }
 
@@ -47,8 +64,14 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), self.sample_size, f);
+        let record = run_one(&name.to_string(), self.sample_size, f);
+        self.records.extend(record);
         self
+    }
+
+    /// Every measurement taken through this driver, in execution order.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
     }
 }
 
@@ -77,7 +100,8 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(&name.to_string(), self.sample_size, f);
+        let record = run_one(&name.to_string(), self.sample_size, f);
+        self.criterion.records.extend(record);
         self
     }
 
@@ -109,7 +133,11 @@ impl Bencher {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
+fn run_one<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    mut f: F,
+) -> Option<BenchRecord> {
     let mut bencher = Bencher {
         samples: sample_size,
         ..Bencher::default()
@@ -121,8 +149,14 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: F) {
             "  {name:40} {per_iter:>12.2?}/iter ({} iters)",
             bencher.iterations
         );
+        Some(BenchRecord {
+            name: name.to_string(),
+            mean_ns: bencher.total.as_nanos() as f64 / bencher.iterations as f64,
+            iterations: bencher.iterations,
+        })
     } else {
         println!("  {name:40} (no measurements)");
+        None
     }
 }
 
@@ -163,5 +197,19 @@ mod tests {
         }
         // one warm-up + three timed samples
         assert_eq!(ran, 4);
+        let records = c.records();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].name, "count");
+        assert_eq!(records[0].iterations, 3);
+        assert!(records[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn top_level_bench_records_too() {
+        let mut c = Criterion::default();
+        c.bench_function("direct", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.records().len(), 1);
+        assert_eq!(c.records()[0].name, "direct");
+        assert_eq!(c.records()[0].iterations, 10);
     }
 }
