@@ -1,0 +1,9 @@
+fn main() {
+    let mut cache = np_grid::mesh::MeshCache::new();
+    let warm = cache.worst_drop_scaled(np_roadmap::TechNode::N35, np_units::Microns(80.0), np_units::Microns(4.0), 33, 1.0);
+    println!("scale=1.0 -> {warm:?}");
+    let zero = cache.worst_drop_scaled(np_roadmap::TechNode::N35, np_units::Microns(80.0), np_units::Microns(4.0), 33, 0.0);
+    println!("scale=0.0 warm-started -> {zero:?}");
+    let tiny = cache.worst_drop_scaled(np_roadmap::TechNode::N35, np_units::Microns(80.0), np_units::Microns(4.0), 33, 1e-9);
+    println!("scale=1e-9 warm-started -> {tiny:?}");
+}
