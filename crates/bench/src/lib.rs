@@ -20,6 +20,7 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod golden;
 pub mod perf;
 pub mod registry;
 pub mod tables;

@@ -61,6 +61,11 @@ pub struct BenchReport {
     pub shards: usize,
     /// The machine's available parallelism when the run started.
     pub ncpu: usize,
+    /// The host operating system (`std::env::consts::OS`) — a single-cpu
+    /// or foreign-OS baseline is not comparable to the committed one.
+    pub os: &'static str,
+    /// The host CPU architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
     /// Whether this was a `--bench-quick` run.
     pub quick: bool,
     /// Mesh sizes the grid kernels swept.
@@ -170,6 +175,8 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     BenchReport {
         shards,
         ncpu,
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
         quick: opts.quick,
         mesh_sizes,
         kernels,
@@ -197,6 +204,8 @@ impl BenchReport {
         let mut out = String::from("{\n");
         out.push_str("  \"schema\": \"nanopower-bench/v1\",\n");
         out.push_str(&format!("  \"ncpu\": {},\n", self.ncpu));
+        out.push_str(&format!("  \"os\": \"{}\",\n", self.os));
+        out.push_str(&format!("  \"arch\": \"{}\",\n", self.arch));
         out.push_str(&format!("  \"shards\": {},\n", self.shards));
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         let sizes: Vec<String> = self.mesh_sizes.iter().map(ToString::to_string).collect();
@@ -258,5 +267,11 @@ mod tests {
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"grid.pcg.par\""));
         assert!(json.contains("\"quick\": true"));
+        // Host metadata pins where the numbers came from.
+        assert_eq!(report.os, std::env::consts::OS);
+        assert_eq!(report.arch, std::env::consts::ARCH);
+        assert!(report.ncpu >= 1);
+        assert!(json.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
+        assert!(json.contains(&format!("\"arch\": \"{}\"", std::env::consts::ARCH)));
     }
 }

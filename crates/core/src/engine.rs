@@ -27,6 +27,13 @@
 //!    fired, and an FNV-1a digest of its output; [`RunReport::to_json`]
 //!    emits the whole run as a machine-readable report for tracking
 //!    performance trajectory across commits.
+//! 5. **Graceful interruption.** [`run_with_hooks`] accepts a
+//!    [`CancelToken`] and an `on_record` observer: cancellation drains
+//!    in-flight jobs instead of tearing them down mid-solve, marks
+//!    never-started jobs [`Error::Cancelled`], and flags the report
+//!    [`RunReport::interrupted`]; the observer fires as each record
+//!    becomes final, which is what the crash-safe run journal
+//!    ([`crate::journal`]) appends from.
 //!
 //! Retries are opt-in per job: only jobs flagged
 //! [`Job::transient`] are re-attempted (with doubling backoff), because a
@@ -37,9 +44,88 @@
 
 use crate::error::Error;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// A cooperative cancellation token shared between the engine and its
+/// caller.
+///
+/// Cancellation is *graceful*: workers stop claiming new jobs, in-flight
+/// attempts drain to completion (bounded by the policy deadline when one
+/// is set), and jobs that never started are recorded as
+/// [`Error::Cancelled`] so the report still covers every submitted job —
+/// marked [`RunReport::interrupted`]. The token also reaches the retry
+/// loop and the deadline watchdog: a cancelled run skips further retries
+/// and their backoff sleeps instead of prolonging the drain.
+///
+/// Clones share the same flag, so the caller can hand one clone to a
+/// signal handler thread and another to [`run_with_hooks`].
+///
+/// # Examples
+///
+/// ```
+/// use nanopower::engine::CancelToken;
+///
+/// let token = CancelToken::new();
+/// assert!(!token.is_cancelled());
+/// token.cancel();
+/// assert!(token.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A completion observer: called with `(submission_index, record)` the
+/// moment a job's record becomes final.
+pub type RecordObserver = Arc<dyn Fn(usize, &JobRecord) + Send + Sync>;
+
+/// Optional per-run hooks for [`run_with_hooks`]: a cancellation token
+/// and a completion observer.
+///
+/// The observer (`on_record`) fires on the worker thread as soon as a
+/// job's record is final — success or failure — *before* the run
+/// finishes. This is what the crash-safe journal hangs off: each
+/// completed artifact is persisted the moment it exists, so a kill at
+/// any point loses at most the in-flight jobs.
+#[derive(Clone, Default)]
+pub struct RunHooks {
+    /// Checked by workers between jobs, by the retry loop between
+    /// attempts, and by the deadline watchdog while waiting.
+    pub cancel: Option<CancelToken>,
+    /// Called with `(submission_index, record)` when a job's record is
+    /// final. Invoked concurrently from worker threads; the callee
+    /// serializes (the journal holds its writer behind a mutex).
+    pub on_record: Option<RecordObserver>,
+}
+
+impl std::fmt::Debug for RunHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("cancel", &self.cancel)
+            .field("on_record", &self.on_record.as_ref().map(|_| "Fn"))
+            .finish()
+    }
+}
 
 /// One unit of work: a named closure producing rendered text.
 ///
@@ -185,6 +271,18 @@ impl JobRecord {
             .ok()
             .map(|s| format!("fnv1a:{:016x}", fnv1a64(s.as_bytes())))
     }
+
+    /// The record's report status: `ok`, `drift` (quarantined by the
+    /// golden gate), `cancelled` (never started before an interrupt),
+    /// or `error`.
+    pub fn status(&self) -> &'static str {
+        match &self.outcome {
+            Ok(_) => "ok",
+            Err(Error::Drift { .. }) => "drift",
+            Err(Error::Cancelled) => "cancelled",
+            Err(_) => "error",
+        }
+    }
 }
 
 /// The result of one engine run: every record in submission order plus
@@ -204,6 +302,13 @@ pub struct RunReport {
     /// `None` unless a collector was installed on the calling thread
     /// when the run started.
     pub telemetry: Option<np_telemetry::Summary>,
+    /// Whether the run was cancelled before every job completed. Jobs
+    /// that never started carry [`Error::Cancelled`] records.
+    pub interrupted: bool,
+    /// Records replayed from a crash-safe journal instead of executed
+    /// (always 0 for a direct engine run; the `repro --resume` merge
+    /// sets it).
+    pub replayed: usize,
 }
 
 impl RunReport {
@@ -253,6 +358,8 @@ impl RunReport {
             "  \"total_ms\": {:.3},\n",
             self.total_wall.as_secs_f64() * 1e3
         ));
+        out.push_str(&format!("  \"interrupted\": {},\n", self.interrupted));
+        out.push_str(&format!("  \"replayed\": {},\n", self.replayed));
         out.push_str(&format!("  \"failures\": {},\n", self.failures().len()));
         if let Some(telemetry) = &self.telemetry {
             out.push_str(&format!("  \"telemetry\": {},\n", telemetry.to_json(2)));
@@ -261,10 +368,7 @@ impl RunReport {
         for (i, r) in self.records.iter().enumerate() {
             out.push_str("    {");
             out.push_str(&format!("\"artifact\": {}, ", json_string(&r.name)));
-            out.push_str(&format!(
-                "\"status\": \"{}\", ",
-                if r.is_ok() { "ok" } else { "error" }
-            ));
+            out.push_str(&format!("\"status\": \"{}\", ", r.status()));
             out.push_str(&format!(
                 "\"duration_ms\": {:.3}, ",
                 r.duration.as_secs_f64() * 1e3
@@ -319,6 +423,28 @@ pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
 ///   `policy.retries` extra attempts after an error or panic, sleeping
 ///   `policy.backoff` (doubling each retry) in between.
 pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> RunReport {
+    run_with_hooks(jobs, workers, policy, RunHooks::default())
+}
+
+/// Runs `jobs` across `workers` threads under `policy`, with [`RunHooks`]
+/// for graceful cancellation and per-record observation.
+///
+/// See [`run_with_policy`] for the policy semantics. The hooks add:
+///
+/// - **Cancellation.** When `hooks.cancel` is cancelled, workers stop
+///   claiming jobs and drain whatever is in flight; unclaimed jobs get
+///   [`Error::Cancelled`] records and the report is marked
+///   [`RunReport::interrupted`]. A cancelled run also skips any pending
+///   retries and their backoff sleeps.
+/// - **Observation.** `hooks.on_record` fires on the worker thread the
+///   moment each job's record is final — the hook the crash-safe
+///   journal appends from.
+pub fn run_with_hooks(
+    jobs: Vec<Job>,
+    workers: usize,
+    policy: RunPolicy,
+    hooks: RunHooks,
+) -> RunReport {
     let total = jobs.len();
     let start = Instant::now();
     // Telemetry propagates from the calling thread onto every worker:
@@ -326,12 +452,15 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
     // inside each spawned worker. All instrumentation below is a no-op
     // when `collector` is `None`.
     let collector = np_telemetry::current();
+    let cancelled = || hooks.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
     if total == 0 {
         return RunReport {
             records: Vec::new(),
             workers: 0,
             total_wall: start.elapsed(),
             telemetry: collector.map(|c| c.summary()),
+            interrupted: cancelled(),
+            replayed: 0,
         };
     }
     let workers = workers.clamp(1, total);
@@ -354,6 +483,7 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
             let records = &records;
             let policy = &policy;
             let collector = &collector;
+            let hooks = &hooks;
             scope.spawn(move || {
                 let _telemetry = collector.as_ref().map(np_telemetry::install);
                 let _worker_span = np_telemetry::span("engine.worker");
@@ -361,7 +491,12 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
                     let (index, job) = {
                         let mut q = queue.lock().unwrap_or_else(PoisonError::into_inner);
                         let index = q.0;
-                        if index >= total {
+                        // A cancelled run stops claiming: everything still
+                        // in the queue is drained to Cancelled records
+                        // after the scope ends.
+                        if index >= total
+                            || hooks.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+                        {
                             return;
                         }
                         q.0 += 1;
@@ -375,54 +510,87 @@ pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> Run
                     // How long the job sat in the queue before a worker
                     // claimed it (submission-to-claim, not attempt time).
                     np_telemetry::value("engine.queue_wait_us", start.elapsed().as_micros() as f64);
-                    let record = run_one(job, worker, policy);
+                    let record = run_one(job, worker, policy, hooks.cancel.as_ref());
+                    if let Some(on_record) = &hooks.on_record {
+                        on_record(index, &record);
+                    }
                     records.lock().unwrap_or_else(PoisonError::into_inner)[index] = Some(record);
                 }
             });
         }
     });
     drop(run_span);
-    let telemetry = collector.map(|c| c.summary());
+    let interrupted = cancelled();
 
-    let records = records
+    // Jobs never claimed by a worker (cancellation) are still sitting in
+    // their queue slots: drain them into Cancelled placeholder records so
+    // the report covers every submitted job by name.
+    let mut leftover = queue.into_inner().unwrap_or_else(PoisonError::into_inner).1;
+    let mut cancelled_jobs = 0u64;
+    let records: Vec<JobRecord> = records
         .into_inner()
         .unwrap_or_else(PoisonError::into_inner)
         .into_iter()
         .enumerate()
         .map(|(i, r)| {
-            // Every claimed index stores a record before its worker exits;
-            // a hole would mean a worker died outside catch_unwind.
-            r.unwrap_or_else(|| JobRecord {
-                name: format!("job-{i}"),
-                outcome: Err(Error::Panic("worker died before recording".into())),
-                duration: Duration::ZERO,
-                worker: 0,
-                attempts: 0,
-                timed_out: false,
+            r.unwrap_or_else(|| match leftover[i].take() {
+                Some(job) => {
+                    cancelled_jobs += 1;
+                    JobRecord {
+                        name: job.name,
+                        outcome: Err(Error::Cancelled),
+                        duration: Duration::ZERO,
+                        worker: 0,
+                        attempts: 0,
+                        timed_out: false,
+                    }
+                }
+                // Every claimed index stores a record before its worker
+                // exits; a hole here means a worker died outside
+                // catch_unwind.
+                None => JobRecord {
+                    name: format!("job-{i}"),
+                    outcome: Err(Error::Panic("worker died before recording".into())),
+                    duration: Duration::ZERO,
+                    worker: 0,
+                    attempts: 0,
+                    timed_out: false,
+                },
             })
         })
         .collect();
+    if cancelled_jobs > 0 {
+        np_telemetry::counter("engine.cancelled_jobs", cancelled_jobs);
+    }
+    if interrupted {
+        np_telemetry::counter("engine.interrupted", 1);
+    }
+    let telemetry = collector.map(|c| c.summary());
     RunReport {
         records,
         workers,
         total_wall: start.elapsed(),
         telemetry,
+        interrupted,
+        replayed: 0,
     }
 }
 
 /// Executes one job to completion under the policy: attempt, watchdog,
-/// retry loop.
-fn run_one(job: Job, worker: usize, policy: &RunPolicy) -> JobRecord {
+/// retry loop. A cancelled run finishes the in-flight attempt (drain)
+/// but skips further retries and their backoff sleeps.
+fn run_one(job: Job, worker: usize, policy: &RunPolicy, cancel: Option<&CancelToken>) -> JobRecord {
     let job_span = np_telemetry::span(job.name.clone());
     let job_start = Instant::now();
     let max_attempts = policy.max_attempts(job.transient);
+    let cancelled = || cancel.is_some_and(CancelToken::is_cancelled);
     let mut attempts = 0u32;
     let (outcome, timed_out) = loop {
         attempts += 1;
         let attempt_span = np_telemetry::span("engine.attempt");
-        let (outcome, timed_out) = attempt(&job.runner, policy.deadline);
+        let (outcome, timed_out) = attempt(&job.runner, policy.deadline, cancel);
         drop(attempt_span);
-        if outcome.is_ok() || timed_out || attempts >= max_attempts {
+        if outcome.is_ok() || timed_out || attempts >= max_attempts || cancelled() {
             break (outcome, timed_out);
         }
         std::thread::sleep(policy.backoff_before(attempts));
@@ -447,9 +615,16 @@ fn run_one(job: Job, worker: usize, policy: &RunPolicy) -> JobRecord {
 
 /// One attempt of the runner, panic-isolated, with an optional deadline.
 /// Returns the outcome and whether the deadline fired.
+///
+/// The watchdog wait is sliced so a cancelled run is observable while it
+/// drains: cancellation never abandons the in-flight attempt (that is
+/// the drain guarantee), but the first slice that sees the token
+/// cancelled records an `engine.cancel_drain` counter, so interrupted
+/// runs show how many attempts were drained rather than torn down.
 fn attempt(
     runner: &Arc<dyn Fn() -> Result<String, Error> + Send + Sync>,
     deadline: Option<Duration>,
+    cancel: Option<&CancelToken>,
 ) -> (Result<String, Error>, bool) {
     let Some(limit) = deadline else {
         return (guarded_call(runner), false);
@@ -469,10 +644,35 @@ fn attempt(
             let _ = tx.send(guarded_call(&sacrificial));
         });
     match spawned {
-        Ok(_) => match rx.recv_timeout(limit) {
-            Ok(outcome) => (outcome, false),
-            Err(_) => (Err(Error::DeadlineExceeded { limit }), true),
-        },
+        Ok(_) => {
+            let deadline_at = Instant::now() + limit;
+            let mut drain_counted = false;
+            loop {
+                let remaining = deadline_at.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return (Err(Error::DeadlineExceeded { limit }), true);
+                }
+                let slice = remaining.min(Duration::from_millis(50));
+                match rx.recv_timeout(slice) {
+                    Ok(outcome) => return (outcome, false),
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if !drain_counted && cancel.is_some_and(CancelToken::is_cancelled) {
+                            np_telemetry::counter("engine.cancel_drain", 1);
+                            drain_counted = true;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // The sacrificial thread died without sending —
+                        // only possible if its send itself panicked;
+                        // treat as a deadline-free failure.
+                        return (
+                            Err(Error::Panic("watchdog channel disconnected".into())),
+                            false,
+                        );
+                    }
+                }
+            }
+        }
         // Thread spawn failed (resource exhaustion): degrade to an
         // un-watched inline attempt rather than fail the job outright.
         Err(_) => (guarded_call(runner), false),
@@ -902,6 +1102,109 @@ mod tests {
         };
         assert_eq!(counter("engine.retries"), Some(1));
         assert_eq!(counter("engine.deadline_exceeded"), Some(1));
+    }
+
+    #[test]
+    fn cancellation_drains_in_flight_and_marks_the_rest() {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        let mut jobs = vec![Job::new("first", move || {
+            // Cancel mid-run: this job is in flight, so it drains to
+            // completion; everything behind it must not start.
+            trigger.cancel();
+            Ok("finished despite cancel\n".into())
+        })];
+        for i in 1..4 {
+            jobs.push(Job::new(format!("skipped{i}"), move || {
+                Ok(format!("should never run {i}\n"))
+            }));
+        }
+        let hooks = RunHooks {
+            cancel: Some(token),
+            ..RunHooks::default()
+        };
+        let report = run_with_hooks(jobs, 1, RunPolicy::default(), hooks);
+        assert!(report.interrupted);
+        assert!(report.records[0].is_ok(), "in-flight job drained");
+        for r in &report.records[1..] {
+            assert_eq!(r.outcome, Err(Error::Cancelled), "{}", r.name);
+            assert_eq!(r.attempts, 0);
+            assert_eq!(r.status(), "cancelled");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"interrupted\": true"), "{json}");
+        assert!(json.contains("\"status\": \"cancelled\""), "{json}");
+    }
+
+    #[test]
+    fn uncancelled_runs_report_uninterrupted() {
+        let hooks = RunHooks {
+            cancel: Some(CancelToken::new()),
+            ..RunHooks::default()
+        };
+        let report = run_with_hooks(fixed_jobs(3), 2, RunPolicy::default(), hooks);
+        assert!(!report.interrupted);
+        assert!(report.all_ok());
+        assert!(report.to_json().contains("\"interrupted\": false"));
+    }
+
+    #[test]
+    fn cancellation_skips_pending_retries() {
+        let token = CancelToken::new();
+        let trigger = token.clone();
+        static CALLS: AtomicU32 = AtomicU32::new(0);
+        CALLS.store(0, Ordering::SeqCst);
+        let jobs = vec![Job::new("flaky-cancelled", move || {
+            CALLS.fetch_add(1, Ordering::SeqCst);
+            trigger.cancel();
+            Err(Error::InvalidParameter("always fails".into()))
+        })
+        .transient(true)];
+        let policy = RunPolicy {
+            retries: 5,
+            backoff: Duration::from_secs(30), // would stall the test if slept
+            ..RunPolicy::default()
+        };
+        let hooks = RunHooks {
+            cancel: Some(token),
+            ..RunHooks::default()
+        };
+        let start = Instant::now();
+        let report = run_with_hooks(jobs, 1, policy, hooks);
+        assert!(start.elapsed() < Duration::from_secs(5), "no backoff sleep");
+        assert_eq!(CALLS.load(Ordering::SeqCst), 1, "no retry after cancel");
+        assert_eq!(report.records[0].attempts, 1);
+        assert!(report.interrupted);
+    }
+
+    #[test]
+    fn on_record_hook_fires_once_per_job_as_it_completes() {
+        let seen: Arc<Mutex<Vec<(usize, String, bool)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let hooks = RunHooks {
+            on_record: Some(Arc::new(move |index, record: &JobRecord| {
+                sink.lock().unwrap_or_else(PoisonError::into_inner).push((
+                    index,
+                    record.name.clone(),
+                    record.is_ok(),
+                ));
+            })),
+            ..RunHooks::default()
+        };
+        let mut jobs = fixed_jobs(5);
+        jobs.push(Job::new("bad", || {
+            Err(Error::InvalidParameter("broken".into()))
+        }));
+        let report = run_with_hooks(jobs, 3, RunPolicy::default(), hooks);
+        assert_eq!(report.records.len(), 6);
+        let mut seen = seen.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        seen.sort();
+        let indices: Vec<usize> = seen.iter().map(|(i, _, _)| *i).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3, 4, 5], "every job observed once");
+        assert!(
+            seen.iter().any(|(_, name, ok)| name == "bad" && !ok),
+            "failures are observed too"
+        );
     }
 
     #[test]

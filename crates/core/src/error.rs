@@ -59,6 +59,65 @@ pub enum Error {
         /// The deadline that was exceeded.
         limit: std::time::Duration,
     },
+    /// The run was cancelled before this job started; the record is a
+    /// placeholder so interrupted reports still cover every submitted
+    /// job.
+    Cancelled,
+    /// Reading or writing the crash-safe run journal failed (I/O error,
+    /// corrupt non-tail line, or a config mismatch between the journal
+    /// header and the resuming invocation).
+    Journal {
+        /// What went wrong, including the offending path or line.
+        reason: String,
+    },
+    /// An artifact's output deviates from its golden reference beyond
+    /// the artifact's tolerance policy. Carries per-cell diagnostics so
+    /// the drift can be located without re-running anything.
+    Drift {
+        /// The drifting artifact's name.
+        artifact: String,
+        /// The tolerance policy the comparison ran under (e.g.
+        /// `relative(1e-9)`).
+        policy: String,
+        /// Total number of drifting cells found.
+        total: usize,
+        /// The first few drifting cells (diagnostics are truncated so a
+        /// wholesale drift does not balloon the error).
+        cells: Vec<DriftCell>,
+    },
+}
+
+/// One cell-level deviation inside an [`Error::Drift`]: where the actual
+/// output left the golden reference, and by how much.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftCell {
+    /// 1-based line number in the artifact output.
+    pub row: usize,
+    /// 1-based column (CSV field) number; always 1 for line-oriented
+    /// (non-CSV) comparisons.
+    pub col: usize,
+    /// The golden reference value (`<missing>` when the actual output
+    /// has extra rows/cells).
+    pub expected: String,
+    /// The actual value (`<missing>` when the actual output is short).
+    pub actual: String,
+    /// `|actual - expected|` when both cells parse as numbers, `NaN`
+    /// otherwise.
+    pub delta: f64,
+}
+
+impl fmt::Display for DriftCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "line {} col {}: expected `{}`, got `{}`",
+            self.row, self.col, self.expected, self.actual
+        )?;
+        if self.delta.is_finite() {
+            write!(f, " (|delta| = {:.3e})", self.delta)?;
+        }
+        Ok(())
+    }
 }
 
 impl fmt::Display for Error {
@@ -85,6 +144,27 @@ impl fmt::Display for Error {
                     "deadline exceeded: job ran past {:.3}s",
                     limit.as_secs_f64()
                 )
+            }
+            Error::Cancelled => write!(f, "cancelled before the job started"),
+            Error::Journal { reason } => write!(f, "journal: {reason}"),
+            Error::Drift {
+                artifact,
+                policy,
+                total,
+                cells,
+            } => {
+                write!(
+                    f,
+                    "drift: artifact `{artifact}` deviates from its golden reference \
+                     in {total} cell(s) under {policy}"
+                )?;
+                for cell in cells {
+                    write!(f, "; {cell}")?;
+                }
+                if *total > cells.len() {
+                    write!(f, "; … {} more", total - cells.len())?;
+                }
+                Ok(())
             }
         }
     }
@@ -162,5 +242,31 @@ mod tests {
         };
         assert!(format!("{e}").contains("no csv form"));
         assert!(format!("{}", Error::InvalidParameter("x".into())).contains("x"));
+    }
+
+    #[test]
+    fn resilience_variants_display() {
+        assert!(format!("{}", Error::Cancelled).contains("cancelled"));
+        let e = Error::Journal {
+            reason: "corrupt line 3".into(),
+        };
+        assert!(format!("{e}").contains("corrupt line 3"));
+        let e = Error::Drift {
+            artifact: "fig5".into(),
+            policy: "relative(1e-9)".into(),
+            total: 3,
+            cells: vec![DriftCell {
+                row: 2,
+                col: 4,
+                expected: "0.125".into(),
+                actual: "0.126".into(),
+                delta: 1e-3,
+            }],
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("fig5"), "{msg}");
+        assert!(msg.contains("3 cell(s)"), "{msg}");
+        assert!(msg.contains("line 2 col 4"), "{msg}");
+        assert!(msg.contains("… 2 more"), "{msg}");
     }
 }

@@ -7,9 +7,11 @@
 //! This facade crate re-exports the whole workspace and adds the pieces
 //! that tie the models together: the [`chip::Chip`] scenario facade (built
 //! via the validating [`chip::ChipBuilder`]), the unified [`error::Error`]
-//! type over every model crate's error, and the [`engine`] — a parallel,
-//! deterministic artifact runner with per-run telemetry used by the
-//! `repro` harness:
+//! type over every model crate's error, the [`engine`] — a parallel,
+//! deterministic artifact runner with per-run telemetry, graceful
+//! cancellation, and completion hooks used by the `repro` harness — and
+//! the [`journal`] crash-safe run log that makes interrupted `repro`
+//! runs resumable:
 //!
 //! | crate | paper section | what it models |
 //! |---|---|---|
@@ -46,6 +48,7 @@
 pub mod chip;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod report;
 
 pub use np_circuit as circuit;
@@ -59,4 +62,4 @@ pub use np_thermal as thermal;
 pub use np_units as units;
 
 pub use chip::{Chip, ChipBuilder};
-pub use error::{Error, Result};
+pub use error::{DriftCell, Error, Result};

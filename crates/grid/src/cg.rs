@@ -317,7 +317,14 @@ fn pcg_iterate(
     }
     let _span = np_telemetry::span("grid.pcg.solve");
     let n = m.nx * m.ny;
-    let (_b, mut x, mut r, mut z, mut rz, mut rr, b_norm) = pcg_start(m, prepared, x0);
+    let (b, mut x, mut r, mut z, mut rz, mut rr, b_norm) = pcg_start(m, prepared, x0);
+    if b.iter().all(|&v| v == 0.0) {
+        // x = 0 is the exact solution of the pinned SPD system with zero
+        // injection. Iterating a warm start toward it instead chases a
+        // tolerance of ~1e-312 (b_norm clamps at 1e-300) into denormal
+        // territory until p·Ap underflows to an indefinite 0.
+        return Ok(vec![0.0; n]);
+    }
     let mut p = z.clone();
     let mut ap = vec![0.0f64; n];
     let tol = 1e-12 * b_norm;
@@ -448,7 +455,12 @@ fn pcg_parallel_iterate(
     }
     let _span = np_telemetry::span("grid.pcg.solve_parallel");
     let (nx, n) = (m.nx, m.nx * m.ny);
-    let (_b, x, r, z, rz0, rr0, b_norm) = pcg_start(m, prepared, x0);
+    let (b, x, r, z, rz0, rr0, b_norm) = pcg_start(m, prepared, x0);
+    if b.iter().all(|&v| v == 0.0) {
+        // Same zero-RHS short-circuit as the sequential path: x = 0 is
+        // exact, and a warm start cannot reach the clamped tolerance.
+        return Ok(vec![0.0; n]);
+    }
     let tol = 1e-12 * b_norm;
     let max_iters = 10 * n;
     let xa = AtomicF64Vec::from_slice(&x);

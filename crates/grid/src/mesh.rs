@@ -389,6 +389,35 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_scale_sweep_handles_zero_and_tiny_scales() {
+        // One cache, three scales, all on the same warm-started entry:
+        // the second and third solves reuse the previous solution as the
+        // PCG starting guess, which is exactly the path that used to
+        // break down for a zero injection (the residual decayed into
+        // denormals chasing a clamped tolerance).
+        let mut cache = MeshCache::new();
+        let base = cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, 1.0)
+            .unwrap();
+        assert!(base.0 > 0.0, "unit scale must produce a real drop: {base}");
+        // scale = 0: no injection means no drop, exactly.
+        let zero = cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, 0.0)
+            .unwrap();
+        assert_eq!(zero, Volts(0.0), "zero injection must yield a zero drop");
+        // scale = 1e-9: linearity, warm-started from the zero solution.
+        let tiny = cache
+            .worst_drop_scaled(TechNode::N35, Microns(80.0), Microns(4.0), 33, 1e-9)
+            .unwrap();
+        assert!(
+            (tiny.0 - 1e-9 * base.0).abs() <= 1e-6 * 1e-9 * base.0,
+            "tiny-scale drop must stay linear: base {base}, tiny {tiny}"
+        );
+        // All three solves shared one assembled mesh.
+        assert_eq!((cache.misses(), cache.hits()), (1, 2));
+    }
+
+    #[test]
     fn cache_honours_an_explicit_plan() {
         let mut cache = MeshCache::with_plan(
             SolvePlan::with_strategy(SolveStrategy::ParallelSor).with_shards(3),

@@ -5,4 +5,9 @@
 #   scripts/bench.sh --bench-out /tmp/bench.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
+ncpu="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+if [ "${ncpu}" -le 1 ]; then
+    echo "warning: only ${ncpu} cpu online — parallel speedups will read ~1.0x" \
+         "and are not comparable to a multi-core baseline (see BENCHMARKS.md)" >&2
+fi
 exec cargo run --release -p np-bench --bin repro -- --bench "$@"

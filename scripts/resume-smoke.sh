@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# CI resume-smoke: prove the resilience layer end to end through the
+# real binary.
+#
+#   1. SIGINT drain — interrupt a run with a guaranteed in-flight job
+#      (--chaos hang) and assert the graceful-cancellation contract:
+#      nonzero exit, "interrupted": true, a flushed journal.
+#   2. Kill-resume losslessness — cut a journal mid-entry (what a
+#      SIGKILL mid-write leaves behind) and assert --resume reproduces
+#      the uninterrupted run's stdout byte-for-byte and a matching
+#      artifact set in the combined --json report.
+#   3. SIGINT-resume — interrupt a real journaled run (best effort; the
+#      full run takes milliseconds, so the signal may lose the race)
+#      and assert --resume converges to the clean output either way.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p np-bench --bin repro
+REPRO=target/release/repro
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+echo "== reference run =="
+"$REPRO" --jobs 1 > "$WORK/clean.txt"
+"$REPRO" --jobs 1 --json | grep -o '"artifact": "[a-z0-9-]*", "status": "[a-z]*"' \
+    | sort > "$WORK/clean-artifacts.txt"
+
+echo "== 1. SIGINT drains a run with an in-flight job =="
+"$REPRO" --chaos --journal "$WORK/chaos.jsonl" --timeout-secs 5 --jobs 1 --json \
+    > "$WORK/chaos.json" 2> "$WORK/chaos.err" &
+pid=$!
+sleep 1
+kill -INT "$pid"
+if wait "$pid"; then
+    echo "interrupted chaos run must exit nonzero"; exit 1
+fi
+grep -qF '"interrupted": true' "$WORK/chaos.json" \
+    || { echo "report not marked interrupted"; cat "$WORK/chaos.json"; exit 1; }
+[ "$(wc -l < "$WORK/chaos.jsonl")" -ge 2 ] \
+    || { echo "journal was not flushed during the drain"; exit 1; }
+grep -qF '"status": "cancelled"' "$WORK/chaos.json" \
+    || { echo "unstarted jobs must be recorded as cancelled"; exit 1; }
+
+echo "== 2. resume from a journal cut mid-entry is lossless =="
+"$REPRO" --journal "$WORK/run.jsonl" --jobs 1 > "$WORK/journaled.txt"
+cmp "$WORK/journaled.txt" "$WORK/clean.txt"
+full_bytes=$(stat -c %s "$WORK/run.jsonl" 2>/dev/null || stat -f %z "$WORK/run.jsonl")
+head -c "$((full_bytes / 2))" "$WORK/run.jsonl" > "$WORK/torn.jsonl"
+"$REPRO" --resume "$WORK/torn.jsonl" --jobs 4 > "$WORK/resumed.txt"
+cmp "$WORK/resumed.txt" "$WORK/clean.txt"
+"$REPRO" --resume "$WORK/torn.jsonl" --json \
+    | grep -o '"artifact": "[a-z0-9-]*", "status": "[a-z]*"' \
+    | sort > "$WORK/resumed-artifacts.txt"
+cmp "$WORK/resumed-artifacts.txt" "$WORK/clean-artifacts.txt"
+
+echo "== 3. SIGINT a real journaled run, then resume =="
+caught=no
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    rm -f "$WORK/int.jsonl"
+    # trap - EXIT + exec: the forked child must not inherit this script's
+    # cleanup trap — a SIGINT landing before exec would otherwise run it
+    # and delete $WORK out from under the remaining checks.
+    { trap - EXIT; exec "$REPRO" --journal "$WORK/int.jsonl" --jobs 2 --json \
+        > "$WORK/int.json" 2>/dev/null; } &
+    pid=$!
+    sleep 0.005
+    kill -INT "$pid" 2>/dev/null || true
+    wait "$pid" || true
+    if grep -qF '"interrupted": true' "$WORK/int.json"; then
+        caught=yes
+        break
+    fi
+done
+echo "mid-run interrupt caught: $caught (run may be too fast to race)"
+if [ ! -s "$WORK/int.jsonl" ]; then
+    # The signal beat even the journal header write; re-journal so the
+    # resume below still exercises the replay path.
+    "$REPRO" --journal "$WORK/int.jsonl" --jobs 2 > /dev/null
+fi
+"$REPRO" --resume "$WORK/int.jsonl" --jobs 4 > "$WORK/int-resumed.txt"
+cmp "$WORK/int-resumed.txt" "$WORK/clean.txt"
+
+echo "resume-smoke: all checks passed"
