@@ -1,0 +1,789 @@
+//! `nanopowerd` — the persistent analysis service.
+//!
+//! A zero-dependency JSON-lines server (protocol: `nanopowerd/v1`, see
+//! `nanopower::proto`) that keeps the artifact registry hot behind a
+//! unix socket (or `--tcp addr`): a cross-request artifact memo, a
+//! process-wide shared mesh cache, bounded admission control with typed
+//! `busy` backpressure, and per-request deadlines wired to the engine's
+//! graceful cancellation.
+//!
+//! ```text
+//! nanopowerd serve --socket /tmp/nanopower.sock [--tcp 127.0.0.1:7070]
+//!            [--workers N] [--max-inflight N] [--queue-depth N] [--hold-ms N]
+//! nanopowerd load  --socket PATH|--tcp ADDR [--connections N] [--requests N]
+//!            [--csv] [--quick] [--out BENCH_serve.json]
+//! nanopowerd stats --socket PATH|--tcp ADDR
+//! nanopowerd shutdown --socket PATH|--tcp ADDR
+//! ```
+
+use nanopower::engine::{CancelToken, Job, JobRecord, Session};
+use nanopower::proto::{Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg};
+use nanopower::service::{AdmissionGate, ArtifactMemo, ServiceCounters};
+use nanopower::Error;
+use np_bench::registry;
+use np_bench::serve::ServeReport;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("load") => cmd_load(&args[1..]),
+        Some("stats") => cmd_oneshot(&args[1..], Request::Stats),
+        Some("shutdown") => cmd_oneshot(&args[1..], Request::Shutdown),
+        Some("--help" | "-h") | None => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "\
+nanopowerd - persistent nanopower analysis service (nanopowerd/v1)
+
+USAGE:
+    nanopowerd serve    --socket PATH | --tcp ADDR [serve options]
+    nanopowerd load     --socket PATH | --tcp ADDR [load options]
+    nanopowerd stats    --socket PATH | --tcp ADDR
+    nanopowerd shutdown --socket PATH | --tcp ADDR
+
+SERVE OPTIONS:
+    --workers N       engine workers per request (default: all cores)
+    --max-inflight N  concurrent requests executing (default: 2)
+    --queue-depth N   requests allowed to wait for a slot (default: 8)
+    --hold-ms N       hold each admission slot N extra ms (test hook)
+
+LOAD OPTIONS:
+    --connections N   concurrent client connections (default: 4)
+    --requests N      requests per connection (default: 25)
+    --csv             request CSV artifact forms
+    --quick           small fast run (2 connections x 5 requests)
+    --out PATH        report path (default: BENCH_serve.json)
+";
+
+/// Where the daemon listens / the client connects.
+#[derive(Debug, Clone)]
+enum Endpoint {
+    #[cfg(unix)]
+    Unix(String),
+    Tcp(String),
+}
+
+/// Pulls `--socket`/`--tcp` out of `args`, returning the endpoint and
+/// the remaining arguments.
+fn parse_endpoint(args: &[String]) -> Result<(Endpoint, Vec<String>), String> {
+    let mut endpoint = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let path = it.next().ok_or("--socket needs a path")?;
+                #[cfg(unix)]
+                {
+                    endpoint = Some(Endpoint::Unix(path.clone()));
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err("--socket requires a unix platform; use --tcp".into());
+                }
+            }
+            "--tcp" => {
+                let addr = it.next().ok_or("--tcp needs an address")?;
+                endpoint = Some(Endpoint::Tcp(addr.clone()));
+            }
+            _ => rest.push(arg.clone()),
+        }
+    }
+    let endpoint = endpoint.ok_or("one of --socket PATH or --tcp ADDR is required")?;
+    Ok((endpoint, rest))
+}
+
+fn parse_flag_value<T: std::str::FromStr>(
+    rest: &[String],
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match rest.iter().position(|a| a == flag) {
+        Some(i) => rest
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map_err(|_| format!("{flag} value is not valid")),
+        None => Ok(default),
+    }
+}
+
+// ---------------------------------------------------------------------
+// serve
+// ---------------------------------------------------------------------
+
+/// Everything the connection handlers share.
+struct ServerState {
+    memo: ArtifactMemo,
+    gate: AdmissionGate,
+    counters: ServiceCounters,
+    workers: usize,
+    hold_ms: u64,
+    shutdown: AtomicBool,
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let (endpoint, rest) = match parse_endpoint(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("nanopowerd serve: {e}");
+            return 2;
+        }
+    };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let opts = (
+        parse_flag_value(&rest, "--workers", cores),
+        parse_flag_value(&rest, "--max-inflight", 2usize),
+        parse_flag_value(&rest, "--queue-depth", 8usize),
+        parse_flag_value(&rest, "--hold-ms", 0u64),
+    );
+    let (workers, max_inflight, queue_depth, hold_ms) = match opts {
+        (Ok(w), Ok(m), Ok(q), Ok(h)) => (w, m, q, h),
+        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (.., Err(e)) => {
+            eprintln!("nanopowerd serve: {e}");
+            return 2;
+        }
+    };
+    let state = Arc::new(ServerState {
+        memo: ArtifactMemo::new(),
+        gate: AdmissionGate::new(max_inflight, queue_depth),
+        counters: ServiceCounters::new(),
+        workers,
+        hold_ms,
+        shutdown: AtomicBool::new(false),
+    });
+    // One shared mesh cache for the whole daemon: every request on every
+    // connection reuses assembled meshes and warm starts.
+    let _mesh_cache = np_grid::mesh::scoped_process_cache(true);
+    match serve_on(&endpoint, &state) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("nanopowerd serve: {e}");
+            1
+        }
+    }
+}
+
+fn serve_on(endpoint: &Endpoint, state: &Arc<ServerState>) -> std::io::Result<()> {
+    let mut handles = Vec::new();
+    match endpoint {
+        #[cfg(unix)]
+        Endpoint::Unix(path) => {
+            use std::os::unix::net::UnixListener;
+            // A dead daemon leaves its socket file behind; re-binding
+            // requires clearing it first.
+            let _ = std::fs::remove_file(path);
+            let listener = UnixListener::bind(path)?;
+            listener.set_nonblocking(true)?;
+            eprintln!(
+                "nanopowerd: listening on {path} ({} workers)",
+                state.workers
+            );
+            accept_loop(state, &mut handles, || listener.accept().map(|(s, _)| s));
+            let _ = std::fs::remove_file(path);
+        }
+        Endpoint::Tcp(addr) => {
+            let listener = TcpListener::bind(addr)?;
+            listener.set_nonblocking(true)?;
+            eprintln!(
+                "nanopowerd: listening on {addr} ({} workers)",
+                state.workers
+            );
+            accept_loop(state, &mut handles, || listener.accept().map(|(s, _)| s));
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    Ok(())
+}
+
+/// Polls a nonblocking listener until a shutdown request flips the
+/// flag, spawning one handler thread per accepted connection.
+fn accept_loop<S, A>(
+    state: &Arc<ServerState>,
+    handles: &mut Vec<std::thread::JoinHandle<()>>,
+    mut accept: A,
+) where
+    S: Read + Write + TryCloneStream + Send + 'static,
+    A: FnMut() -> std::io::Result<S>,
+{
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match accept() {
+            Ok(stream) => {
+                let state = Arc::clone(state);
+                handles.push(std::thread::spawn(move || {
+                    // A connection that fails mid-stream (client went
+                    // away) is normal; the error is its own signal.
+                    let _ = serve_conn(stream, &state);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("nanopowerd: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Both socket flavors can clone themselves into a second handle (so
+/// one side reads lines while the other writes responses) and take a
+/// read timeout (so idle handlers notice the shutdown flag).
+trait TryCloneStream: Sized {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+}
+
+#[cfg(unix)]
+impl TryCloneStream for std::os::unix::net::UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+impl TryCloneStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<Self> {
+        self.try_clone()
+    }
+    fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_read_timeout(timeout)
+    }
+}
+
+fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> std::io::Result<()> {
+    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
+    w.write_all(response.to_json().as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// One connection: greet, then answer request lines until EOF or a
+/// shutdown request.
+fn serve_conn<S>(stream: S, state: &Arc<ServerState>) -> std::io::Result<()>
+where
+    S: Read + Write + TryCloneStream + Send + 'static,
+{
+    // A bounded read timeout lets idle connections poll the shutdown
+    // flag instead of blocking the daemon's exit on their next line.
+    stream.set_stream_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone_stream()?);
+    let writer = Arc::new(Mutex::new(stream));
+    write_line(
+        &writer,
+        &Response::Hello(Hello {
+            artifacts: registry::names().len(),
+        }),
+    )?;
+    let mut line = String::new();
+    loop {
+        // `read_line` keeps any partial line in `line` across a
+        // timeout, so a slow writer is reassembled, not corrupted.
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let request = std::mem::take(&mut line);
+        if request.trim().is_empty() {
+            continue;
+        }
+        match Request::parse(request.trim_end()) {
+            Ok(Request::Run(run)) => handle_run(&run, &writer, state)?,
+            Ok(Request::Stats) => {
+                let snap = state.counters.snapshot();
+                let (mesh_hits, mesh_misses) = np_grid::mesh::process_cache_stats();
+                write_line(
+                    &writer,
+                    &Response::Stats(StatsMsg {
+                        accepted: snap.accepted,
+                        served: snap.served,
+                        memo_hits: snap.memo_hits,
+                        cancelled: snap.cancelled,
+                        rejected: snap.rejected,
+                        protocol_errors: snap.protocol_errors,
+                        memo_entries: state.memo.len() as u64,
+                        mesh_hits,
+                        mesh_misses,
+                    }),
+                )?;
+            }
+            Ok(Request::Shutdown) => {
+                state.shutdown.store(true, Ordering::SeqCst);
+                write_line(&writer, &Response::Shutdown)?;
+                break;
+            }
+            Err(Error::Protocol { reason }) => {
+                state.counters.bump(&state.counters.protocol_errors);
+                write_line(&writer, &Response::Protocol { reason })?;
+            }
+            Err(other) => {
+                state.counters.bump(&state.counters.protocol_errors);
+                write_line(
+                    &writer,
+                    &Response::Protocol {
+                        reason: other.to_string(),
+                    },
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Serves one `run` request: admission, memo short-circuit, engine run
+/// with streamed records, terminal report.
+fn handle_run<W>(
+    run: &RunRequest,
+    writer: &Arc<Mutex<W>>,
+    state: &Arc<ServerState>,
+) -> std::io::Result<()>
+where
+    W: Write + Send + 'static,
+{
+    let Some(permit) = state.gate.admit() else {
+        state.counters.bump(&state.counters.rejected);
+        return write_line(
+            writer,
+            &Response::Busy {
+                inflight: state.gate.inflight() as u64,
+                capacity: state.gate.capacity() as u64,
+            },
+        );
+    };
+    state.counters.bump(&state.counters.accepted);
+    let start = Instant::now();
+    let token = CancelToken::new();
+    // Deadline watcher, armed at admission so the budget covers the
+    // whole request: a channel send on completion beats the timeout;
+    // the timeout cancels the run instead.
+    let watcher = run.deadline_ms.map(|ms| {
+        let token = token.clone();
+        let (done_tx, done_rx) = mpsc::channel::<()>();
+        let handle = std::thread::spawn(move || {
+            if done_rx.recv_timeout(Duration::from_millis(ms)) == Err(RecvTimeoutError::Timeout) {
+                token.cancel();
+            }
+        });
+        (done_tx, handle)
+    });
+    if state.hold_ms > 0 {
+        // Test hook: keep the admission slot busy so backpressure (and
+        // deadline expiry) is observable deterministically.
+        std::thread::sleep(Duration::from_millis(state.hold_ms));
+    }
+
+    // Memo pass: serve already-rendered artifacts without burning an
+    // engine slot; only the misses become jobs.
+    let mut jobs = Vec::new();
+    let mut ok = 0u64;
+    let mut memo_hits = 0u64;
+    for name in &run.names {
+        let key = ArtifactMemo::request_key(name, run.csv);
+        if let Some(entry) = state.memo.get(key) {
+            memo_hits += 1;
+            ok += 1;
+            state.counters.bump(&state.counters.memo_hits);
+            write_line(
+                writer,
+                &Response::Record(RecordMsg {
+                    name: name.clone(),
+                    status: "ok".into(),
+                    duration_ms: 0.0,
+                    memo: true,
+                    bytes: Some(entry.output.len() as u64),
+                    digest: Some(entry.digest),
+                    error: None,
+                }),
+            )?;
+        } else {
+            jobs.push(match registry::find(name) {
+                Some(artifact) => artifact.job(run.csv),
+                None => {
+                    let name = name.clone();
+                    Job::new(name.clone(), move || {
+                        Err(Error::UnknownArtifact { name: name.clone() })
+                    })
+                }
+            });
+        }
+    }
+
+    let report = if jobs.is_empty() {
+        None
+    } else {
+        let writer = Arc::clone(writer);
+        let memo = Arc::clone(state);
+        let csv = run.csv;
+        let report = Session::new(jobs)
+            .workers(state.workers)
+            .cancel(token.clone())
+            .on_record(move |_, record: &JobRecord| {
+                if let Ok(output) = &record.outcome {
+                    memo.memo
+                        .insert(ArtifactMemo::request_key(&record.name, csv), output.clone());
+                }
+                let _ = write_line(
+                    &writer,
+                    &Response::Record(RecordMsg::from_record(record, false)),
+                );
+            })
+            .run();
+        Some(report)
+    };
+    if let Some((done_tx, handle)) = watcher {
+        let _ = done_tx.send(());
+        let _ = handle.join();
+    }
+
+    let mut failures = 0u64;
+    let mut cancelled = 0u64;
+    let mut interrupted = false;
+    if let Some(report) = &report {
+        interrupted = report.interrupted;
+        for record in &report.records {
+            match record.status() {
+                "ok" => ok += 1,
+                "cancelled" => cancelled += 1,
+                _ => failures += 1,
+            }
+        }
+    }
+    if interrupted {
+        state.counters.bump(&state.counters.cancelled);
+    }
+    state.counters.bump(&state.counters.served);
+    // Release the slot before the terminal write: a client that has
+    // read its report must be able to get its next request admitted.
+    drop(permit);
+    write_line(
+        writer,
+        &Response::Report(ReportMsg {
+            ok,
+            failures,
+            cancelled,
+            memo_hits,
+            total_ms: start.elapsed().as_secs_f64() * 1e3,
+            interrupted,
+        }),
+    )
+}
+
+// ---------------------------------------------------------------------
+// client side
+// ---------------------------------------------------------------------
+
+/// A line-oriented client connection (hello already consumed).
+struct Client {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Client {
+    fn connect(endpoint: &Endpoint) -> Result<(Self, Hello), String> {
+        let (read_half, write_half): (Box<dyn Read + Send>, Box<dyn Write + Send>) = match endpoint
+        {
+            #[cfg(unix)]
+            Endpoint::Unix(path) => {
+                use std::os::unix::net::UnixStream;
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| format!("cannot connect to {path}: {e}"))?;
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone socket: {e}"))?;
+                (Box::new(clone), Box::new(stream))
+            }
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+                let clone = stream
+                    .try_clone()
+                    .map_err(|e| format!("cannot clone socket: {e}"))?;
+                (Box::new(clone), Box::new(stream))
+            }
+        };
+        let mut client = Client {
+            reader: BufReader::new(read_half),
+            writer: write_half,
+        };
+        match client.read_response()? {
+            Response::Hello(hello) => Ok((client, hello)),
+            other => Err(format!("expected hello, got {other:?}")),
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Result<(), String> {
+        self.writer
+            .write_all(request.to_json().as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn read_response(&mut self) -> Result<Response, String> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| format!("read failed: {e}"))?;
+            if n == 0 {
+                return Err("connection closed".into());
+            }
+            if !line.trim().is_empty() {
+                return Response::parse(line.trim_end()).map_err(|e| e.to_string());
+            }
+        }
+    }
+
+    /// Sends a run request and reads until its terminal line, returning
+    /// the report — or the `busy` rejection.
+    fn run(&mut self, request: &RunRequest) -> Result<RunOutcome, String> {
+        self.send(&Request::Run(request.clone()))?;
+        loop {
+            match self.read_response()? {
+                Response::Record(_) => {}
+                Response::Report(report) => return Ok(RunOutcome::Report(report)),
+                Response::Busy { .. } => return Ok(RunOutcome::Busy),
+                Response::Protocol { reason } => return Err(format!("protocol error: {reason}")),
+                other => return Err(format!("unexpected response {other:?}")),
+            }
+        }
+    }
+}
+
+enum RunOutcome {
+    Report(ReportMsg),
+    Busy,
+}
+
+// ---------------------------------------------------------------------
+// load
+// ---------------------------------------------------------------------
+
+fn cmd_load(args: &[String]) -> i32 {
+    let (endpoint, rest) = match parse_endpoint(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("nanopowerd load: {e}");
+            return 2;
+        }
+    };
+    let quick = rest.iter().any(|a| a == "--quick");
+    let csv = rest.iter().any(|a| a == "--csv");
+    let defaults = if quick {
+        (2usize, 5u64)
+    } else {
+        (4usize, 25u64)
+    };
+    let opts = (
+        parse_flag_value(&rest, "--connections", defaults.0),
+        parse_flag_value(&rest, "--requests", defaults.1),
+        parse_flag_value(&rest, "--out", "BENCH_serve.json".to_string()),
+    );
+    let (connections, requests, out) = match opts {
+        (Ok(c), Ok(r), Ok(o)) => (c, r, o),
+        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+            eprintln!("nanopowerd load: {e}");
+            return 2;
+        }
+    };
+    match run_load(&endpoint, connections.max(1), requests.max(1), csv, quick) {
+        Ok(report) => {
+            println!("{}", report.summary());
+            if let Err(e) = std::fs::write(&out, report.to_json()) {
+                eprintln!("nanopowerd load: cannot write {out}: {e}");
+                return 1;
+            }
+            println!("wrote {out}");
+            if report.errors > 0 {
+                1
+            } else {
+                0
+            }
+        }
+        Err(e) => {
+            eprintln!("nanopowerd load: {e}");
+            1
+        }
+    }
+}
+
+/// Per-request latency/error tallies shared by the load threads.
+#[derive(Default)]
+struct LoadTally {
+    latencies_ms: Vec<f64>,
+    errors: u64,
+    busy_retries: u64,
+}
+
+fn run_load(
+    endpoint: &Endpoint,
+    connections: usize,
+    requests_per_conn: u64,
+    csv: bool,
+    quick: bool,
+) -> Result<ServeReport, String> {
+    // A small rotation of cheap artifacts: repeats within and across
+    // connections are what make the daemon's memo observable.
+    let names: Vec<String> = registry::names()
+        .into_iter()
+        .take(6)
+        .map(str::to_owned)
+        .collect();
+    if names.is_empty() {
+        return Err("artifact registry is empty".into());
+    }
+    let tally = Arc::new(Mutex::new(LoadTally::default()));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for conn in 0..connections {
+            let names = &names;
+            let tally = Arc::clone(&tally);
+            let endpoint = endpoint.clone();
+            scope.spawn(move || {
+                let outcome = drive_connection(&endpoint, conn, requests_per_conn, names, csv);
+                let mut tally = tally.lock().unwrap_or_else(PoisonError::into_inner);
+                match outcome {
+                    Ok(conn_tally) => {
+                        tally.latencies_ms.extend(conn_tally.latencies_ms);
+                        tally.errors += conn_tally.errors;
+                        tally.busy_retries += conn_tally.busy_retries;
+                    }
+                    Err(e) => {
+                        eprintln!("connection {conn}: {e}");
+                        tally.errors += requests_per_conn;
+                    }
+                }
+            });
+        }
+    });
+    let total_wall = start.elapsed();
+    // One more connection to collect the daemon's own counters.
+    let memo_hits = match Client::connect(endpoint) {
+        Ok((mut client, _)) => {
+            client.send(&Request::Stats)?;
+            match client.read_response()? {
+                Response::Stats(stats) => stats.memo_hits,
+                other => return Err(format!("expected stats, got {other:?}")),
+            }
+        }
+        Err(e) => return Err(e),
+    };
+    let tally = tally.lock().unwrap_or_else(PoisonError::into_inner);
+    Ok(ServeReport {
+        connections,
+        requests: connections as u64 * requests_per_conn,
+        completed: tally.latencies_ms.len() as u64,
+        errors: tally.errors,
+        busy_retries: tally.busy_retries,
+        memo_hits,
+        quick,
+        total_wall,
+        latencies_ms: tally.latencies_ms.clone(),
+    })
+}
+
+fn drive_connection(
+    endpoint: &Endpoint,
+    conn: usize,
+    requests: u64,
+    names: &[String],
+    csv: bool,
+) -> Result<LoadTally, String> {
+    let (mut client, _hello) = Client::connect(endpoint)?;
+    let mut tally = LoadTally::default();
+    for i in 0..requests {
+        // Rotate through the name set so every name repeats early.
+        let name = &names[(conn + i as usize) % names.len()];
+        let request = RunRequest {
+            names: vec![name.clone()],
+            csv,
+            deadline_ms: Some(60_000),
+        };
+        let started = Instant::now();
+        loop {
+            match client.run(&request)? {
+                RunOutcome::Report(report) => {
+                    tally
+                        .latencies_ms
+                        .push(started.elapsed().as_secs_f64() * 1e3);
+                    if report.failures > 0 || report.cancelled > 0 {
+                        tally.errors += 1;
+                    }
+                    break;
+                }
+                RunOutcome::Busy => {
+                    tally.busy_retries += 1;
+                    if tally.busy_retries > 10_000 {
+                        return Err("daemon stayed busy past the retry budget".into());
+                    }
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+// ---------------------------------------------------------------------
+// stats / shutdown
+// ---------------------------------------------------------------------
+
+fn cmd_oneshot(args: &[String], request: Request) -> i32 {
+    let (endpoint, _rest) = match parse_endpoint(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("nanopowerd: {e}");
+            return 2;
+        }
+    };
+    let result = Client::connect(&endpoint).and_then(|(mut client, _)| {
+        client.send(&request)?;
+        client.read_response()
+    });
+    match result {
+        Ok(response) => {
+            println!("{}", response.to_json());
+            0
+        }
+        Err(e) => {
+            eprintln!("nanopowerd: {e}");
+            1
+        }
+    }
+}

@@ -69,7 +69,7 @@
 //! section, and `--trace-out FILE` writes the full span timeline as
 //! Chrome `trace_event` JSON for `chrome://tracing` / Perfetto.
 
-use nanopower::engine::{self, CancelToken, Job, RunHooks, RunPolicy, RunReport};
+use nanopower::engine::{self, CancelToken, Job, RunHooks, RunPolicy, RunReport, Session};
 use nanopower::journal::{self, Journal, JournalConfig, JournalEntry};
 use nanopower::{telemetry, Error};
 use np_bench::golden::GoldenStore;
@@ -523,7 +523,11 @@ fn run_artifacts(opts: &Options) -> Result<ExitCode, Error> {
     let collector = telemetry::Collector::new();
     let report = {
         let _guard = telemetry::install(&collector);
-        let report = engine::run_with_hooks(jobs, opts.jobs, policy, hooks);
+        let report = Session::new(jobs)
+            .workers(opts.jobs)
+            .policy(policy)
+            .hooks(hooks)
+            .run();
         let mut report = merge_replayed(report, &names, &completed);
         np_telemetry::counter("journal.replayed", report.replayed as u64);
         if opts.check {

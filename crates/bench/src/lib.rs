@@ -23,6 +23,7 @@ pub mod figures;
 pub mod golden;
 pub mod perf;
 pub mod registry;
+pub mod serve;
 pub mod tables;
 
 /// Wire-load model shared by the Fig. 1 and Fig. 4 scenarios: the

@@ -3,7 +3,7 @@
 //! parallel determinism, uniform CSV reporting, and
 //! continue-past-failure semantics.
 
-use nanopower::engine;
+use nanopower::engine::{self, Session};
 use np_bench::registry::{self, REGISTRY};
 use std::process::Command;
 
@@ -43,8 +43,8 @@ fn every_registry_entry_runs_successfully() {
 #[test]
 fn parallel_engine_output_is_byte_identical_to_serial() {
     let jobs = || REGISTRY.iter().map(|a| a.job(false)).collect::<Vec<_>>();
-    let serial = engine::run(jobs(), 1);
-    let parallel = engine::run(jobs(), 4);
+    let serial = Session::new(jobs()).workers(1).run();
+    let parallel = Session::new(jobs()).workers(4).run();
     assert!(serial.all_ok() && parallel.all_ok());
     assert_eq!(parallel.workers, 4);
     let render = |report: &engine::RunReport| -> String {

@@ -1,0 +1,358 @@
+//! Integration tests for the `nanopowerd` daemon: spawn the real
+//! binary on a temp unix socket and talk `nanopowerd/v1` to it.
+//!
+//! Unix-only: the tests drive the `--socket` transport. The protocol
+//! logic itself is transport-agnostic and unit-tested in
+//! `nanopower::proto`.
+#![cfg(unix)]
+
+use nanopower::proto::{Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A running daemon on a temp socket, killed (and its socket removed)
+/// on drop.
+struct Daemon {
+    child: Child,
+    socket: PathBuf,
+}
+
+impl Daemon {
+    /// Spawns `nanopowerd serve --socket <tmp>` with extra flags and
+    /// waits until the socket accepts connections.
+    fn spawn(tag: &str, extra: &[&str]) -> Daemon {
+        let socket =
+            std::env::temp_dir().join(format!("nanopowerd-{tag}-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_nanopowerd"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nanopowerd");
+        let daemon = Daemon { child, socket };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while UnixStream::connect(&daemon.socket).is_err() {
+            assert!(
+                Instant::now() < deadline,
+                "daemon never opened {}",
+                daemon.socket.display()
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon
+    }
+
+    fn connect(&self) -> Conn {
+        Conn::open(&self.socket)
+    }
+
+    /// Sends `shutdown` and waits for the process to exit cleanly.
+    fn shutdown(mut self) {
+        let mut conn = self.connect();
+        conn.send(&Request::Shutdown);
+        assert_eq!(conn.read(), Response::Shutdown);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match self.child.try_wait().expect("wait on daemon") {
+                Some(status) => {
+                    assert!(status.success(), "daemon exit: {status}");
+                    break;
+                }
+                None if Instant::now() < deadline => std::thread::sleep(Duration::from_millis(20)),
+                None => panic!("daemon ignored shutdown"),
+            }
+        }
+        let _ = std::fs::remove_file(&self.socket);
+        // Drop must not re-kill the reaped child.
+        self.child = Command::new("true").spawn().expect("spawn true");
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.socket);
+    }
+}
+
+/// One protocol connection with the hello already consumed.
+struct Conn {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    hello: Hello,
+}
+
+impl Conn {
+    fn open(socket: &PathBuf) -> Conn {
+        let writer = UnixStream::connect(socket).expect("connect");
+        let reader = BufReader::new(writer.try_clone().expect("clone socket"));
+        let mut conn = Conn {
+            reader,
+            writer,
+            hello: Hello { artifacts: 0 },
+        };
+        match conn.read() {
+            Response::Hello(hello) => conn.hello = hello,
+            other => panic!("expected hello, got {other:?}"),
+        }
+        conn
+    }
+
+    fn send(&mut self, request: &Request) {
+        self.writer
+            .write_all(request.to_json().as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("send request");
+    }
+
+    fn send_raw(&mut self, line: &str) {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .expect("send raw line");
+    }
+
+    fn read(&mut self) -> Response {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "connection closed unexpectedly");
+        Response::parse(line.trim_end()).expect("parse response")
+    }
+
+    /// Runs a request to its terminal report, collecting the streamed
+    /// records. Panics on `busy`.
+    fn run(&mut self, request: RunRequest) -> (ReportMsg, Vec<RecordMsg>) {
+        self.send(&Request::Run(request));
+        let mut records = Vec::new();
+        loop {
+            match self.read() {
+                Response::Record(record) => records.push(record),
+                Response::Report(report) => return (report, records),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    fn stats(&mut self) -> StatsMsg {
+        self.send(&Request::Stats);
+        match self.read() {
+            Response::Stats(stats) => stats,
+            other => panic!("expected stats, got {other:?}"),
+        }
+    }
+}
+
+fn run_names(names: &[&str]) -> RunRequest {
+    RunRequest {
+        names: names.iter().map(|n| n.to_string()).collect(),
+        csv: false,
+        deadline_ms: Some(60_000),
+    }
+}
+
+#[test]
+fn serves_artifacts_and_memoizes_repeats() {
+    let daemon = Daemon::spawn("memo", &["--workers", "2"]);
+    let mut conn = daemon.connect();
+    assert!(conn.hello.artifacts > 0, "registry is populated");
+
+    let (report, records) = conn.run(run_names(&["fig5", "table2"]));
+    assert_eq!(report.ok, 2, "fresh run succeeds: {report:?}");
+    assert_eq!(report.memo_hits, 0);
+    assert!(records.iter().all(|r| !r.memo && r.status == "ok"));
+    let fresh_digests: Vec<_> = records.iter().map(|r| r.digest.clone()).collect();
+
+    // The repeat is served from the memo — same digests, no execution.
+    let (report, records) = conn.run(run_names(&["fig5", "table2"]));
+    assert_eq!(report.ok, 2);
+    assert_eq!(report.memo_hits, 2, "repeat hits the memo: {report:?}");
+    assert!(records.iter().all(|r| r.memo && r.status == "ok"));
+    let memo_digests: Vec<_> = records.iter().map(|r| r.digest.clone()).collect();
+    assert_eq!(fresh_digests, memo_digests, "memo preserves digests");
+
+    // Unknown artifacts surface as typed error records, not hangups.
+    let (report, records) = conn.run(run_names(&["no-such-artifact"]));
+    assert_eq!(report.failures, 1);
+    assert_eq!(records[0].status, "error");
+    assert!(
+        records[0]
+            .error
+            .as_deref()
+            .unwrap_or("")
+            .contains("no-such-artifact"),
+        "{records:?}"
+    );
+
+    let stats = conn.stats();
+    assert_eq!(stats.memo_hits, 2);
+    assert_eq!(stats.served, 3);
+    assert_eq!(stats.memo_entries, 2);
+    daemon.shutdown();
+}
+
+#[test]
+fn concurrent_clients_all_complete() {
+    let daemon = Daemon::spawn("conc", &["--max-inflight", "2", "--queue-depth", "16"]);
+    let names = ["fig1", "fig2", "fig3", "fig4", "fig5", "table1"];
+    std::thread::scope(|scope| {
+        for t in 0..4 {
+            let daemon = &daemon;
+            let names = &names;
+            scope.spawn(move || {
+                let mut conn = daemon.connect();
+                for i in 0..6 {
+                    let name = names[(t + i) % names.len()];
+                    let (report, _) = conn.run(run_names(&[name]));
+                    assert_eq!(report.ok, 1, "client {t} req {i}: {report:?}");
+                }
+            });
+        }
+    });
+    let mut conn = daemon.connect();
+    let stats = conn.stats();
+    assert_eq!(stats.served, 24, "{stats:?}");
+    assert!(
+        stats.memo_hits > 0,
+        "rotating names must repeat into the memo: {stats:?}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn deadline_expiry_cancels_with_typed_records() {
+    // The hold keeps the admission slot busy well past the 20 ms
+    // deadline, so the engine starts with an already-cancelled token:
+    // every job becomes a `cancelled` placeholder, deterministically.
+    let daemon = Daemon::spawn("deadline", &["--hold-ms", "300"]);
+    let mut conn = daemon.connect();
+    let (report, records) = conn.run(RunRequest {
+        names: vec!["fig5".into(), "table2".into()],
+        csv: false,
+        deadline_ms: Some(20),
+    });
+    assert!(report.interrupted, "{report:?}");
+    assert_eq!(report.cancelled, 2, "{report:?}");
+    assert_eq!(report.ok, 0);
+    assert!(
+        records.iter().all(|r| r.status == "cancelled"),
+        "{records:?}"
+    );
+
+    // The same connection and daemon stay healthy for a fresh run.
+    let (report, _) = conn.run(run_names(&["fig5"]));
+    assert_eq!(report.ok, 1, "{report:?}");
+    assert!(!report.interrupted);
+    let stats = conn.stats();
+    assert_eq!(stats.cancelled, 1, "{stats:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn saturated_gate_answers_busy_then_recovers() {
+    // One slot, no queue, and each admitted request holds its slot for
+    // 800 ms: a second concurrent request must see `busy`.
+    let daemon = Daemon::spawn(
+        "busy",
+        &[
+            "--max-inflight",
+            "1",
+            "--queue-depth",
+            "0",
+            "--hold-ms",
+            "800",
+        ],
+    );
+    let slow = {
+        let mut conn = daemon.connect();
+        std::thread::spawn(move || {
+            let (report, _) = conn.run(run_names(&["fig5"]));
+            assert_eq!(report.ok, 1, "{report:?}");
+        })
+    };
+    // Wait until the daemon has actually admitted the slow request
+    // (stats bypass the gate), then collide with its held slot.
+    let mut conn = daemon.connect();
+    let admitted_by = Instant::now() + Duration::from_secs(10);
+    while conn.stats().accepted == 0 {
+        assert!(Instant::now() < admitted_by, "slow request never admitted");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    conn.send(&Request::Run(run_names(&["table2"])));
+    match conn.read() {
+        Response::Busy { inflight, capacity } => {
+            assert_eq!((inflight, capacity), (1, 1));
+        }
+        other => panic!("expected busy, got {other:?}"),
+    }
+    slow.join().expect("slow request completes");
+
+    // Once the slot drains, the same connection succeeds.
+    let (report, _) = conn.run(run_names(&["table2"]));
+    assert_eq!(report.ok, 1, "{report:?}");
+    let stats = conn.stats();
+    assert_eq!(stats.rejected, 1, "{stats:?}");
+    assert_eq!(stats.served, 2, "{stats:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_lines_get_typed_errors_and_the_connection_survives() {
+    let daemon = Daemon::spawn("proto", &[]);
+    let mut conn = daemon.connect();
+    for (raw, needle) in [
+        ("{\"runn\": {}}", "unknown request `runn`"),
+        ("not json at all", "unknown literal"),
+        ("{\"run\": {\"names\": [1]}}", "array of strings"),
+    ] {
+        conn.send_raw(raw);
+        match conn.read() {
+            Response::Protocol { reason } => {
+                assert!(reason.contains(needle), "`{raw}` -> {reason}");
+            }
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+    }
+    // Still serving after three malformed lines.
+    let (report, _) = conn.run(run_names(&["fig5"]));
+    assert_eq!(report.ok, 1);
+    let stats = conn.stats();
+    assert_eq!(stats.protocol_errors, 3, "{stats:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn load_client_writes_bench_report() {
+    let daemon = Daemon::spawn("load", &["--workers", "2"]);
+    let out = std::env::temp_dir().join(format!("nanopowerd-load-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&out);
+    let status = Command::new(env!("CARGO_BIN_EXE_nanopowerd"))
+        .arg("load")
+        .arg("--socket")
+        .arg(&daemon.socket)
+        .arg("--quick")
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("run load client");
+    assert!(status.success(), "load client: {status}");
+    let json = std::fs::read_to_string(&out).expect("read BENCH_serve.json");
+    assert!(
+        json.contains("\"schema\": \"nanopower-bench/v1\""),
+        "{json}"
+    );
+    assert!(json.contains("\"serve\": {"), "{json}");
+    assert!(json.contains("\"name\": \"serve.p99\""), "{json}");
+    let _ = std::fs::remove_file(&out);
+    let mut conn = daemon.connect();
+    let stats = conn.stats();
+    assert!(stats.memo_hits > 0, "rotation repeats names: {stats:?}");
+    daemon.shutdown();
+}

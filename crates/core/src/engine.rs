@@ -27,13 +27,28 @@
 //!    fired, and an FNV-1a digest of its output; [`RunReport::to_json`]
 //!    emits the whole run as a machine-readable report for tracking
 //!    performance trajectory across commits.
-//! 5. **Graceful interruption.** [`run_with_hooks`] accepts a
+//! 5. **Graceful interruption.** A [`Session`] accepts a
 //!    [`CancelToken`] and an `on_record` observer: cancellation drains
 //!    in-flight jobs instead of tearing them down mid-solve, marks
 //!    never-started jobs [`Error::Cancelled`], and flags the report
 //!    [`RunReport::interrupted`]; the observer fires as each record
-//!    becomes final, which is what the crash-safe run journal
-//!    ([`crate::journal`]) appends from.
+//!    becomes final — including the `Cancelled` placeholder records of
+//!    jobs a cancelled run never started — which is what the crash-safe
+//!    run journal ([`crate::journal`]) and the `nanopowerd` service
+//!    response stream both append from.
+//!
+//! The single entry point is the [`Session`] builder:
+//!
+//! ```
+//! use nanopower::engine::{Job, Session};
+//!
+//! let jobs = vec![Job::new("greet", || Ok("hello\n".into()))];
+//! let report = Session::new(jobs).workers(2).run();
+//! assert!(report.all_ok());
+//! ```
+//!
+//! The former free functions `run` / `run_with_policy` /
+//! `run_with_hooks` survive as deprecated wrappers for one release.
 //!
 //! Retries are opt-in per job: only jobs flagged
 //! [`Job::transient`] are re-attempted (with doubling backoff), because a
@@ -61,7 +76,7 @@ use std::time::{Duration, Instant};
 /// and their backoff sleeps instead of prolonging the drain.
 ///
 /// Clones share the same flag, so the caller can hand one clone to a
-/// signal handler thread and another to [`run_with_hooks`].
+/// signal handler thread and another to [`Session::cancel`].
 ///
 /// # Examples
 ///
@@ -99,8 +114,10 @@ impl CancelToken {
 /// moment a job's record becomes final.
 pub type RecordObserver = Arc<dyn Fn(usize, &JobRecord) + Send + Sync>;
 
-/// Optional per-run hooks for [`run_with_hooks`]: a cancellation token
-/// and a completion observer.
+/// Optional per-run hooks for a [`Session`]: a cancellation token and a
+/// completion observer. Usually set through the [`Session::cancel`] and
+/// [`Session::on_record`] conveniences; pass a whole `RunHooks` via
+/// [`Session::hooks`] when both come from one place.
 ///
 /// The observer (`on_record`) fires on the worker thread as soon as a
 /// job's record is final — success or failure — *before* the run
@@ -184,7 +201,7 @@ impl std::fmt::Debug for Job {
 /// # Examples
 ///
 /// ```
-/// use nanopower::engine::{self, Job, RunPolicy};
+/// use nanopower::engine::{Job, RunPolicy, Session};
 /// use std::time::Duration;
 ///
 /// let policy = RunPolicy {
@@ -193,7 +210,7 @@ impl std::fmt::Debug for Job {
 ///     ..RunPolicy::default()
 /// };
 /// let jobs = vec![Job::new("quick", || Ok("done\n".into()))];
-/// let report = engine::run_with_policy(jobs, 1, policy);
+/// let report = Session::new(jobs).workers(1).policy(policy).run();
 /// assert!(report.all_ok());
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -397,54 +414,177 @@ impl RunReport {
     }
 }
 
+/// One configured engine run: the builder consolidating the former
+/// `run` / `run_with_policy` / `run_with_hooks` free functions behind a
+/// single entry point that `repro`, the `nanopowerd` service, and the
+/// tests all share.
+///
+/// Defaults: all available cores, [`RunPolicy::default`] (no deadline,
+/// no retries), no hooks. Every knob is optional:
+///
+/// ```
+/// use nanopower::engine::{CancelToken, Job, RunPolicy, Session};
+/// use std::time::Duration;
+///
+/// let jobs = vec![
+///     Job::new("first", || Ok("one\n".into())),
+///     Job::new("second", || Ok("two\n".into())),
+/// ];
+/// let token = CancelToken::new();
+/// let report = Session::new(jobs)
+///     .workers(2)
+///     .policy(RunPolicy {
+///         deadline: Some(Duration::from_secs(30)),
+///         ..RunPolicy::default()
+///     })
+///     .cancel(token)
+///     .on_record(|index, record| {
+///         // Fires on the worker thread as each record becomes final.
+///         assert!(index < 2 && record.is_ok());
+///     })
+///     .run();
+/// assert!(report.all_ok());
+/// assert_eq!(report.records.len(), 2);
+/// ```
+///
+/// The determinism contract of the module holds regardless of the
+/// configuration: [`RunReport::records`] is byte-identical across worker
+/// counts; only telemetry varies.
+#[derive(Debug)]
+pub struct Session {
+    jobs: Vec<Job>,
+    workers: usize,
+    policy: RunPolicy,
+    hooks: RunHooks,
+}
+
+impl Session {
+    /// A session over `jobs` with default workers (all available cores),
+    /// policy, and hooks.
+    pub fn new(jobs: Vec<Job>) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Session {
+            jobs,
+            workers: cores,
+            policy: RunPolicy::default(),
+            hooks: RunHooks::default(),
+        }
+    }
+
+    /// Sets the worker-thread count. Clamped to `1..=jobs.len()` when the
+    /// run starts (an empty job list spawns nothing).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the failure-handling [`RunPolicy`] (per-attempt deadline,
+    /// transient-job retries, backoff).
+    #[must_use]
+    pub fn policy(mut self, policy: RunPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces both hooks at once. Prefer [`Session::cancel`] and
+    /// [`Session::on_record`] unless a prebuilt [`RunHooks`] is in hand.
+    #[must_use]
+    pub fn hooks(mut self, hooks: RunHooks) -> Self {
+        self.hooks = hooks;
+        self
+    }
+
+    /// Installs a cooperative [`CancelToken`]: cancelling it makes
+    /// workers stop claiming jobs, drain what is in flight, and record
+    /// the never-started jobs as [`Error::Cancelled`].
+    #[must_use]
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.hooks.cancel = Some(token);
+        self
+    }
+
+    /// Installs a completion observer, called with
+    /// `(submission_index, record)` the moment each job's record becomes
+    /// final — including the `Cancelled` placeholder records a cancelled
+    /// run synthesizes for jobs that never started, so journals and
+    /// service response streams cover every submitted job.
+    #[must_use]
+    pub fn on_record(
+        mut self,
+        observer: impl Fn(usize, &JobRecord) + Send + Sync + 'static,
+    ) -> Self {
+        self.hooks.on_record = Some(Arc::new(observer));
+        self
+    }
+
+    /// Executes the session and collects the [`RunReport`].
+    ///
+    /// - **Deadline.** Each attempt runs on a watchdog: if it exceeds
+    ///   `policy.deadline`, the job is recorded as
+    ///   [`Error::DeadlineExceeded`] with `timed_out` set, and the worker
+    ///   claims the next job. The expired attempt keeps running on a
+    ///   detached thread until it finishes on its own; its result is
+    ///   discarded. Deadline expiry is terminal — it is never retried.
+    /// - **Retry.** Jobs flagged [`Job::transient`] get up to
+    ///   `policy.retries` extra attempts after an error or panic,
+    ///   sleeping `policy.backoff` (doubling each retry) in between.
+    /// - **Cancellation.** When the cancel token fires, workers stop
+    ///   claiming jobs and drain whatever is in flight; unclaimed jobs
+    ///   get [`Error::Cancelled`] records (observed like any other) and
+    ///   the report is marked [`RunReport::interrupted`]. A cancelled
+    ///   run also skips pending retries and their backoff sleeps.
+    pub fn run(self) -> RunReport {
+        let Session {
+            jobs,
+            workers,
+            policy,
+            hooks,
+        } = self;
+        run_session(jobs, workers, policy, hooks)
+    }
+}
+
 /// Runs `jobs` across `workers` threads with the default (no-deadline,
 /// no-retry) policy and collects the report.
-///
-/// `workers` is clamped to `1..=jobs.len()` (an empty job list returns an
-/// empty report without spawning). With `workers == 1` the jobs run
-/// strictly in submission order on one spawned worker — the serial
-/// reference that parallel runs are byte-identical to.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::new(jobs).workers(n).run()` instead"
+)]
 pub fn run(jobs: Vec<Job>, workers: usize) -> RunReport {
-    run_with_policy(jobs, workers, RunPolicy::default())
+    Session::new(jobs).workers(workers).run()
 }
 
 /// Runs `jobs` across `workers` threads under `policy`.
-///
-/// See [`run`] for the clamping and determinism contract. The policy adds
-/// two behaviors on top:
-///
-/// - **Deadline.** Each attempt runs on a watchdog: if it exceeds
-///   `policy.deadline`, the job is recorded as
-///   [`Error::DeadlineExceeded`] with `timed_out` set, and the worker
-///   claims the next job. The expired attempt keeps running on a
-///   detached thread until it finishes on its own; its result is
-///   discarded. Deadline expiry is terminal — it is never retried.
-/// - **Retry.** Jobs flagged [`Job::transient`] get up to
-///   `policy.retries` extra attempts after an error or panic, sleeping
-///   `policy.backoff` (doubling each retry) in between.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::new(jobs).workers(n).policy(p).run()` instead"
+)]
 pub fn run_with_policy(jobs: Vec<Job>, workers: usize, policy: RunPolicy) -> RunReport {
-    run_with_hooks(jobs, workers, policy, RunHooks::default())
+    Session::new(jobs).workers(workers).policy(policy).run()
 }
 
 /// Runs `jobs` across `workers` threads under `policy`, with [`RunHooks`]
 /// for graceful cancellation and per-record observation.
-///
-/// See [`run_with_policy`] for the policy semantics. The hooks add:
-///
-/// - **Cancellation.** When `hooks.cancel` is cancelled, workers stop
-///   claiming jobs and drain whatever is in flight; unclaimed jobs get
-///   [`Error::Cancelled`] records and the report is marked
-///   [`RunReport::interrupted`]. A cancelled run also skips any pending
-///   retries and their backoff sleeps.
-/// - **Observation.** `hooks.on_record` fires on the worker thread the
-///   moment each job's record is final — the hook the crash-safe
-///   journal appends from.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Session::new(jobs).workers(n).policy(p).hooks(h).run()` instead"
+)]
 pub fn run_with_hooks(
     jobs: Vec<Job>,
     workers: usize,
     policy: RunPolicy,
     hooks: RunHooks,
 ) -> RunReport {
+    Session::new(jobs)
+        .workers(workers)
+        .policy(policy)
+        .hooks(hooks)
+        .run()
+}
+
+/// The engine proper — the body behind [`Session::run`].
+fn run_session(jobs: Vec<Job>, workers: usize, policy: RunPolicy, hooks: RunHooks) -> RunReport {
     let total = jobs.len();
     let start = Instant::now();
     // Telemetry propagates from the calling thread onto every worker:
@@ -524,7 +664,11 @@ pub fn run_with_hooks(
 
     // Jobs never claimed by a worker (cancellation) are still sitting in
     // their queue slots: drain them into Cancelled placeholder records so
-    // the report covers every submitted job by name.
+    // the report covers every submitted job by name. The placeholders go
+    // through `on_record` like any executed job, so journals and service
+    // response streams see every submitted job without synthesizing
+    // their own — the counters stay consistent even when a run is
+    // cancelled before its first job starts.
     let mut leftover = queue.into_inner().unwrap_or_else(PoisonError::into_inner).1;
     let mut cancelled_jobs = 0u64;
     let records: Vec<JobRecord> = records
@@ -536,14 +680,18 @@ pub fn run_with_hooks(
             r.unwrap_or_else(|| match leftover[i].take() {
                 Some(job) => {
                     cancelled_jobs += 1;
-                    JobRecord {
+                    let record = JobRecord {
                         name: job.name,
                         outcome: Err(Error::Cancelled),
                         duration: Duration::ZERO,
                         worker: 0,
                         attempts: 0,
                         timed_out: false,
+                    };
+                    if let Some(on_record) = &hooks.on_record {
+                        on_record(i, &record);
                     }
+                    record
                 }
                 // Every claimed index stores a record before its worker
                 // exits; a hole here means a worker died outside
@@ -740,8 +888,8 @@ mod tests {
 
     #[test]
     fn parallel_order_matches_serial() {
-        let serial = run(fixed_jobs(12), 1);
-        let parallel = run(fixed_jobs(12), 4);
+        let serial = Session::new(fixed_jobs(12)).workers(1).run();
+        let parallel = Session::new(fixed_jobs(12)).workers(4).run();
         let texts = |r: &RunReport| -> Vec<String> {
             r.records
                 .iter()
@@ -761,7 +909,7 @@ mod tests {
             Job::new("panicky", || panic!("boom")),
             Job::new("after", || Ok("still ran\n".into())),
         ];
-        let report = run(jobs, 2);
+        let report = Session::new(jobs).workers(2).run();
         assert_eq!(report.records.len(), 4);
         assert!(!report.all_ok());
         assert_eq!(report.failures().len(), 2);
@@ -776,16 +924,16 @@ mod tests {
 
     #[test]
     fn worker_attribution_and_clamping() {
-        let report = run(fixed_jobs(3), 64);
+        let report = Session::new(fixed_jobs(3)).workers(64).run();
         assert_eq!(report.workers, 3, "workers clamp to job count");
         assert!(report.records.iter().all(|r| r.worker < 3));
-        let report = run(fixed_jobs(3), 0);
+        let report = Session::new(fixed_jobs(3)).workers(0).run();
         assert_eq!(report.workers, 1, "zero workers clamp to one");
     }
 
     #[test]
     fn empty_run_is_empty() {
-        let report = run(Vec::new(), 8);
+        let report = Session::new(Vec::new()).workers(8).run();
         assert!(report.records.is_empty());
         assert_eq!(report.workers, 0);
         assert!(report.all_ok());
@@ -794,8 +942,8 @@ mod tests {
 
     #[test]
     fn digests_fingerprint_output() {
-        let a = run(fixed_jobs(2), 1);
-        let b = run(fixed_jobs(2), 2);
+        let a = Session::new(fixed_jobs(2)).workers(1).run();
+        let b = Session::new(fixed_jobs(2)).workers(2).run();
         assert_eq!(a.records[0].digest(), b.records[0].digest());
         assert_ne!(a.records[0].digest(), a.records[1].digest());
         assert!(a.records[0].digest().unwrap().starts_with("fnv1a:"));
@@ -807,7 +955,7 @@ mod tests {
             Job::new("ok\"quote", || Ok("text".into())),
             Job::new("bad", || Err(Error::InvalidParameter("x\ny".into()))),
         ];
-        let json = run(jobs, 2).to_json();
+        let json = Session::new(jobs).workers(2).run().to_json();
         assert!(json.contains("\"schema\": \"nanopower-run-report/v1\""));
         assert!(json.contains("\"artifact\": \"ok\\\"quote\""), "{json}");
         assert!(json.contains("\"status\": \"ok\""));
@@ -834,7 +982,7 @@ mod tests {
             ..RunPolicy::default()
         };
         let start = Instant::now();
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         assert!(
             start.elapsed() < Duration::from_secs(10),
             "queue must not wait for the hung job"
@@ -863,7 +1011,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             ..RunPolicy::default()
         };
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         let r = &report.records[0];
         assert!(r.is_ok(), "{:?}", r.outcome);
         assert_eq!(r.attempts, 3, "two failures then success");
@@ -883,7 +1031,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             ..RunPolicy::default()
         };
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         assert_eq!(CALLS.load(Ordering::SeqCst), 1);
         assert_eq!(report.records[0].attempts, 1);
     }
@@ -902,7 +1050,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             ..RunPolicy::default()
         };
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         assert_eq!(CALLS.load(Ordering::SeqCst), 3, "1 attempt + 2 retries");
         let r = &report.records[0];
         assert_eq!(r.attempts, 3);
@@ -925,7 +1073,7 @@ mod tests {
             retries: 5,
             backoff: Duration::from_millis(1),
         };
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         let r = &report.records[0];
         assert_eq!(r.attempts, 1, "no retry after a deadline expiry");
         assert!(r.timed_out);
@@ -948,7 +1096,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             ..RunPolicy::default()
         };
-        let report = run_with_policy(jobs, 1, policy);
+        let report = Session::new(jobs).workers(1).policy(policy).run();
         let r = &report.records[0];
         assert!(r.is_ok(), "{:?}", r.outcome);
         assert_eq!(r.attempts, 2);
@@ -979,8 +1127,8 @@ mod tests {
             retries: 2,
             backoff: Duration::from_millis(1),
         };
-        let a = run_with_policy(mk(), 1, policy);
-        let b = run_with_policy(mk(), 4, policy);
+        let a = Session::new(mk()).workers(1).policy(policy).run();
+        let b = Session::new(mk()).workers(4).policy(policy).run();
         let texts = |r: &RunReport| -> Vec<_> {
             r.records
                 .iter()
@@ -1005,7 +1153,7 @@ mod tests {
                 })
             })
             .collect();
-        let report = run(jobs, 2);
+        let report = Session::new(jobs).workers(2).run();
         assert!(report.all_ok());
         // The budget is process-global, so concurrent engine runs from
         // other tests may briefly adjust it; assert the invariant (a
@@ -1023,7 +1171,7 @@ mod tests {
 
     #[test]
     fn telemetry_absent_without_collector() {
-        let report = run(fixed_jobs(2), 2);
+        let report = Session::new(fixed_jobs(2)).workers(2).run();
         assert!(report.telemetry.is_none());
         assert!(!report.to_json().contains("\"telemetry\""));
     }
@@ -1033,7 +1181,7 @@ mod tests {
         let c = np_telemetry::Collector::new();
         let report = {
             let _g = np_telemetry::install(&c);
-            run(fixed_jobs(6), 3)
+            Session::new(fixed_jobs(6)).workers(3).run()
         };
         let summary = report.telemetry.as_ref().expect("collector was installed");
         let counter = |name: &str| {
@@ -1090,7 +1238,7 @@ mod tests {
         let c = np_telemetry::Collector::new();
         let report = {
             let _g = np_telemetry::install(&c);
-            run_with_policy(jobs, 2, policy)
+            Session::new(jobs).workers(2).policy(policy).run()
         };
         let summary = report.telemetry.expect("collector was installed");
         let counter = |name: &str| {
@@ -1123,7 +1271,11 @@ mod tests {
             cancel: Some(token),
             ..RunHooks::default()
         };
-        let report = run_with_hooks(jobs, 1, RunPolicy::default(), hooks);
+        let report = Session::new(jobs)
+            .workers(1)
+            .policy(RunPolicy::default())
+            .hooks(hooks)
+            .run();
         assert!(report.interrupted);
         assert!(report.records[0].is_ok(), "in-flight job drained");
         for r in &report.records[1..] {
@@ -1142,7 +1294,11 @@ mod tests {
             cancel: Some(CancelToken::new()),
             ..RunHooks::default()
         };
-        let report = run_with_hooks(fixed_jobs(3), 2, RunPolicy::default(), hooks);
+        let report = Session::new(fixed_jobs(3))
+            .workers(2)
+            .policy(RunPolicy::default())
+            .hooks(hooks)
+            .run();
         assert!(!report.interrupted);
         assert!(report.all_ok());
         assert!(report.to_json().contains("\"interrupted\": false"));
@@ -1170,7 +1326,11 @@ mod tests {
             ..RunHooks::default()
         };
         let start = Instant::now();
-        let report = run_with_hooks(jobs, 1, policy, hooks);
+        let report = Session::new(jobs)
+            .workers(1)
+            .policy(policy)
+            .hooks(hooks)
+            .run();
         assert!(start.elapsed() < Duration::from_secs(5), "no backoff sleep");
         assert_eq!(CALLS.load(Ordering::SeqCst), 1, "no retry after cancel");
         assert_eq!(report.records[0].attempts, 1);
@@ -1195,7 +1355,11 @@ mod tests {
         jobs.push(Job::new("bad", || {
             Err(Error::InvalidParameter("broken".into()))
         }));
-        let report = run_with_hooks(jobs, 3, RunPolicy::default(), hooks);
+        let report = Session::new(jobs)
+            .workers(3)
+            .policy(RunPolicy::default())
+            .hooks(hooks)
+            .run();
         assert_eq!(report.records.len(), 6);
         let mut seen = seen.lock().unwrap_or_else(PoisonError::into_inner).clone();
         seen.sort();
@@ -1205,6 +1369,80 @@ mod tests {
             seen.iter().any(|(_, name, ok)| name == "bad" && !ok),
             "failures are observed too"
         );
+    }
+
+    #[test]
+    fn cancelled_placeholders_fire_the_observer() {
+        // A run cancelled before any job starts must still observe every
+        // submitted job — the journal/service counters depend on it.
+        let token = CancelToken::new();
+        token.cancel();
+        let seen: Arc<Mutex<Vec<(usize, String)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        let report = Session::new(fixed_jobs(4))
+            .workers(2)
+            .cancel(token)
+            .on_record(move |index, record: &JobRecord| {
+                assert_eq!(record.status(), "cancelled");
+                sink.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .push((index, record.name.clone()));
+            })
+            .run();
+        assert!(report.interrupted);
+        assert_eq!(report.records.len(), 4);
+        let mut seen = seen.lock().unwrap_or_else(PoisonError::into_inner).clone();
+        seen.sort();
+        assert_eq!(
+            seen.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3],
+            "every never-started job observed exactly once"
+        );
+        for (i, name) in &seen {
+            assert_eq!(name, &format!("job{i}"));
+        }
+    }
+
+    #[test]
+    fn session_defaults_cover_cores_policy_and_hooks() {
+        let session = Session::new(fixed_jobs(2));
+        assert!(session.workers >= 1);
+        assert_eq!(session.policy, RunPolicy::default());
+        assert!(session.hooks.cancel.is_none());
+        assert!(session.hooks.on_record.is_none());
+        assert!(session.run().all_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_run() {
+        // The one-release compatibility shims must behave exactly like
+        // the builder they forward to.
+        let direct = Session::new(fixed_jobs(3)).workers(2).run();
+        let wrapped = run(fixed_jobs(3), 2);
+        let essence = |r: &RunReport| -> Vec<(String, Result<String, Error>)> {
+            r.records
+                .iter()
+                .map(|j| (j.name.clone(), j.outcome.clone()))
+                .collect()
+        };
+        assert_eq!(essence(&direct), essence(&wrapped));
+
+        let policy = RunPolicy {
+            retries: 1,
+            backoff: Duration::from_millis(1),
+            ..RunPolicy::default()
+        };
+        let report = run_with_policy(fixed_jobs(2), 1, policy);
+        assert!(report.all_ok());
+
+        let hooks = RunHooks {
+            cancel: Some(CancelToken::new()),
+            ..RunHooks::default()
+        };
+        let report = run_with_hooks(fixed_jobs(2), 1, RunPolicy::default(), hooks);
+        assert!(report.all_ok());
+        assert!(!report.interrupted);
     }
 
     #[test]
@@ -1223,7 +1461,7 @@ mod tests {
         let c = np_telemetry::Collector::new();
         let report = {
             let _g = np_telemetry::install(&c);
-            run_with_policy(jobs, 1, policy)
+            Session::new(jobs).workers(1).policy(policy).run()
         };
         let summary = report.telemetry.expect("collector was installed");
         assert!(summary.spans.iter().any(|(n, _)| n == "inner.work"));

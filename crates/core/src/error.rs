@@ -70,6 +70,14 @@ pub enum Error {
         /// What went wrong, including the offending path or line.
         reason: String,
     },
+    /// A service request or response line does not follow the
+    /// `nanopowerd/v1` JSON-lines protocol ([`crate::proto`]). The
+    /// daemon answers with a typed protocol-error response instead of
+    /// dropping the connection.
+    Protocol {
+        /// What was malformed about the line.
+        reason: String,
+    },
     /// An artifact's output deviates from its golden reference beyond
     /// the artifact's tolerance policy. Carries per-cell diagnostics so
     /// the drift can be located without re-running anything.
@@ -147,6 +155,7 @@ impl fmt::Display for Error {
             }
             Error::Cancelled => write!(f, "cancelled before the job started"),
             Error::Journal { reason } => write!(f, "journal: {reason}"),
+            Error::Protocol { reason } => write!(f, "protocol: {reason}"),
             Error::Drift {
                 artifact,
                 policy,
@@ -251,6 +260,10 @@ mod tests {
             reason: "corrupt line 3".into(),
         };
         assert!(format!("{e}").contains("corrupt line 3"));
+        let e = Error::Protocol {
+            reason: "unknown request `runn`".into(),
+        };
+        assert!(format!("{e}").contains("unknown request `runn`"));
         let e = Error::Drift {
             artifact: "fig5".into(),
             policy: "relative(1e-9)".into(),

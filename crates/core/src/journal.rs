@@ -33,10 +33,16 @@
 //! with its digest: replaying a journal reproduces the run's stdout
 //! byte-for-byte without re-rendering, and the digest guards against a
 //! corrupted output field masquerading as a completed artifact. Failed
-//! records store only the error message — resume re-runs them.
+//! records — status `error`, `cancelled`, or `drift`, the
+//! [`JobRecord::status`] vocabulary — store only the error message;
+//! resume re-runs them. Cancelled placeholders reach the journal like
+//! any other record because the engine's `on_record` observer fires for
+//! them too, so an interrupted journal accounts for every submitted
+//! job.
 
 use crate::engine::{fnv1a64, JobRecord};
 use crate::error::Error;
+use crate::jsonio::{self, Json};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::Write;
@@ -291,10 +297,10 @@ fn io_err(path: &Path, op: &str, e: &std::io::Error) -> Error {
 }
 
 fn header_line(config: &JournalConfig) -> String {
-    let names: Vec<String> = config.names.iter().map(|n| json_string(n)).collect();
+    let names: Vec<String> = config.names.iter().map(|n| jsonio::escape(n)).collect();
     format!(
         "{{\"schema\":{},\"csv\":{},\"names\":[{}]}}",
-        json_string(SCHEMA),
+        jsonio::escape(SCHEMA),
         config.csv,
         names.join(",")
     )
@@ -302,11 +308,8 @@ fn header_line(config: &JournalConfig) -> String {
 
 fn entry_line(record: &JobRecord) -> String {
     let mut out = String::from("{");
-    out.push_str(&format!("\"artifact\":{}", json_string(&record.name)));
-    out.push_str(&format!(
-        ",\"status\":\"{}\"",
-        if record.is_ok() { "ok" } else { "error" }
-    ));
+    out.push_str(&format!("\"artifact\":{}", jsonio::escape(&record.name)));
+    out.push_str(&format!(",\"status\":\"{}\"", record.status()));
     if let Some(digest) = record.digest() {
         out.push_str(&format!(",\"digest\":\"{digest}\""));
     }
@@ -318,64 +321,85 @@ fn entry_line(record: &JobRecord) -> String {
     out.push_str(&format!(",\"attempts\":{}", record.attempts));
     out.push_str(&format!(",\"timed_out\":{}", record.timed_out));
     match &record.outcome {
-        Ok(text) => out.push_str(&format!(",\"output\":{}", json_string(text))),
-        Err(e) => out.push_str(&format!(",\"error\":{}", json_string(&e.to_string()))),
+        Ok(text) => out.push_str(&format!(",\"output\":{}", jsonio::escape(text))),
+        Err(e) => out.push_str(&format!(",\"error\":{}", jsonio::escape(&e.to_string()))),
     }
     out.push('}');
     out
 }
 
-fn parse_header(line: &str) -> Result<JournalConfig, String> {
-    let fields = parse_object(line)?;
-    match fields.get("schema") {
-        Some(JsonValue::Str(s)) if s == SCHEMA => {}
-        Some(JsonValue::Str(s)) => return Err(format!("unsupported journal schema `{s}`")),
-        _ => return Err("header has no schema field".into()),
+/// Parses the line as an object with [`jsonio`], mapping any shape
+/// failure to the journal's string-reason errors.
+fn parse_fields(line: &str) -> Result<Json, String> {
+    let value = jsonio::parse(line)?;
+    if value.as_obj().is_none() {
+        return Err("line is not a JSON object".into());
     }
-    let csv = match fields.get("csv") {
-        Some(JsonValue::Bool(b)) => *b,
-        _ => return Err("header has no csv field".into()),
-    };
-    let names = match fields.get("names") {
-        Some(JsonValue::Array(items)) => items.clone(),
-        _ => return Err("header has no names field".into()),
-    };
+    Ok(value)
+}
+
+fn parse_header(line: &str) -> Result<JournalConfig, String> {
+    let fields = parse_fields(line)?;
+    match fields.get("schema").and_then(Json::as_str) {
+        Some(s) if s == SCHEMA => {}
+        Some(s) => return Err(format!("unsupported journal schema `{s}`")),
+        None => return Err("header has no schema field".into()),
+    }
+    let csv = fields
+        .get("csv")
+        .and_then(Json::as_bool)
+        .ok_or("header has no csv field")?;
+    let names = fields
+        .get("names")
+        .and_then(Json::as_arr)
+        .ok_or("header has no names field")?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_owned)
+                .ok_or_else(|| "names must be strings".to_string())
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(JournalConfig { csv, names })
 }
 
 fn parse_entry(line: &str) -> Result<JournalEntry, String> {
-    let fields = parse_object(line)?;
+    let fields = parse_fields(line)?;
     let str_field = |key: &str| -> Result<String, String> {
-        match fields.get(key) {
-            Some(JsonValue::Str(s)) => Ok(s.clone()),
-            _ => Err(format!("missing string field `{key}`")),
-        }
+        fields
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("missing string field `{key}`"))
     };
     let num_field = |key: &str| -> Result<f64, String> {
-        match fields.get(key) {
-            Some(JsonValue::Num(n)) => Ok(*n),
-            _ => Err(format!("missing numeric field `{key}`")),
-        }
+        fields
+            .get(key)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field `{key}`"))
     };
     let name = str_field("artifact")?;
     let status = str_field("status")?;
+    // `ok` entries carry their output; every non-ok status (`error`,
+    // `cancelled`, `drift` — the [`JobRecord::status`] vocabulary)
+    // carries the failure message and is re-run on resume.
     let outcome = match status.as_str() {
         "ok" => Ok(str_field("output")?),
-        "error" => Err(str_field("error")?),
+        "error" | "cancelled" | "drift" => Err(str_field("error")?),
         other => return Err(format!("unknown status `{other}`")),
     };
-    let digest = match fields.get("digest") {
-        Some(JsonValue::Str(s)) => Some(s.clone()),
-        _ => None,
-    };
+    let digest = fields
+        .get("digest")
+        .and_then(Json::as_str)
+        .map(str::to_owned);
     let duration_ms = num_field("duration_ms")?;
     if !(duration_ms.is_finite() && duration_ms >= 0.0) {
         return Err("duration_ms must be a non-negative number".into());
     }
-    let timed_out = match fields.get("timed_out") {
-        Some(JsonValue::Bool(b)) => *b,
-        _ => return Err("missing boolean field `timed_out`".into()),
-    };
+    let timed_out = fields
+        .get("timed_out")
+        .and_then(Json::as_bool)
+        .ok_or("missing boolean field `timed_out`")?;
     Ok(JournalEntry {
         name,
         outcome,
@@ -387,175 +411,10 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
     })
 }
 
-/// The journal's value grammar: flat objects of strings, numbers,
-/// booleans, and arrays of strings. That is all the two line shapes use,
-/// so the parser stays a page instead of a full JSON implementation.
-#[derive(Debug, Clone, PartialEq)]
-enum JsonValue {
-    Str(String),
-    Num(f64),
-    Bool(bool),
-    Array(Vec<String>),
-}
-
-/// Parses one flat JSON object into its fields; rejects anything
-/// trailing the closing brace (a torn line fused with the next write
-/// would otherwise parse silently).
-fn parse_object(line: &str) -> Result<HashMap<String, JsonValue>, String> {
-    let mut chars = line.char_indices().peekable();
-    let mut fields = HashMap::new();
-    skip_ws(&mut chars);
-    expect(&mut chars, '{')?;
-    skip_ws(&mut chars);
-    if matches!(chars.peek(), Some((_, '}'))) {
-        chars.next();
-    } else {
-        loop {
-            skip_ws(&mut chars);
-            let key = parse_string(&mut chars)?;
-            skip_ws(&mut chars);
-            expect(&mut chars, ':')?;
-            skip_ws(&mut chars);
-            let value = parse_value(&mut chars)?;
-            fields.insert(key, value);
-            skip_ws(&mut chars);
-            match chars.next() {
-                Some((_, ',')) => continue,
-                Some((_, '}')) => break,
-                _ => return Err("expected `,` or `}` after value".into()),
-            }
-        }
-    }
-    skip_ws(&mut chars);
-    if chars.next().is_some() {
-        return Err("trailing bytes after closing `}`".into());
-    }
-    Ok(fields)
-}
-
-type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
-
-fn skip_ws(chars: &mut Chars<'_>) {
-    while matches!(chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
-        chars.next();
-    }
-}
-
-fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
-    match chars.next() {
-        Some((_, c)) if c == want => Ok(()),
-        other => Err(format!("expected `{want}`, got {other:?}")),
-    }
-}
-
-fn parse_value(chars: &mut Chars<'_>) -> Result<JsonValue, String> {
-    match chars.peek() {
-        Some((_, '"')) => Ok(JsonValue::Str(parse_string(chars)?)),
-        Some((_, '[')) => {
-            chars.next();
-            let mut items = Vec::new();
-            skip_ws(chars);
-            if matches!(chars.peek(), Some((_, ']'))) {
-                chars.next();
-            } else {
-                loop {
-                    skip_ws(chars);
-                    items.push(parse_string(chars)?);
-                    skip_ws(chars);
-                    match chars.next() {
-                        Some((_, ',')) => continue,
-                        Some((_, ']')) => break,
-                        _ => return Err("expected `,` or `]` in array".into()),
-                    }
-                }
-            }
-            Ok(JsonValue::Array(items))
-        }
-        Some((_, 't' | 'f')) => {
-            let word: String = std::iter::from_fn(|| {
-                matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic())
-                    .then(|| chars.next().map(|(_, c)| c))
-                    .flatten()
-            })
-            .collect();
-            match word.as_str() {
-                "true" => Ok(JsonValue::Bool(true)),
-                "false" => Ok(JsonValue::Bool(false)),
-                other => Err(format!("unknown literal `{other}`")),
-            }
-        }
-        Some((_, c)) if *c == '-' || c.is_ascii_digit() => {
-            let token: String = std::iter::from_fn(|| {
-                matches!(
-                    chars.peek(),
-                    Some((_, c)) if c.is_ascii_digit() || "+-.eE".contains(*c)
-                )
-                .then(|| chars.next().map(|(_, c)| c))
-                .flatten()
-            })
-            .collect();
-            token
-                .parse::<f64>()
-                .map(JsonValue::Num)
-                .map_err(|_| format!("bad number `{token}`"))
-        }
-        other => Err(format!("unexpected value start {other:?}")),
-    }
-}
-
-fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
-    expect(chars, '"')?;
-    let mut out = String::new();
-    loop {
-        match chars.next() {
-            Some((_, '"')) => return Ok(out),
-            Some((_, '\\')) => match chars.next() {
-                Some((_, '"')) => out.push('"'),
-                Some((_, '\\')) => out.push('\\'),
-                Some((_, 'n')) => out.push('\n'),
-                Some((_, 'r')) => out.push('\r'),
-                Some((_, 't')) => out.push('\t'),
-                Some((_, '/')) => out.push('/'),
-                Some((_, 'u')) => {
-                    let hex: String = (0..4)
-                        .filter_map(|_| chars.next().map(|(_, c)| c))
-                        .collect();
-                    let code = u32::from_str_radix(&hex, 16)
-                        .map_err(|_| format!("bad \\u escape `{hex}`"))?;
-                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
-                }
-                other => return Err(format!("bad escape {other:?}")),
-            },
-            Some((_, c)) => out.push(c),
-            None => return Err("unterminated string".into()),
-        }
-    }
-}
-
-/// Escapes a string as a JSON string literal (quotes included) — the
-/// journal-side twin of the engine's report escaper.
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run, Job};
+    use crate::engine::{CancelToken, Job, Session};
 
     fn temp_path(tag: &str) -> PathBuf {
         std::env::temp_dir().join(format!(
@@ -579,7 +438,7 @@ mod tests {
                 Err(Error::InvalidParameter("tab\there".into()))
             }),
         ];
-        let report = run(jobs, 1);
+        let report = Session::new(jobs).workers(1).run();
         let mut journal = Journal::create(path, &sample_config()).unwrap();
         for record in &report.records {
             journal.record(record).unwrap();
@@ -737,6 +596,50 @@ mod tests {
         assert!(!loaded.truncated_tail);
         assert_eq!(loaded.entries.len(), 3);
         assert_eq!(loaded.entries[2].outcome.as_deref(), Ok("after resume\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cancelled_run_journals_placeholder_records() {
+        use std::sync::{Arc, Mutex, PoisonError};
+        let path = temp_path("cancelled");
+        let config = JournalConfig {
+            csv: false,
+            names: vec!["a".into(), "b".into()],
+        };
+        let journal = Arc::new(Mutex::new(Journal::create(&path, &config).unwrap()));
+        let sink = Arc::clone(&journal);
+        let token = CancelToken::new();
+        token.cancel();
+        let jobs = vec![
+            Job::new("a", || Ok("never runs\n".into())),
+            Job::new("b", || Ok("never runs\n".into())),
+        ];
+        let report = Session::new(jobs)
+            .workers(1)
+            .cancel(token)
+            .on_record(move |_, record| {
+                sink.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .record(record)
+                    .unwrap();
+            })
+            .run();
+        assert!(report.interrupted);
+        drop(journal);
+        // The journal covers both never-started jobs with typed
+        // cancelled entries, and neither counts as completed.
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        for entry in &loaded.entries {
+            assert!(!entry.is_ok());
+            assert!(
+                entry.outcome.as_deref().unwrap_err().contains("cancelled"),
+                "{:?}",
+                entry.outcome
+            );
+        }
+        assert!(loaded.completed().is_empty());
         std::fs::remove_file(&path).ok();
     }
 

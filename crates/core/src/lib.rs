@@ -9,9 +9,11 @@
 //! via the validating [`chip::ChipBuilder`]), the unified [`error::Error`]
 //! type over every model crate's error, the [`engine`] — a parallel,
 //! deterministic artifact runner with per-run telemetry, graceful
-//! cancellation, and completion hooks used by the `repro` harness — and
-//! the [`journal`] crash-safe run log that makes interrupted `repro`
-//! runs resumable:
+//! cancellation, and completion hooks used by the `repro` harness — the
+//! [`journal`] crash-safe run log that makes interrupted `repro` runs
+//! resumable — and the service layer behind the `nanopowerd` daemon: the
+//! [`proto`] JSON-lines protocol types and the [`service`] building
+//! blocks (artifact memo, admission control, telemetry counters):
 //!
 //! | crate | paper section | what it models |
 //! |---|---|---|
@@ -49,7 +51,10 @@ pub mod chip;
 pub mod engine;
 pub mod error;
 pub mod journal;
+mod jsonio;
+pub mod proto;
 pub mod report;
+pub mod service;
 
 pub use np_circuit as circuit;
 pub use np_device as device;

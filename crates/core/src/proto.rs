@@ -1,0 +1,567 @@
+//! The `nanopowerd/v1` JSON-lines wire protocol.
+//!
+//! The `nanopowerd` daemon and its clients exchange one self-contained
+//! JSON value per line over a unix or TCP socket. The server greets each
+//! connection with a [`Response::Hello`] header naming the schema, then
+//! answers each request line with zero or more streamed
+//! [`Response::Record`] lines and exactly one terminal line
+//! ([`Response::Report`], [`Response::Stats`], [`Response::Busy`],
+//! [`Response::Protocol`], or [`Response::Shutdown`]).
+//!
+//! Three requests exist:
+//!
+//! ```text
+//! {"run": {"names": ["fig5", "table2"], "csv": false, "deadline_ms": 5000}}
+//! {"stats": {}}
+//! {"shutdown": {}}
+//! ```
+//!
+//! A malformed line never drops the connection: the daemon answers with
+//! a typed [`Response::Protocol`] error (backed by
+//! [`Error::Protocol`]) and keeps reading. Everything here is
+//! hand-rolled JSON over [`crate::engine::RunReport::to_json`]'s idiom —
+//! no serialization dependency — parsed by the same recursive-descent
+//! reader the crash-safe journal uses.
+
+use crate::engine::JobRecord;
+use crate::error::Error;
+use crate::jsonio::{self, Json};
+
+/// The protocol schema identifier sent in every hello line.
+pub const SCHEMA: &str = "nanopowerd/v1";
+
+/// The payload of a `run` request: which artifacts to render, in which
+/// form, under what per-request deadline.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RunRequest {
+    /// Artifact names to run, in submission order. Unknown names come
+    /// back as `error` records, like `repro` treats them.
+    pub names: Vec<String>,
+    /// Render the CSV form instead of the text form.
+    pub csv: bool,
+    /// Per-request wall-clock budget in milliseconds; the daemon wires
+    /// it to a [`crate::engine::CancelToken`], so expiry drains
+    /// in-flight jobs gracefully and marks the rest `cancelled`.
+    pub deadline_ms: Option<u64>,
+}
+
+/// One client request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Run artifacts and stream their records back.
+    Run(RunRequest),
+    /// Report the daemon's lifetime counters and cache statistics.
+    Stats,
+    /// Ask the daemon to stop accepting connections and exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Malformed lines produce
+    /// [`Error::Protocol`] with a reason the daemon echoes back.
+    pub fn parse(line: &str) -> Result<Self, Error> {
+        let value = jsonio::parse(line).map_err(|reason| Error::Protocol { reason })?;
+        let obj = value.as_obj().ok_or_else(|| Error::Protocol {
+            reason: "request must be a JSON object".into(),
+        })?;
+        let mut keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        keys.sort_unstable();
+        match keys.as_slice() {
+            ["run"] => {
+                let body = &obj["run"];
+                if body.as_obj().is_none() {
+                    return Err(Error::Protocol {
+                        reason: "`run` body must be an object".into(),
+                    });
+                }
+                let names = match body.get("names") {
+                    Some(v) => {
+                        let items = v.as_arr().ok_or_else(|| Error::Protocol {
+                            reason: "`names` must be an array of strings".into(),
+                        })?;
+                        items
+                            .iter()
+                            .map(|item| {
+                                item.as_str()
+                                    .map(str::to_owned)
+                                    .ok_or_else(|| Error::Protocol {
+                                        reason: "`names` must be an array of strings".into(),
+                                    })
+                            })
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                    None => Vec::new(),
+                };
+                let csv = match body.get("csv") {
+                    Some(v) => v.as_bool().ok_or_else(|| Error::Protocol {
+                        reason: "`csv` must be a boolean".into(),
+                    })?,
+                    None => false,
+                };
+                let deadline_ms = match body.get("deadline_ms") {
+                    Some(v) => Some(v.as_u64().ok_or_else(|| Error::Protocol {
+                        reason: "`deadline_ms` must be a non-negative integer".into(),
+                    })?),
+                    None => None,
+                };
+                Ok(Request::Run(RunRequest {
+                    names,
+                    csv,
+                    deadline_ms,
+                }))
+            }
+            ["stats"] => Ok(Request::Stats),
+            ["shutdown"] => Ok(Request::Shutdown),
+            [] => Err(Error::Protocol {
+                reason: "empty request object".into(),
+            }),
+            [other, ..] => Err(Error::Protocol {
+                reason: format!("unknown request `{other}`"),
+            }),
+        }
+    }
+
+    /// Renders the request as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Request::Run(run) => {
+                let names: Vec<String> = run.names.iter().map(|n| jsonio::escape(n)).collect();
+                let mut body = format!("{{\"names\": [{}], \"csv\": {}", names.join(", "), run.csv);
+                if let Some(ms) = run.deadline_ms {
+                    body.push_str(&format!(", \"deadline_ms\": {ms}"));
+                }
+                body.push('}');
+                format!("{{\"run\": {body}}}")
+            }
+            Request::Stats => "{\"stats\": {}}".into(),
+            Request::Shutdown => "{\"shutdown\": {}}".into(),
+        }
+    }
+}
+
+/// The per-connection greeting: schema identifier plus how many
+/// artifacts the registry serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Number of artifacts in the daemon's registry.
+    pub artifacts: usize,
+}
+
+/// One streamed per-artifact record: the wire form of a
+/// [`JobRecord`], plus whether it was served from the cross-request
+/// memo without executing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordMsg {
+    /// The artifact's name.
+    pub name: String,
+    /// `ok`, `drift`, `cancelled`, or `error` —
+    /// [`JobRecord::status`].
+    pub status: String,
+    /// Wall-clock milliseconds the job took (0 for memo hits and
+    /// cancelled placeholders).
+    pub duration_ms: f64,
+    /// Whether this record was served from the artifact memo.
+    pub memo: bool,
+    /// Output size in bytes, on success.
+    pub bytes: Option<u64>,
+    /// `fnv1a:<16 hex>` output digest, on success — the same digest the
+    /// crash-safe journal records.
+    pub digest: Option<String>,
+    /// The failure message, when the record is not `ok`.
+    pub error: Option<String>,
+}
+
+impl RecordMsg {
+    /// Builds the wire record for an executed (or memo-served) job.
+    pub fn from_record(record: &JobRecord, memo: bool) -> Self {
+        RecordMsg {
+            name: record.name.clone(),
+            status: record.status().to_owned(),
+            duration_ms: record.duration.as_secs_f64() * 1e3,
+            memo,
+            bytes: record.outcome.as_ref().ok().map(|s| s.len() as u64),
+            digest: record.digest(),
+            error: record.outcome.as_ref().err().map(ToString::to_string),
+        }
+    }
+}
+
+/// The terminal line of a `run` response: outcome counts and run-level
+/// telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportMsg {
+    /// Records that succeeded (executed or memo-served).
+    pub ok: u64,
+    /// Records that failed (error or drift).
+    pub failures: u64,
+    /// Records cancelled before starting (deadline expiry).
+    pub cancelled: u64,
+    /// Records served from the artifact memo without executing.
+    pub memo_hits: u64,
+    /// Wall-clock milliseconds for the whole request.
+    pub total_ms: f64,
+    /// Whether the request's deadline cancelled the run.
+    pub interrupted: bool,
+}
+
+/// The daemon's lifetime counters and cache statistics, answering a
+/// `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsMsg {
+    /// Requests accepted for execution (admitted past the gate).
+    pub accepted: u64,
+    /// Requests fully served (report line written).
+    pub served: u64,
+    /// Records served from the artifact memo.
+    pub memo_hits: u64,
+    /// Requests whose deadline cancelled the run.
+    pub cancelled: u64,
+    /// Requests rejected with `busy` by admission control.
+    pub rejected: u64,
+    /// Malformed request lines answered with a protocol error.
+    pub protocol_errors: u64,
+    /// Entries currently resident in the artifact memo.
+    pub memo_entries: u64,
+    /// Process-wide shared `MeshCache` hits.
+    pub mesh_hits: u64,
+    /// Process-wide shared `MeshCache` misses.
+    pub mesh_misses: u64,
+}
+
+/// One server response line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The per-connection greeting.
+    Hello(Hello),
+    /// A streamed per-artifact record.
+    Record(RecordMsg),
+    /// The terminal line of a `run` response.
+    Report(ReportMsg),
+    /// The answer to a `stats` request.
+    Stats(StatsMsg),
+    /// Admission control rejected the request: the queue is full.
+    Busy {
+        /// Requests currently executing.
+        inflight: u64,
+        /// The daemon's `max_inflight` setting.
+        capacity: u64,
+    },
+    /// The request line was malformed; the connection stays open.
+    Protocol {
+        /// What was malformed, from [`Error::Protocol`].
+        reason: String,
+    },
+    /// Acknowledges a `shutdown` request.
+    Shutdown,
+}
+
+impl Response {
+    /// Renders the response as one JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Response::Hello(h) => format!(
+                "{{\"hello\": {}, \"artifacts\": {}}}",
+                jsonio::escape(SCHEMA),
+                h.artifacts
+            ),
+            Response::Record(r) => {
+                let mut body = format!(
+                    "{{\"name\": {}, \"status\": {}, \"duration_ms\": {:.3}, \"memo\": {}",
+                    jsonio::escape(&r.name),
+                    jsonio::escape(&r.status),
+                    r.duration_ms,
+                    r.memo
+                );
+                if let Some(bytes) = r.bytes {
+                    body.push_str(&format!(", \"bytes\": {bytes}"));
+                }
+                if let Some(digest) = &r.digest {
+                    body.push_str(&format!(", \"digest\": {}", jsonio::escape(digest)));
+                }
+                if let Some(error) = &r.error {
+                    body.push_str(&format!(", \"error\": {}", jsonio::escape(error)));
+                }
+                body.push('}');
+                format!("{{\"record\": {body}}}")
+            }
+            Response::Report(r) => format!(
+                "{{\"report\": {{\"ok\": {}, \"failures\": {}, \"cancelled\": {}, \
+                 \"memo_hits\": {}, \"total_ms\": {:.3}, \"interrupted\": {}}}}}",
+                r.ok, r.failures, r.cancelled, r.memo_hits, r.total_ms, r.interrupted
+            ),
+            Response::Stats(s) => format!(
+                "{{\"stats\": {{\"accepted\": {}, \"served\": {}, \"memo_hits\": {}, \
+                 \"cancelled\": {}, \"rejected\": {}, \"protocol_errors\": {}, \
+                 \"memo_entries\": {}, \"mesh_hits\": {}, \"mesh_misses\": {}}}}}",
+                s.accepted,
+                s.served,
+                s.memo_hits,
+                s.cancelled,
+                s.rejected,
+                s.protocol_errors,
+                s.memo_entries,
+                s.mesh_hits,
+                s.mesh_misses
+            ),
+            Response::Busy { inflight, capacity } => {
+                format!("{{\"busy\": {{\"inflight\": {inflight}, \"capacity\": {capacity}}}}}")
+            }
+            Response::Protocol { reason } => format!(
+                "{{\"error\": {{\"kind\": \"protocol\", \"reason\": {}}}}}",
+                jsonio::escape(reason)
+            ),
+            Response::Shutdown => "{\"shutdown\": true}".into(),
+        }
+    }
+
+    /// Parses one response line — the client half of the protocol.
+    pub fn parse(line: &str) -> Result<Self, Error> {
+        let value = jsonio::parse(line).map_err(|reason| Error::Protocol { reason })?;
+        let obj = value.as_obj().ok_or_else(|| Error::Protocol {
+            reason: "response must be a JSON object".into(),
+        })?;
+        if let Some(schema) = obj.get("hello") {
+            if schema.as_str() != Some(SCHEMA) {
+                return Err(Error::Protocol {
+                    reason: format!("unsupported schema {schema:?} (want `{SCHEMA}`)"),
+                });
+            }
+            let artifacts = value.get("artifacts").and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Hello(Hello {
+                artifacts: artifacts as usize,
+            }));
+        }
+        if let Some(record) = obj.get("record") {
+            let field = |key: &str| record.get(key).cloned();
+            let name = field("name")
+                .as_ref()
+                .and_then(Json::as_str)
+                .map(str::to_owned);
+            let status = field("status")
+                .as_ref()
+                .and_then(Json::as_str)
+                .map(str::to_owned);
+            let (Some(name), Some(status)) = (name, status) else {
+                return Err(Error::Protocol {
+                    reason: "record needs string `name` and `status`".into(),
+                });
+            };
+            return Ok(Response::Record(RecordMsg {
+                name,
+                status,
+                duration_ms: field("duration_ms")
+                    .as_ref()
+                    .and_then(Json::as_f64)
+                    .unwrap_or(0.0),
+                memo: field("memo")
+                    .as_ref()
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                bytes: field("bytes").as_ref().and_then(Json::as_u64),
+                digest: field("digest")
+                    .as_ref()
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+                error: field("error")
+                    .as_ref()
+                    .and_then(Json::as_str)
+                    .map(str::to_owned),
+            }));
+        }
+        if let Some(report) = obj.get("report") {
+            let count = |key: &str| report.get(key).and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Report(ReportMsg {
+                ok: count("ok"),
+                failures: count("failures"),
+                cancelled: count("cancelled"),
+                memo_hits: count("memo_hits"),
+                total_ms: report.get("total_ms").and_then(Json::as_f64).unwrap_or(0.0),
+                interrupted: report
+                    .get("interrupted")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            }));
+        }
+        if let Some(stats) = obj.get("stats") {
+            let count = |key: &str| stats.get(key).and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Stats(StatsMsg {
+                accepted: count("accepted"),
+                served: count("served"),
+                memo_hits: count("memo_hits"),
+                cancelled: count("cancelled"),
+                rejected: count("rejected"),
+                protocol_errors: count("protocol_errors"),
+                memo_entries: count("memo_entries"),
+                mesh_hits: count("mesh_hits"),
+                mesh_misses: count("mesh_misses"),
+            }));
+        }
+        if let Some(busy) = obj.get("busy") {
+            let count = |key: &str| busy.get(key).and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Busy {
+                inflight: count("inflight"),
+                capacity: count("capacity"),
+            });
+        }
+        if let Some(error) = obj.get("error") {
+            let reason = error
+                .get("reason")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_owned();
+            return Ok(Response::Protocol { reason });
+        }
+        if obj.get("shutdown").is_some() {
+            return Ok(Response::Shutdown);
+        }
+        Err(Error::Protocol {
+            reason: "unknown response shape".into(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn run_request_round_trips() {
+        let req = Request::Run(RunRequest {
+            names: vec!["fig5".into(), "table2".into()],
+            csv: true,
+            deadline_ms: Some(250),
+        });
+        let line = req.to_json();
+        assert_eq!(Request::parse(&line), Ok(req));
+        // Omitted optional fields default.
+        let req = Request::parse(r#"{"run": {"names": ["fig5"]}}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Run(RunRequest {
+                names: vec!["fig5".into()],
+                csv: false,
+                deadline_ms: None,
+            })
+        );
+    }
+
+    #[test]
+    fn stats_and_shutdown_round_trip() {
+        for req in [Request::Stats, Request::Shutdown] {
+            assert_eq!(Request::parse(&req.to_json()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_errors() {
+        let cases = [
+            ("{\"runn\": {}}", "unknown request `runn`"),
+            ("[1, 2]", "must be a JSON object"),
+            ("{\"run\": {\"names\": \"fig5\"}}", "array of strings"),
+            ("{\"run\": {\"names\": [1]}}", "array of strings"),
+            ("{\"run\": {\"csv\": \"yes\"}}", "boolean"),
+            ("{\"run\": {\"deadline_ms\": -5}}", "non-negative"),
+            ("{}", "empty request"),
+            ("not json", "unknown literal"),
+        ];
+        for (line, needle) in cases {
+            match Request::parse(line) {
+                Err(Error::Protocol { reason }) => {
+                    assert!(reason.contains(needle), "`{line}` -> {reason}");
+                }
+                other => panic!("`{line}` -> {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hello_round_trips_and_rejects_foreign_schema() {
+        let line = Response::Hello(Hello { artifacts: 17 }).to_json();
+        assert_eq!(
+            Response::parse(&line),
+            Ok(Response::Hello(Hello { artifacts: 17 }))
+        );
+        assert!(matches!(
+            Response::parse(r#"{"hello": "otherproto/v9"}"#),
+            Err(Error::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn record_wire_form_mirrors_job_record() {
+        let record = JobRecord {
+            name: "fig5".into(),
+            outcome: Ok("v,drop\n0,1\n".into()),
+            duration: Duration::from_millis(12),
+            worker: 1,
+            attempts: 1,
+            timed_out: false,
+        };
+        let msg = RecordMsg::from_record(&record, true);
+        assert_eq!(msg.status, "ok");
+        assert!(msg.memo);
+        assert_eq!(msg.bytes, Some(11));
+        assert_eq!(msg.digest, record.digest());
+        let parsed = Response::parse(&Response::Record(msg.clone()).to_json());
+        assert_eq!(parsed, Ok(Response::Record(msg)));
+
+        let failed = JobRecord {
+            name: "nope".into(),
+            outcome: Err(Error::UnknownArtifact {
+                name: "nope".into(),
+            }),
+            duration: Duration::ZERO,
+            worker: 0,
+            attempts: 1,
+            timed_out: false,
+        };
+        let msg = RecordMsg::from_record(&failed, false);
+        assert_eq!(msg.status, "error");
+        assert!(msg.error.as_deref().unwrap_or("").contains("nope"));
+        assert_eq!(msg.bytes, None);
+    }
+
+    #[test]
+    fn report_stats_busy_round_trip() {
+        let report = Response::Report(ReportMsg {
+            ok: 3,
+            failures: 1,
+            cancelled: 2,
+            memo_hits: 1,
+            total_ms: 42.5,
+            interrupted: true,
+        });
+        assert_eq!(Response::parse(&report.to_json()), Ok(report));
+
+        let stats = Response::Stats(StatsMsg {
+            accepted: 10,
+            served: 9,
+            memo_hits: 4,
+            cancelled: 1,
+            rejected: 2,
+            protocol_errors: 3,
+            memo_entries: 5,
+            mesh_hits: 7,
+            mesh_misses: 6,
+        });
+        assert_eq!(Response::parse(&stats.to_json()), Ok(stats));
+
+        let busy = Response::Busy {
+            inflight: 2,
+            capacity: 2,
+        };
+        assert_eq!(Response::parse(&busy.to_json()), Ok(busy));
+
+        let err = Response::Protocol {
+            reason: "unknown request `runn`".into(),
+        };
+        assert_eq!(Response::parse(&err.to_json()), Ok(err));
+
+        assert_eq!(
+            Response::parse("{\"shutdown\": true}"),
+            Ok(Response::Shutdown)
+        );
+        assert!(Response::parse("{\"mystery\": 1}").is_err());
+    }
+}

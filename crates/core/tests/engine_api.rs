@@ -2,7 +2,7 @@
 //! driving real model work through the validating `ChipBuilder`, with
 //! every failure mode expressed as the unified `nanopower::Error`.
 
-use nanopower::engine::{self, Job};
+use nanopower::engine::{self, Job, Session};
 use nanopower::roadmap::TechNode;
 use nanopower::{Chip, Error};
 
@@ -23,8 +23,8 @@ fn power_jobs() -> Vec<Job> {
 
 #[test]
 fn engine_runs_chip_scenarios_deterministically_across_worker_counts() {
-    let serial = engine::run(power_jobs(), 1);
-    let parallel = engine::run(power_jobs(), 3);
+    let serial = Session::new(power_jobs()).workers(1).run();
+    let parallel = Session::new(power_jobs()).workers(3).run();
     assert!(serial.all_ok(), "{}", serial.error_summary());
     assert_eq!(serial.records.len(), TechNode::ALL.len());
     let texts = |r: &engine::RunReport| -> Vec<String> {
@@ -55,7 +55,7 @@ fn builder_failures_flow_through_the_engine_as_typed_errors() {
             Ok(String::new())
         }),
     ];
-    let report = engine::run(jobs, 2);
+    let report = Session::new(jobs).workers(2).run();
     assert!(!report.all_ok());
     assert_eq!(report.failures().len(), 1);
     let failed = report.failures()[0];
@@ -66,7 +66,7 @@ fn builder_failures_flow_through_the_engine_as_typed_errors() {
 
 #[test]
 fn json_report_round_trips_names_and_statuses() {
-    let report = engine::run(power_jobs(), 2);
+    let report = Session::new(power_jobs()).workers(2).run();
     let json = report.to_json();
     assert!(json.contains("\"schema\": \"nanopower-run-report/v1\""));
     for node in TechNode::ALL {

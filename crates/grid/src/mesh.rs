@@ -45,6 +45,12 @@ pub fn mesh_worst_drop_with_resolution(
     rail_width: Microns,
     resolution: usize,
 ) -> Result<Volts, GridError> {
+    if process_cache_enabled() {
+        return process_cache()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .worst_drop_with_resolution(node, pitch, rail_width, resolution);
+    }
     let (m, _i_per_node) = assemble_bump_cell(node, pitch, rail_width, resolution)?;
     let v = m.solve()?;
     Ok(worst_drop_of(&v))
@@ -279,6 +285,65 @@ impl MeshCache {
     }
 }
 
+/// The process-wide shared [`MeshCache`] behind
+/// [`scoped_process_cache`] — one cache for every thread of a
+/// long-running service, so repeated grid solves across requests share
+/// assembled meshes and warm starts.
+static PROCESS_CACHE: std::sync::OnceLock<std::sync::Mutex<MeshCache>> = std::sync::OnceLock::new();
+static PROCESS_CACHE_ENABLED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+fn process_cache() -> &'static std::sync::Mutex<MeshCache> {
+    PROCESS_CACHE.get_or_init(|| std::sync::Mutex::new(MeshCache::new()))
+}
+
+/// Whether the free mesh functions currently route through the shared
+/// process-wide cache.
+pub fn process_cache_enabled() -> bool {
+    PROCESS_CACHE_ENABLED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Routes [`mesh_worst_drop`] / [`mesh_worst_drop_with_resolution`]
+/// through one process-wide shared [`MeshCache`] until the returned
+/// guard drops, which restores the previous setting.
+///
+/// Off by default: one-shot runs (and the byte-identical `repro`
+/// artifacts) keep the direct solver path. A long-running service turns
+/// it on once at startup so every request on every connection shares
+/// assembled meshes and warm-started solutions. The cached and direct
+/// paths agree to solver tolerance (≤1e-6 relative — see the
+/// `cache_matches_the_free_function` test); entries key on the exact
+/// geometry bits, so there is no cross-geometry contamination. Nested
+/// guards restore in LIFO drop order, mirroring
+/// [`crate::plan::scoped_thread_budget`].
+pub fn scoped_process_cache(enabled: bool) -> ProcessCacheGuard {
+    let previous = PROCESS_CACHE_ENABLED.swap(enabled, std::sync::atomic::Ordering::Relaxed);
+    ProcessCacheGuard { previous }
+}
+
+/// Restores the prior [`process_cache_enabled`] state on drop; created
+/// by [`scoped_process_cache`].
+#[derive(Debug)]
+pub struct ProcessCacheGuard {
+    previous: bool,
+}
+
+impl Drop for ProcessCacheGuard {
+    fn drop(&mut self) {
+        PROCESS_CACHE_ENABLED.store(self.previous, std::sync::atomic::Ordering::Relaxed);
+    }
+}
+
+/// Lifetime `(hits, misses)` of the process-wide shared cache,
+/// regardless of whether routing is currently enabled — the counters a
+/// service surfaces in its stats response.
+pub fn process_cache_stats() -> (u64, u64) {
+    let cache = process_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    (cache.hits(), cache.misses())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -415,6 +480,46 @@ mod tests {
         );
         // All three solves shared one assembled mesh.
         assert_eq!((cache.misses(), cache.hits()), (1, 2));
+    }
+
+    #[test]
+    fn process_cache_routes_and_counts() {
+        // Unique geometry bits so parallel tests sharing the global
+        // cache cannot interfere with the hit/miss deltas.
+        let pitch = Microns(83.257_119);
+        let width = Microns(4.113_271);
+        let direct = mesh_worst_drop(TechNode::N35, pitch, width).unwrap();
+        assert!(!process_cache_enabled(), "off by default");
+        let (hits_before, _) = process_cache_stats();
+        {
+            let _guard = scoped_process_cache(true);
+            assert!(process_cache_enabled());
+            let cold = mesh_worst_drop(TechNode::N35, pitch, width).unwrap();
+            let warm = mesh_worst_drop(TechNode::N35, pitch, width).unwrap();
+            assert!(
+                (cold.0 - direct.0).abs() <= 1e-6 * direct.0.abs(),
+                "cached {cold} vs direct {direct}"
+            );
+            assert!((warm.0 - cold.0).abs() <= 1e-9 * cold.0.abs());
+        }
+        assert!(!process_cache_enabled(), "guard restores");
+        let (hits_after, _) = process_cache_stats();
+        assert!(hits_after > hits_before, "repeat solve hit the cache");
+        // Routing disabled again: direct path, stats unchanged.
+        let again = mesh_worst_drop(TechNode::N35, pitch, width).unwrap();
+        assert_eq!(again, direct);
+        assert_eq!(process_cache_stats().0, hits_after);
+        // Guards nest LIFO, like `scoped_thread_budget`. (Exercised here
+        // rather than in a separate test: the flag is process-global and
+        // parallel tests toggling it would race.)
+        let outer = scoped_process_cache(true);
+        {
+            let _inner = scoped_process_cache(false);
+            assert!(!process_cache_enabled());
+        }
+        assert!(process_cache_enabled(), "inner guard restored outer state");
+        drop(outer);
+        assert!(!process_cache_enabled());
     }
 
     #[test]

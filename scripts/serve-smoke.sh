@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI serve-smoke: prove the nanopowerd service end to end through the
+# real binaries.
+#
+#   1. Start the daemon on a temp unix socket and drive it with the
+#      bundled load client (default: 4 connections x 25 requests = 100
+#      concurrent requests; --quick shrinks it for the bench-smoke
+#      ride-along).
+#   2. Assert the load run completed with zero errors, that repeats hit
+#      the cross-request artifact memo, and that BENCH_serve.json
+#      parses and carries the nanopower-bench/v1 schema.
+#   3. Assert the daemon's lifetime counters are consistent (served ==
+#      accepted, no protocol errors) and that a shutdown request stops
+#      the process cleanly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+QUICK_FLAG=""
+if [ "${1:-}" = "--quick" ]; then
+    QUICK_FLAG="--quick"
+fi
+
+cargo build --release -p np-bench --bin nanopowerd
+DAEMON=target/release/nanopowerd
+WORK="$(mktemp -d)"
+SOCK="$WORK/nanopowerd.sock"
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== 1. daemon up, load client through it =="
+"$DAEMON" serve --socket "$SOCK" --max-inflight 2 --queue-depth 32 \
+    2> "$WORK/daemon.err" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$SOCK" ] && break
+    sleep 0.1
+done
+[ -S "$SOCK" ] || { echo "daemon never opened $SOCK"; cat "$WORK/daemon.err"; exit 1; }
+
+"$DAEMON" load --socket "$SOCK" $QUICK_FLAG --out "$WORK/BENCH_serve.json" \
+    | tee "$WORK/load.txt"
+
+echo "== 2. report and memo checks =="
+grep -qE ' 0 errors' "$WORK/load.txt" \
+    || { echo "load run saw errors"; exit 1; }
+grep -qE ' [1-9][0-9]* memo hits' "$WORK/load.txt" \
+    || { echo "repeated requests must hit the artifact memo"; exit 1; }
+python3 -m json.tool "$WORK/BENCH_serve.json" > /dev/null
+grep -qF '"schema": "nanopower-bench/v1"' "$WORK/BENCH_serve.json"
+grep -qF '"name": "serve.p99"' "$WORK/BENCH_serve.json"
+
+echo "== 3. counters consistent, shutdown clean =="
+"$DAEMON" stats --socket "$SOCK" | tee "$WORK/stats.json"
+python3 - "$WORK/stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))["stats"]
+assert stats["served"] == stats["accepted"], stats
+assert stats["served"] > 0, stats
+assert stats["memo_hits"] > 0, stats
+assert stats["protocol_errors"] == 0, stats
+EOF
+"$DAEMON" shutdown --socket "$SOCK" > /dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$daemon_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$daemon_pid" 2>/dev/null; then
+    echo "daemon ignored shutdown"; exit 1
+fi
+wait "$daemon_pid" || { echo "daemon exited nonzero"; exit 1; }
+daemon_pid=""
+
+echo "serve-smoke: all checks passed"
