@@ -2,29 +2,42 @@
 //!
 //! A zero-dependency JSON-lines server (protocol: `nanopowerd/v1`, see
 //! `nanopower::proto`) that keeps the artifact registry hot behind a
-//! unix socket (or `--tcp addr`): a cross-request artifact memo, a
-//! process-wide shared mesh cache, bounded admission control with typed
-//! `busy` backpressure, and per-request deadlines wired to the engine's
-//! graceful cancellation.
+//! unix socket (or `--tcp addr`): a bounded, optionally spill-backed
+//! cross-request artifact memo, a process-wide shared mesh cache,
+//! bounded admission control with typed `busy` backpressure and typed
+//! `overloaded` load shedding, per-connection write deadlines so a
+//! stalled client cannot wedge the shared record stream, a
+//! max-connections gate, per-request deadlines wired to the engine's
+//! graceful cancellation, and a self-watchdog behind the `health`
+//! request.
 //!
 //! ```text
 //! nanopowerd serve --socket /tmp/nanopower.sock [--tcp 127.0.0.1:7070]
-//!            [--workers N] [--max-inflight N] [--queue-depth N] [--hold-ms N]
+//!            [--workers N] [--max-inflight N] [--queue-depth N]
+//!            [--max-connections N] [--shed-ms N] [--write-timeout-ms N]
+//!            [--watchdog-ms N] [--memo-spill PATH] [--memo-max-entries N]
+//!            [--memo-max-bytes N] [--hold-ms N]
 //! nanopowerd load  --socket PATH|--tcp ADDR [--connections N] [--requests N]
 //!            [--csv] [--quick] [--out BENCH_serve.json]
 //! nanopowerd stats --socket PATH|--tcp ADDR
+//! nanopowerd health --socket PATH|--tcp ADDR
 //! nanopowerd shutdown --socket PATH|--tcp ADDR
 //! ```
+//!
+//! (There is also a hidden `chaos-proxy` subcommand exposing
+//! `np_bench::chaos` for the chaos-serve CI job.)
 
 use nanopower::engine::{CancelToken, Job, JobRecord, Session};
-use nanopower::proto::{Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg};
-use nanopower::service::{AdmissionGate, ArtifactMemo, ServiceCounters};
+use nanopower::proto::{
+    HealthMsg, Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg,
+};
+use nanopower::service::{Admission, AdmissionGate, ArtifactMemo, MemoConfig, ServiceCounters};
 use nanopower::Error;
 use np_bench::registry;
-use np_bench::serve::ServeReport;
+use np_bench::serve::{DaemonCounters, ServeReport};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -35,7 +48,10 @@ fn main() {
         Some("serve") => cmd_serve(&args[1..]),
         Some("load") => cmd_load(&args[1..]),
         Some("stats") => cmd_oneshot(&args[1..], Request::Stats),
+        Some("health") => cmd_oneshot(&args[1..], Request::Health),
         Some("shutdown") => cmd_oneshot(&args[1..], Request::Shutdown),
+        #[cfg(unix)]
+        Some("chaos-proxy") => cmd_chaos_proxy(&args[1..]),
         Some("--help" | "-h") | None => {
             print!("{USAGE}");
             0
@@ -55,13 +71,25 @@ USAGE:
     nanopowerd serve    --socket PATH | --tcp ADDR [serve options]
     nanopowerd load     --socket PATH | --tcp ADDR [load options]
     nanopowerd stats    --socket PATH | --tcp ADDR
+    nanopowerd health   --socket PATH | --tcp ADDR
     nanopowerd shutdown --socket PATH | --tcp ADDR
 
 SERVE OPTIONS:
-    --workers N       engine workers per request (default: all cores)
-    --max-inflight N  concurrent requests executing (default: 2)
-    --queue-depth N   requests allowed to wait for a slot (default: 8)
-    --hold-ms N       hold each admission slot N extra ms (test hook)
+    --workers N            engine workers per request (default: all cores)
+    --max-inflight N       concurrent requests executing (default: 2)
+    --queue-depth N        requests allowed to wait for a slot (default: 8)
+    --max-connections N    concurrent connections served (default: 64)
+    --shed-ms N            queue-wait budget before a typed `overloaded`
+                           response is shed (default: 2000)
+    --write-timeout-ms N   per-connection write deadline; a client that
+                           stalls past it stops receiving (default: 2000)
+    --watchdog-ms N        oldest-inflight age at which the self-watchdog
+                           fails the health check (default: 30000)
+    --memo-spill PATH      persist the artifact memo to an fsync'd spill
+                           file and rehydrate it on restart
+    --memo-max-entries N   memo entry cap, LRU-evicted (default: 256)
+    --memo-max-bytes N     memo byte cap, LRU-evicted (default: 67108864)
+    --hold-ms N            hold each admission slot N extra ms (test hook)
 
 LOAD OPTIONS:
     --connections N   concurrent client connections (default: 4)
@@ -125,6 +153,17 @@ fn parse_flag_value<T: std::str::FromStr>(
     }
 }
 
+fn parse_flag_opt(rest: &[String], flag: &str) -> Result<Option<String>, String> {
+    match rest.iter().position(|a| a == flag) {
+        Some(i) => rest
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a value")),
+        None => Ok(None),
+    }
+}
+
 // ---------------------------------------------------------------------
 // serve
 // ---------------------------------------------------------------------
@@ -136,7 +175,42 @@ struct ServerState {
     counters: ServiceCounters,
     workers: usize,
     hold_ms: u64,
+    /// Queue-wait budget before a run is shed with `overloaded`.
+    shed_budget: Duration,
+    /// Per-connection write deadline; a client stalled past it is
+    /// marked dead and stops receiving.
+    write_timeout: Duration,
+    /// Oldest-inflight age at which the watchdog declares the worker
+    /// pool stuck.
+    watchdog: Duration,
+    /// Concurrent-connection cap; excess connections get a typed
+    /// rejection line and are closed.
+    max_connections: usize,
+    /// Connections currently being served.
+    connections: AtomicUsize,
+    /// Set by the watchdog while the oldest inflight request exceeds
+    /// the threshold — `health` reports `ready: false`.
+    stuck: AtomicBool,
+    started: Instant,
     shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn health(&self) -> HealthMsg {
+        let oldest = self.gate.oldest_inflight_age().unwrap_or(Duration::ZERO);
+        let stuck = self.stuck.load(Ordering::SeqCst) || oldest >= self.watchdog;
+        HealthMsg {
+            ready: !stuck && !self.shutdown.load(Ordering::SeqCst),
+            inflight: self.gate.inflight() as u64,
+            capacity: self.gate.capacity() as u64,
+            oldest_inflight_ms: oldest.as_millis() as u64,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            memo_entries: self.memo.len() as u64,
+            memo_bytes: self.memo.approx_bytes() as u64,
+            spill_active: self.memo.spill_active(),
+            shed: self.counters.snapshot().overloaded,
+        }
+    }
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
@@ -148,36 +222,138 @@ fn cmd_serve(args: &[String]) -> i32 {
         }
     };
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    let opts = (
-        parse_flag_value(&rest, "--workers", cores),
-        parse_flag_value(&rest, "--max-inflight", 2usize),
-        parse_flag_value(&rest, "--queue-depth", 8usize),
-        parse_flag_value(&rest, "--hold-ms", 0u64),
-    );
-    let (workers, max_inflight, queue_depth, hold_ms) = match opts {
-        (Ok(w), Ok(m), Ok(q), Ok(h)) => (w, m, q, h),
-        (Err(e), ..) | (_, Err(e), ..) | (_, _, Err(e), _) | (.., Err(e)) => {
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            parse_flag_value(&rest, "--workers", cores)?,
+            parse_flag_value(&rest, "--max-inflight", 2usize)?,
+            parse_flag_value(&rest, "--queue-depth", 8usize)?,
+            parse_flag_value(&rest, "--max-connections", 64usize)?,
+            parse_flag_value(&rest, "--shed-ms", 2000u64)?,
+            parse_flag_value(&rest, "--write-timeout-ms", 2000u64)?,
+            parse_flag_value(&rest, "--watchdog-ms", 30_000u64)?,
+            parse_flag_opt(&rest, "--memo-spill")?,
+            parse_flag_value(&rest, "--memo-max-entries", 256usize)?,
+            parse_flag_value(&rest, "--memo-max-bytes", 64usize << 20)?,
+            parse_flag_value(&rest, "--hold-ms", 0u64)?,
+        ))
+    })();
+    let (
+        workers,
+        max_inflight,
+        queue_depth,
+        max_connections,
+        shed_ms,
+        write_timeout_ms,
+        watchdog_ms,
+        memo_spill,
+        memo_max_entries,
+        memo_max_bytes,
+        hold_ms,
+    ) = match parsed {
+        Ok(opts) => opts,
+        Err(e) => {
             eprintln!("nanopowerd serve: {e}");
             return 2;
         }
     };
+    let memo_config = MemoConfig {
+        max_entries: memo_max_entries,
+        max_bytes: memo_max_bytes,
+    };
+    let memo = match &memo_spill {
+        Some(path) => match ArtifactMemo::with_spill(path, memo_config) {
+            Ok((memo, report)) => {
+                eprintln!(
+                    "nanopowerd: memo spill {path}: {} rehydrated, {} dropped",
+                    report.rehydrated, report.dropped
+                );
+                memo
+            }
+            Err(e) => {
+                eprintln!("nanopowerd serve: {e}");
+                return 1;
+            }
+        },
+        None => ArtifactMemo::with_config(memo_config),
+    };
     let state = Arc::new(ServerState {
-        memo: ArtifactMemo::new(),
+        memo,
         gate: AdmissionGate::new(max_inflight, queue_depth),
         counters: ServiceCounters::new(),
         workers,
         hold_ms,
+        shed_budget: Duration::from_millis(shed_ms),
+        write_timeout: Duration::from_millis(write_timeout_ms.max(1)),
+        watchdog: Duration::from_millis(watchdog_ms.max(1)),
+        max_connections: max_connections.max(1),
+        connections: AtomicUsize::new(0),
+        stuck: AtomicBool::new(false),
+        started: Instant::now(),
         shutdown: AtomicBool::new(false),
     });
     // One shared mesh cache for the whole daemon: every request on every
     // connection reuses assembled meshes and warm starts.
     let _mesh_cache = np_grid::mesh::scoped_process_cache(true);
-    match serve_on(&endpoint, &state) {
+    let watchdog = spawn_watchdog(&state);
+    let code = match serve_on(&endpoint, &state) {
         Ok(()) => 0,
         Err(e) => {
             eprintln!("nanopowerd serve: {e}");
+            state.shutdown.store(true, Ordering::SeqCst);
             1
         }
+    };
+    let _ = watchdog.join();
+    code
+}
+
+/// The self-watchdog: periodically compares the oldest inflight
+/// request's age against the threshold and flips the `stuck` flag the
+/// health check reports. Purely observational — it never kills work,
+/// it makes the wedge visible to a supervisor.
+fn spawn_watchdog(state: &Arc<ServerState>) -> std::thread::JoinHandle<()> {
+    let state = Arc::clone(state);
+    std::thread::spawn(move || {
+        let interval =
+            (state.watchdog / 4).clamp(Duration::from_millis(25), Duration::from_secs(1));
+        while !state.shutdown.load(Ordering::SeqCst) {
+            let oldest = state.gate.oldest_inflight_age().unwrap_or(Duration::ZERO);
+            let stuck = oldest >= state.watchdog;
+            if stuck && !state.stuck.swap(stuck, Ordering::SeqCst) {
+                eprintln!(
+                    "nanopowerd: watchdog: oldest inflight request stuck for {} ms \
+                     (threshold {} ms); health now not ready",
+                    oldest.as_millis(),
+                    state.watchdog.as_millis()
+                );
+            } else {
+                state.stuck.store(stuck, Ordering::SeqCst);
+            }
+            std::thread::sleep(interval);
+        }
+    })
+}
+
+/// Binds the unix listener, probing (instead of clobbering) an existing
+/// socket file: a live daemon answers the probe and wins; a stale file
+/// left by a killed process refuses it and is unlinked.
+#[cfg(unix)]
+fn bind_unix(path: &str) -> std::io::Result<std::os::unix::net::UnixListener> {
+    use std::os::unix::net::{UnixListener, UnixStream};
+    match UnixListener::bind(path) {
+        Ok(listener) => Ok(listener),
+        Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => match UnixStream::connect(path) {
+            Ok(_) => Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("{path}: another daemon is already listening"),
+            )),
+            Err(_) => {
+                eprintln!("nanopowerd: removing stale socket {path}");
+                std::fs::remove_file(path)?;
+                UnixListener::bind(path)
+            }
+        },
+        Err(e) => Err(e),
     }
 }
 
@@ -186,11 +362,7 @@ fn serve_on(endpoint: &Endpoint, state: &Arc<ServerState>) -> std::io::Result<()
     match endpoint {
         #[cfg(unix)]
         Endpoint::Unix(path) => {
-            use std::os::unix::net::UnixListener;
-            // A dead daemon leaves its socket file behind; re-binding
-            // requires clearing it first.
-            let _ = std::fs::remove_file(path);
-            let listener = UnixListener::bind(path)?;
+            let listener = bind_unix(path)?;
             listener.set_nonblocking(true)?;
             eprintln!(
                 "nanopowerd: listening on {path} ({} workers)",
@@ -215,8 +387,19 @@ fn serve_on(endpoint: &Endpoint, state: &Arc<ServerState>) -> std::io::Result<()
     Ok(())
 }
 
+/// Decrements the live-connection count when a handler exits.
+struct ConnSlot(Arc<ServerState>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 /// Polls a nonblocking listener until a shutdown request flips the
-/// flag, spawning one handler thread per accepted connection.
+/// flag, spawning one handler thread per accepted connection — unless
+/// the connection cap is reached, in which case the connection gets a
+/// typed rejection line and is closed without a handler.
 fn accept_loop<S, A>(
     state: &Arc<ServerState>,
     handles: &mut Vec<std::thread::JoinHandle<()>>,
@@ -227,9 +410,28 @@ fn accept_loop<S, A>(
 {
     while !state.shutdown.load(Ordering::SeqCst) {
         match accept() {
-            Ok(stream) => {
+            Ok(mut stream) => {
+                let live = state.connections.fetch_add(1, Ordering::SeqCst) + 1;
+                let slot = ConnSlot(Arc::clone(state));
+                if live > state.max_connections {
+                    state.counters.bump(&state.counters.conn_rejected);
+                    let line = Response::Protocol {
+                        reason: format!(
+                            "connection limit reached ({} active, cap {})",
+                            live - 1,
+                            state.max_connections
+                        ),
+                    }
+                    .to_json();
+                    let _ = stream.write_all(line.as_bytes());
+                    let _ = stream.write_all(b"\n");
+                    let _ = stream.flush();
+                    drop(slot);
+                    continue;
+                }
                 let state = Arc::clone(state);
                 handles.push(std::thread::spawn(move || {
+                    let _slot = slot;
                     // A connection that fails mid-stream (client went
                     // away) is normal; the error is its own signal.
                     let _ = serve_conn(stream, &state);
@@ -247,11 +449,13 @@ fn accept_loop<S, A>(
 }
 
 /// Both socket flavors can clone themselves into a second handle (so
-/// one side reads lines while the other writes responses) and take a
-/// read timeout (so idle handlers notice the shutdown flag).
+/// one side reads lines while the other writes responses) and take
+/// read/write timeouts (so idle handlers notice the shutdown flag, and
+/// a stalled client cannot wedge a writer).
 trait TryCloneStream: Sized {
     fn try_clone_stream(&self) -> std::io::Result<Self>;
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()>;
 }
 
 #[cfg(unix)]
@@ -262,6 +466,9 @@ impl TryCloneStream for std::os::unix::net::UnixStream {
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.set_read_timeout(timeout)
     }
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
 }
 
 impl TryCloneStream for TcpStream {
@@ -271,34 +478,86 @@ impl TryCloneStream for TcpStream {
     fn set_stream_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
         self.set_read_timeout(timeout)
     }
+    fn set_stream_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.set_write_timeout(timeout)
+    }
 }
 
-fn write_line<W: Write>(writer: &Mutex<W>, response: &Response) -> std::io::Result<()> {
-    let mut w = writer.lock().unwrap_or_else(PoisonError::into_inner);
-    w.write_all(response.to_json().as_bytes())?;
-    w.write_all(b"\n")?;
-    w.flush()
+/// The shared write half of one connection: a mutex-serialized writer
+/// plus a dead flag. The stream carries a write deadline; the first
+/// write that trips it marks the connection dead, and every later write
+/// is dropped silently — record streaming happens on the engine's
+/// shared worker threads, so a wedged client costs the pool at most one
+/// deadline, not a worker forever.
+struct ConnWriter<W> {
+    writer: Mutex<W>,
+    dead: AtomicBool,
 }
 
-/// One connection: greet, then answer request lines until EOF or a
-/// shutdown request.
+impl<W: Write> ConnWriter<W> {
+    fn new(writer: W) -> Self {
+        ConnWriter {
+            writer: Mutex::new(writer),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Writes one response line. A deadline trip (or any other write
+    /// failure) marks the connection dead and is swallowed; callers that
+    /// must know can check [`ConnWriter::is_dead`].
+    fn send(&self, state: &ServerState, response: &Response) -> std::io::Result<()> {
+        if self.dead.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let mut w = self.writer.lock().unwrap_or_else(PoisonError::into_inner);
+        let outcome = w
+            .write_all(response.to_json().as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .and_then(|()| w.flush());
+        drop(w);
+        if let Err(e) = outcome {
+            self.dead.store(true, Ordering::SeqCst);
+            if matches!(
+                e.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) {
+                state.counters.bump(&state.counters.write_timeouts);
+            }
+        }
+        Ok(())
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+}
+
+/// One connection: greet, then answer request lines until EOF, a dead
+/// write half, or a shutdown request.
 fn serve_conn<S>(stream: S, state: &Arc<ServerState>) -> std::io::Result<()>
 where
     S: Read + Write + TryCloneStream + Send + 'static,
 {
     // A bounded read timeout lets idle connections poll the shutdown
-    // flag instead of blocking the daemon's exit on their next line.
+    // flag instead of blocking the daemon's exit on their next line;
+    // the write timeout is the slow-client wedge guard.
     stream.set_stream_read_timeout(Some(Duration::from_millis(100)))?;
+    stream.set_stream_write_timeout(Some(state.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone_stream()?);
-    let writer = Arc::new(Mutex::new(stream));
-    write_line(
-        &writer,
+    let writer = Arc::new(ConnWriter::new(stream));
+    writer.send(
+        state,
         &Response::Hello(Hello {
             artifacts: registry::names().len(),
         }),
     )?;
     let mut line = String::new();
     loop {
+        if writer.is_dead() {
+            // The client stopped reading past the deadline; nothing we
+            // produce can reach it anymore.
+            break;
+        }
         // `read_line` keeps any partial line in `line` across a
         // timeout, so a slow writer is reassembled, not corrupted.
         match reader.read_line(&mut line) {
@@ -326,34 +585,42 @@ where
             Ok(Request::Stats) => {
                 let snap = state.counters.snapshot();
                 let (mesh_hits, mesh_misses) = np_grid::mesh::process_cache_stats();
-                write_line(
-                    &writer,
+                writer.send(
+                    state,
                     &Response::Stats(StatsMsg {
                         accepted: snap.accepted,
                         served: snap.served,
                         memo_hits: snap.memo_hits,
                         cancelled: snap.cancelled,
                         rejected: snap.rejected,
+                        overloaded: snap.overloaded,
+                        conn_rejected: snap.conn_rejected,
+                        write_timeouts: snap.write_timeouts,
                         protocol_errors: snap.protocol_errors,
                         memo_entries: state.memo.len() as u64,
+                        memo_bytes: state.memo.approx_bytes() as u64,
+                        memo_evictions: state.memo.evictions(),
                         mesh_hits,
                         mesh_misses,
                     }),
                 )?;
             }
+            Ok(Request::Health) => {
+                writer.send(state, &Response::Health(state.health()))?;
+            }
             Ok(Request::Shutdown) => {
                 state.shutdown.store(true, Ordering::SeqCst);
-                write_line(&writer, &Response::Shutdown)?;
+                writer.send(state, &Response::Shutdown)?;
                 break;
             }
             Err(Error::Protocol { reason }) => {
                 state.counters.bump(&state.counters.protocol_errors);
-                write_line(&writer, &Response::Protocol { reason })?;
+                writer.send(state, &Response::Protocol { reason })?;
             }
             Err(other) => {
                 state.counters.bump(&state.counters.protocol_errors);
-                write_line(
-                    &writer,
+                writer.send(
+                    state,
                     &Response::Protocol {
                         reason: other.to_string(),
                     },
@@ -364,25 +631,39 @@ where
     Ok(())
 }
 
-/// Serves one `run` request: admission, memo short-circuit, engine run
-/// with streamed records, terminal report.
+/// Serves one `run` request: admission (with queue-wait shedding),
+/// memo short-circuit, engine run with streamed records, terminal
+/// report.
 fn handle_run<W>(
     run: &RunRequest,
-    writer: &Arc<Mutex<W>>,
+    writer: &Arc<ConnWriter<W>>,
     state: &Arc<ServerState>,
 ) -> std::io::Result<()>
 where
     W: Write + Send + 'static,
 {
-    let Some(permit) = state.gate.admit() else {
-        state.counters.bump(&state.counters.rejected);
-        return write_line(
-            writer,
-            &Response::Busy {
-                inflight: state.gate.inflight() as u64,
-                capacity: state.gate.capacity() as u64,
-            },
-        );
+    let permit = match state.gate.admit_within(Some(state.shed_budget)) {
+        Admission::Admitted(permit) => permit,
+        Admission::QueueFull => {
+            state.counters.bump(&state.counters.rejected);
+            return writer.send(
+                state,
+                &Response::Busy {
+                    inflight: state.gate.inflight() as u64,
+                    capacity: state.gate.capacity() as u64,
+                },
+            );
+        }
+        Admission::Shed { waited } => {
+            state.counters.bump(&state.counters.overloaded);
+            return writer.send(
+                state,
+                &Response::Overloaded {
+                    waited_ms: waited.as_millis() as u64,
+                    budget_ms: state.shed_budget.as_millis() as u64,
+                },
+            );
+        }
     };
     state.counters.bump(&state.counters.accepted);
     let start = Instant::now();
@@ -417,8 +698,8 @@ where
             memo_hits += 1;
             ok += 1;
             state.counters.bump(&state.counters.memo_hits);
-            write_line(
-                writer,
+            writer.send(
+                state,
                 &Response::Record(RecordMsg {
                     name: name.clone(),
                     status: "ok".into(),
@@ -446,18 +727,22 @@ where
         None
     } else {
         let writer = Arc::clone(writer);
-        let memo = Arc::clone(state);
+        let shared = Arc::clone(state);
         let csv = run.csv;
         let report = Session::new(jobs)
             .workers(state.workers)
             .cancel(token.clone())
             .on_record(move |_, record: &JobRecord| {
                 if let Ok(output) = &record.outcome {
-                    memo.memo
+                    shared
+                        .memo
                         .insert(ArtifactMemo::request_key(&record.name, csv), output.clone());
                 }
-                let _ = write_line(
-                    &writer,
+                // Record streaming runs on the engine's shared workers;
+                // `send` bounds a stalled client to one write deadline
+                // and then drops it, so the pool stays live.
+                let _ = writer.send(
+                    &shared,
                     &Response::Record(RecordMsg::from_record(record, false)),
                 );
             })
@@ -489,8 +774,8 @@ where
     // Release the slot before the terminal write: a client that has
     // read its report must be able to get its next request admitted.
     drop(permit);
-    write_line(
-        writer,
+    writer.send(
+        state,
         &Response::Report(ReportMsg {
             ok,
             failures,
@@ -500,6 +785,43 @@ where
             interrupted,
         }),
     )
+}
+
+// ---------------------------------------------------------------------
+// chaos-proxy (hidden; exposes np_bench::chaos for scripts/CI)
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+fn cmd_chaos_proxy(args: &[String]) -> i32 {
+    use np_bench::chaos::{ChaosProxy, ChaosSchedule};
+    let parsed = (|| -> Result<_, String> {
+        let listen = parse_flag_opt(args, "--listen")?.ok_or("chaos-proxy needs --listen PATH")?;
+        let upstream =
+            parse_flag_opt(args, "--upstream")?.ok_or("chaos-proxy needs --upstream PATH")?;
+        let seed = parse_flag_value(args, "--seed", 1u64)?;
+        Ok((listen, upstream, seed))
+    })();
+    let (listen, upstream, seed) = match parsed {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("nanopowerd chaos-proxy: {e}");
+            return 2;
+        }
+    };
+    let proxy = match ChaosProxy::start(&listen, &upstream, ChaosSchedule::Seeded { seed }) {
+        Ok(proxy) => proxy,
+        Err(e) => {
+            eprintln!("nanopowerd chaos-proxy: {e}");
+            return 1;
+        }
+    };
+    eprintln!("nanopowerd chaos-proxy: {listen} -> {upstream} (seed {seed})");
+    // Runs until killed: the proxy is scaffolding for a driving script,
+    // which owns its lifetime.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+        let _ = proxy.accepted();
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -571,7 +893,7 @@ impl Client {
     }
 
     /// Sends a run request and reads until its terminal line, returning
-    /// the report — or the `busy` rejection.
+    /// the report — or the typed `busy` / `overloaded` rejection.
     fn run(&mut self, request: &RunRequest) -> Result<RunOutcome, String> {
         self.send(&Request::Run(request.clone()))?;
         loop {
@@ -579,6 +901,7 @@ impl Client {
                 Response::Record(_) => {}
                 Response::Report(report) => return Ok(RunOutcome::Report(report)),
                 Response::Busy { .. } => return Ok(RunOutcome::Busy),
+                Response::Overloaded { .. } => return Ok(RunOutcome::Overloaded),
                 Response::Protocol { reason } => return Err(format!("protocol error: {reason}")),
                 other => return Err(format!("unexpected response {other:?}")),
             }
@@ -589,6 +912,7 @@ impl Client {
 enum RunOutcome {
     Report(ReportMsg),
     Busy,
+    Overloaded,
 }
 
 // ---------------------------------------------------------------------
@@ -649,6 +973,7 @@ struct LoadTally {
     latencies_ms: Vec<f64>,
     errors: u64,
     busy_retries: u64,
+    shed_retries: u64,
 }
 
 fn run_load(
@@ -683,6 +1008,7 @@ fn run_load(
                         tally.latencies_ms.extend(conn_tally.latencies_ms);
                         tally.errors += conn_tally.errors;
                         tally.busy_retries += conn_tally.busy_retries;
+                        tally.shed_retries += conn_tally.shed_retries;
                     }
                     Err(e) => {
                         eprintln!("connection {conn}: {e}");
@@ -694,11 +1020,21 @@ fn run_load(
     });
     let total_wall = start.elapsed();
     // One more connection to collect the daemon's own counters.
-    let memo_hits = match Client::connect(endpoint) {
+    let (memo_hits, daemon) = match Client::connect(endpoint) {
         Ok((mut client, _)) => {
             client.send(&Request::Stats)?;
             match client.read_response()? {
-                Response::Stats(stats) => stats.memo_hits,
+                Response::Stats(stats) => (
+                    stats.memo_hits,
+                    DaemonCounters {
+                        memo_entries: stats.memo_entries,
+                        memo_bytes: stats.memo_bytes,
+                        memo_evictions: stats.memo_evictions,
+                        overloaded: stats.overloaded,
+                        conn_rejected: stats.conn_rejected,
+                        write_timeouts: stats.write_timeouts,
+                    },
+                ),
                 other => return Err(format!("expected stats, got {other:?}")),
             }
         }
@@ -711,7 +1047,9 @@ fn run_load(
         completed: tally.latencies_ms.len() as u64,
         errors: tally.errors,
         busy_retries: tally.busy_retries,
+        shed_retries: tally.shed_retries,
         memo_hits,
+        daemon,
         quick,
         total_wall,
         latencies_ms: tally.latencies_ms.clone(),
@@ -754,6 +1092,15 @@ fn drive_connection(
                     }
                     std::thread::sleep(Duration::from_millis(10));
                 }
+                RunOutcome::Overloaded => {
+                    // Shed load backs off harder than plain busy: the
+                    // daemon told us its queue wait itself is saturated.
+                    tally.shed_retries += 1;
+                    if tally.shed_retries > 1_000 {
+                        return Err("daemon stayed overloaded past the retry budget".into());
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
             }
         }
     }
@@ -761,7 +1108,7 @@ fn drive_connection(
 }
 
 // ---------------------------------------------------------------------
-// stats / shutdown
+// stats / health / shutdown
 // ---------------------------------------------------------------------
 
 fn cmd_oneshot(args: &[String], request: Request) -> i32 {

@@ -18,6 +18,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(unix)]
+pub mod chaos;
 pub mod experiments;
 pub mod figures;
 pub mod golden;

@@ -26,15 +26,38 @@ pub struct ServeReport {
     pub errors: u64,
     /// `busy` rejections observed (each retried until admitted).
     pub busy_retries: u64,
+    /// `overloaded` sheds observed (each retried with backoff).
+    pub shed_retries: u64,
     /// Memo-served records accumulated by the daemon over the run
     /// (from its stats response).
     pub memo_hits: u64,
+    /// Daemon-side counters captured from the final stats response:
+    /// memo occupancy and the overload/degradation tallies.
+    pub daemon: DaemonCounters,
     /// Whether this was a `--quick` run.
     pub quick: bool,
     /// Wall-clock of the whole load run.
     pub total_wall: Duration,
     /// Per-request latencies, milliseconds, completion order.
     pub latencies_ms: Vec<f64>,
+}
+
+/// The daemon-side resilience counters a load run records alongside its
+/// client-side latencies (all zero when the stats probe was skipped).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DaemonCounters {
+    /// Entries resident in the artifact memo after the run.
+    pub memo_entries: u64,
+    /// Approximate bytes resident in the artifact memo.
+    pub memo_bytes: u64,
+    /// Memo entries evicted by the entry/byte caps.
+    pub memo_evictions: u64,
+    /// Requests shed with a typed `overloaded` response.
+    pub overloaded: u64,
+    /// Connections turned away at the max-connections gate.
+    pub conn_rejected: u64,
+    /// Record writes abandoned at the per-connection write deadline.
+    pub write_timeouts: u64,
 }
 
 /// Linear-interpolated percentile (`p` in 0..=100) of an unsorted
@@ -100,19 +123,28 @@ impl ServeReport {
         out.push_str("  \"mesh_sizes\": [],\n");
         out.push_str(&format!(
             "  \"serve\": {{\"connections\": {}, \"requests\": {}, \"completed\": {}, \
-             \"errors\": {}, \"busy_retries\": {}, \"memo_hits\": {}, \
+             \"errors\": {}, \"busy_retries\": {}, \"shed_retries\": {}, \"memo_hits\": {}, \
              \"throughput_rps\": {:.3}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \
-             \"total_ms\": {:.3}}},\n",
+             \"total_ms\": {:.3}, \"daemon\": {{\"memo_entries\": {}, \"memo_bytes\": {}, \
+             \"memo_evictions\": {}, \"overloaded\": {}, \"conn_rejected\": {}, \
+             \"write_timeouts\": {}}}}},\n",
             self.connections,
             self.requests,
             self.completed,
             self.errors,
             self.busy_retries,
+            self.shed_retries,
             self.memo_hits,
             self.throughput_rps(),
             self.p50_ms(),
             self.p99_ms(),
             self.total_wall.as_secs_f64() * 1e3,
+            self.daemon.memo_entries,
+            self.daemon.memo_bytes,
+            self.daemon.memo_evictions,
+            self.daemon.overloaded,
+            self.daemon.conn_rejected,
+            self.daemon.write_timeouts,
         ));
         out.push_str("  \"kernels\": [\n");
         let kernels = [
@@ -173,7 +205,16 @@ mod tests {
             completed: 98,
             errors: 2,
             busy_retries: 3,
+            shed_retries: 1,
             memo_hits: 40,
+            daemon: DaemonCounters {
+                memo_entries: 6,
+                memo_bytes: 4096,
+                memo_evictions: 2,
+                overloaded: 1,
+                conn_rejected: 0,
+                write_timeouts: 0,
+            },
             quick: false,
             total_wall: Duration::from_secs(2),
             latencies_ms: (1..=98).map(f64::from).collect(),
@@ -184,6 +225,9 @@ mod tests {
         assert!(json.contains("\"throughput_rps\": 49.000"));
         assert!(json.contains("\"name\": \"serve.p99\""));
         assert!(json.contains("\"memo_hits\": 40"));
+        assert!(json.contains("\"daemon\": {\"memo_entries\": 6"));
+        assert!(json.contains("\"memo_evictions\": 2"));
+        assert!(json.contains("\"shed_retries\": 1"));
         assert!((report.p50_ms() - 49.5).abs() < 1e-9);
         assert!(report.p99_ms() > 95.0);
         let summary = report.summary();

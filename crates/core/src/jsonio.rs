@@ -9,8 +9,21 @@
 //! exotica neither format uses (no `\uXXXX` surrogate pairs); anything
 //! trailing the top-level value is rejected so a torn line fused with
 //! the next write can never parse silently.
+//!
+//! The parser sits on the network boundary (every `nanopowerd` request
+//! line goes through it), so hostile input must come back as a typed
+//! error, never a panic or a crash: nesting is capped at
+//! [`MAX_DEPTH`] (bounded recursion — a `[[[[…` flood cannot overflow
+//! the stack), numbers that overflow `f64` are rejected instead of
+//! becoming `inf`, and unescaped control bytes (including NUL) inside
+//! strings are rejected the way the JSON grammar demands.
 
 use std::collections::HashMap;
+
+/// Maximum container nesting the parser accepts. Both line formats top
+/// out at three levels; 64 leaves slack for future schemas while keeping
+/// the recursion bounded against adversarial `[[[[…` input.
+pub(crate) const MAX_DEPTH: usize = 64;
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -88,7 +101,7 @@ impl Json {
 pub(crate) fn parse(line: &str) -> Result<Json, String> {
     let mut chars = line.char_indices().peekable();
     skip_ws(&mut chars);
-    let value = parse_value(&mut chars)?;
+    let value = parse_value(&mut chars, 0)?;
     skip_ws(&mut chars);
     if chars.next().is_some() {
         return Err("trailing bytes after the JSON value".into());
@@ -111,12 +124,15 @@ fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
     }
 }
 
-fn parse_value(chars: &mut Chars<'_>) -> Result<Json, String> {
+fn parse_value(chars: &mut Chars<'_>, depth: usize) -> Result<Json, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH} levels"));
+    }
     skip_ws(chars);
     match chars.peek() {
         Some((_, '"')) => Ok(Json::Str(parse_string(chars)?)),
-        Some((_, '{')) => parse_object(chars),
-        Some((_, '[')) => parse_array(chars),
+        Some((_, '{')) => parse_object(chars, depth),
+        Some((_, '[')) => parse_array(chars, depth),
         Some((_, 't' | 'f' | 'n')) => {
             let word: String = std::iter::from_fn(|| {
                 matches!(chars.peek(), Some((_, c)) if c.is_ascii_alphabetic())
@@ -141,16 +157,19 @@ fn parse_value(chars: &mut Chars<'_>) -> Result<Json, String> {
                 .flatten()
             })
             .collect();
-            token
-                .parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| format!("bad number `{token}`"))
+            match token.parse::<f64>() {
+                // `1e999` parses to infinity; neither line format writes
+                // non-finite numbers, so they can only be garbage.
+                Ok(n) if n.is_finite() => Ok(Json::Num(n)),
+                Ok(_) => Err(format!("number out of range `{token}`")),
+                Err(_) => Err(format!("bad number `{token}`")),
+            }
         }
         other => Err(format!("unexpected value start {other:?}")),
     }
 }
 
-fn parse_object(chars: &mut Chars<'_>) -> Result<Json, String> {
+fn parse_object(chars: &mut Chars<'_>, depth: usize) -> Result<Json, String> {
     expect(chars, '{')?;
     let mut fields = HashMap::new();
     skip_ws(chars);
@@ -163,7 +182,7 @@ fn parse_object(chars: &mut Chars<'_>) -> Result<Json, String> {
         let key = parse_string(chars)?;
         skip_ws(chars);
         expect(chars, ':')?;
-        let value = parse_value(chars)?;
+        let value = parse_value(chars, depth + 1)?;
         fields.insert(key, value);
         skip_ws(chars);
         match chars.next() {
@@ -175,7 +194,7 @@ fn parse_object(chars: &mut Chars<'_>) -> Result<Json, String> {
     Ok(Json::Obj(fields))
 }
 
-fn parse_array(chars: &mut Chars<'_>) -> Result<Json, String> {
+fn parse_array(chars: &mut Chars<'_>, depth: usize) -> Result<Json, String> {
     expect(chars, '[')?;
     let mut items = Vec::new();
     skip_ws(chars);
@@ -184,7 +203,7 @@ fn parse_array(chars: &mut Chars<'_>) -> Result<Json, String> {
         return Ok(Json::Arr(items));
     }
     loop {
-        items.push(parse_value(chars)?);
+        items.push(parse_value(chars, depth + 1)?);
         skip_ws(chars);
         match chars.next() {
             Some((_, ',')) => continue,
@@ -218,6 +237,11 @@ fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
                 }
                 other => return Err(format!("bad escape {other:?}")),
             },
+            // Raw control bytes (NUL included) must arrive escaped; a
+            // bare one is framing garbage, not content.
+            Some((_, c)) if (c as u32) < 0x20 => {
+                return Err(format!("unescaped control character 0x{:02x}", c as u32))
+            }
             Some((_, c)) => out.push(c),
             None => return Err("unterminated string".into()),
         }
@@ -281,6 +305,93 @@ mod tests {
         assert_eq!(parse("[]").unwrap(), Json::Arr(Vec::new()));
         assert!(parse("{").is_err());
         assert!(parse("nope").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_a_typed_error_not_a_stack_overflow() {
+        // One past the cap fails with the typed message…
+        for (open, close) in [("[", "]"), ("{\"k\":", "}")] {
+            let line = format!(
+                "{}1{}",
+                open.repeat(MAX_DEPTH + 1),
+                close.repeat(MAX_DEPTH + 1)
+            );
+            let err = parse(&line).unwrap_err();
+            assert!(err.contains("nesting deeper"), "{err}");
+        }
+        // …while the cap itself parses.
+        let line = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&line).is_ok());
+        // A pathological flood (far past the cap, unclosed) fails fast
+        // instead of recursing 100k frames deep.
+        assert!(parse(&"[".repeat(100_000)).is_err());
+    }
+
+    #[test]
+    fn huge_numbers_are_rejected_not_infinite() {
+        assert!(parse("1e999").unwrap_err().contains("out of range"));
+        assert!(parse("-1e999").unwrap_err().contains("out of range"));
+        assert_eq!(parse("1e308").unwrap().as_f64(), Some(1e308));
+        // Malformed exponent soup stays a typed error.
+        assert!(parse("1e+e+e").is_err());
+        assert!(parse("--5").is_err());
+    }
+
+    #[test]
+    fn truncated_and_bad_escapes_are_typed_errors() {
+        for line in [
+            "\"\\u12",     // \u escape cut mid-hex by a torn line
+            "\"\\u12zz\"", // non-hex \u payload
+            "\"\\q\"",     // unknown escape
+            "\"\\",        // escape cut at the backslash
+            "\"\\ud800\"", // lone surrogate is not a char
+        ] {
+            assert!(parse(line).is_err(), "`{line}` must not parse");
+        }
+        assert_eq!(parse("\"\\u0041\"").unwrap().as_str(), Some("A"));
+    }
+
+    #[test]
+    fn raw_control_bytes_in_strings_are_rejected() {
+        assert!(parse("\"nul\u{0}byte\"")
+            .unwrap_err()
+            .contains("control character"));
+        assert!(parse("\"tab\there\"").is_err());
+        // The escaped forms stay legal — that is what `escape` emits.
+        assert_eq!(parse("\"\\u0000\"").unwrap().as_str(), Some("\u{0}"));
+        assert_eq!(
+            parse(&escape("tab\there").to_string()).unwrap().as_str(),
+            Some("tab\there")
+        );
+    }
+
+    #[test]
+    fn garbage_lines_never_panic() {
+        // A cheap deterministic fuzz sweep: structured prefixes crossed
+        // with hostile suffixes; every combination must return, not
+        // panic (the no_panic_props suite re-checks this through the
+        // public protocol entry points).
+        let prefixes = ["", "{", "[", "{\"k\":", "\"", "-", "1e", "tru", "[1,"];
+        let suffixes = [
+            "",
+            "}",
+            "]",
+            "\u{0}",
+            "\\",
+            "\"",
+            "9999999999999999999999",
+            "1e99999",
+            "nul",
+            "\u{7f}",
+            "{{{{{{",
+            "\"\\u",
+            ",,",
+        ];
+        for p in prefixes {
+            for s in suffixes {
+                let _ = parse(&format!("{p}{s}"));
+            }
+        }
     }
 
     #[test]

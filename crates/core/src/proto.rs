@@ -8,16 +8,22 @@
 //! ([`Response::Report`], [`Response::Stats`], [`Response::Busy`],
 //! [`Response::Protocol`], or [`Response::Shutdown`]).
 //!
-//! Three requests exist:
+//! Four requests exist:
 //!
 //! ```text
 //! {"run": {"names": ["fig5", "table2"], "csv": false, "deadline_ms": 5000}}
 //! {"stats": {}}
+//! {"health": {}}
 //! {"shutdown": {}}
 //! ```
 //!
-//! A malformed line never drops the connection: the daemon answers with
-//! a typed [`Response::Protocol`] error (backed by
+//! Overload is always answered in band and typed, never by dropping the
+//! connection: a full admission queue answers [`Response::Busy`]
+//! (retry immediately is pointless, back off), while a queue wait past
+//! the daemon's shed budget answers [`Response::Overloaded`] (the
+//! request *was* queued, the daemon is saturated — shed load). A
+//! malformed line never drops the connection either: the daemon answers
+//! with a typed [`Response::Protocol`] error (backed by
 //! [`Error::Protocol`]) and keeps reading. Everything here is
 //! hand-rolled JSON over [`crate::engine::RunReport::to_json`]'s idiom —
 //! no serialization dependency — parsed by the same recursive-descent
@@ -52,6 +58,9 @@ pub enum Request {
     Run(RunRequest),
     /// Report the daemon's lifetime counters and cache statistics.
     Stats,
+    /// Report readiness, inflight load, memo occupancy, and shed
+    /// counters — the supervision endpoint.
+    Health,
     /// Ask the daemon to stop accepting connections and exit.
     Shutdown,
 }
@@ -111,6 +120,7 @@ impl Request {
                 }))
             }
             ["stats"] => Ok(Request::Stats),
+            ["health"] => Ok(Request::Health),
             ["shutdown"] => Ok(Request::Shutdown),
             [] => Err(Error::Protocol {
                 reason: "empty request object".into(),
@@ -134,6 +144,7 @@ impl Request {
                 format!("{{\"run\": {body}}}")
             }
             Request::Stats => "{\"stats\": {}}".into(),
+            Request::Health => "{\"health\": {}}".into(),
             Request::Shutdown => "{\"shutdown\": {}}".into(),
         }
     }
@@ -218,14 +229,51 @@ pub struct StatsMsg {
     pub cancelled: u64,
     /// Requests rejected with `busy` by admission control.
     pub rejected: u64,
+    /// Requests shed with `overloaded` (queue wait past the budget).
+    pub overloaded: u64,
+    /// Connections turned away at the max-connections gate.
+    pub conn_rejected: u64,
+    /// Record writes abandoned at the per-connection write deadline.
+    pub write_timeouts: u64,
     /// Malformed request lines answered with a protocol error.
     pub protocol_errors: u64,
     /// Entries currently resident in the artifact memo.
     pub memo_entries: u64,
+    /// Approximate bytes resident in the artifact memo.
+    pub memo_bytes: u64,
+    /// Memo entries evicted by the entry/byte caps.
+    pub memo_evictions: u64,
     /// Process-wide shared `MeshCache` hits.
     pub mesh_hits: u64,
     /// Process-wide shared `MeshCache` misses.
     pub mesh_misses: u64,
+}
+
+/// The supervision snapshot answering a `health` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HealthMsg {
+    /// Whether the daemon considers itself able to make progress:
+    /// false once shutdown begins or when the self-watchdog sees the
+    /// oldest inflight request stuck past its threshold.
+    pub ready: bool,
+    /// Requests currently executing.
+    pub inflight: u64,
+    /// The daemon's `max_inflight` setting.
+    pub capacity: u64,
+    /// Milliseconds the oldest inflight request has been executing
+    /// (0 when idle) — the watchdog's raw signal.
+    pub oldest_inflight_ms: u64,
+    /// Milliseconds since the daemon started serving.
+    pub uptime_ms: u64,
+    /// Entries currently resident in the artifact memo.
+    pub memo_entries: u64,
+    /// Approximate bytes resident in the artifact memo.
+    pub memo_bytes: u64,
+    /// Whether a memo spill file is live (false when unconfigured or
+    /// demoted to memory-only by a disk failure).
+    pub spill_active: bool,
+    /// Requests shed with `overloaded` over the daemon's lifetime.
+    pub shed: u64,
 }
 
 /// One server response line.
@@ -239,12 +287,23 @@ pub enum Response {
     Report(ReportMsg),
     /// The answer to a `stats` request.
     Stats(StatsMsg),
+    /// The answer to a `health` request.
+    Health(HealthMsg),
     /// Admission control rejected the request: the queue is full.
     Busy {
         /// Requests currently executing.
         inflight: u64,
         /// The daemon's `max_inflight` setting.
         capacity: u64,
+    },
+    /// The request queued but its admission wait exceeded the daemon's
+    /// shed budget — the saturated-daemon signal, distinct from
+    /// [`Response::Busy`]'s full-queue rejection.
+    Overloaded {
+        /// Milliseconds the request waited before being shed.
+        waited_ms: u64,
+        /// The daemon's configured shed budget in milliseconds.
+        budget_ms: u64,
     },
     /// The request line was malformed; the connection stays open.
     Protocol {
@@ -291,21 +350,48 @@ impl Response {
             ),
             Response::Stats(s) => format!(
                 "{{\"stats\": {{\"accepted\": {}, \"served\": {}, \"memo_hits\": {}, \
-                 \"cancelled\": {}, \"rejected\": {}, \"protocol_errors\": {}, \
-                 \"memo_entries\": {}, \"mesh_hits\": {}, \"mesh_misses\": {}}}}}",
+                 \"cancelled\": {}, \"rejected\": {}, \"overloaded\": {}, \
+                 \"conn_rejected\": {}, \"write_timeouts\": {}, \"protocol_errors\": {}, \
+                 \"memo_entries\": {}, \"memo_bytes\": {}, \"memo_evictions\": {}, \
+                 \"mesh_hits\": {}, \"mesh_misses\": {}}}}}",
                 s.accepted,
                 s.served,
                 s.memo_hits,
                 s.cancelled,
                 s.rejected,
+                s.overloaded,
+                s.conn_rejected,
+                s.write_timeouts,
                 s.protocol_errors,
                 s.memo_entries,
+                s.memo_bytes,
+                s.memo_evictions,
                 s.mesh_hits,
                 s.mesh_misses
+            ),
+            Response::Health(h) => format!(
+                "{{\"health\": {{\"ready\": {}, \"inflight\": {}, \"capacity\": {}, \
+                 \"oldest_inflight_ms\": {}, \"uptime_ms\": {}, \"memo_entries\": {}, \
+                 \"memo_bytes\": {}, \"spill_active\": {}, \"shed\": {}}}}}",
+                h.ready,
+                h.inflight,
+                h.capacity,
+                h.oldest_inflight_ms,
+                h.uptime_ms,
+                h.memo_entries,
+                h.memo_bytes,
+                h.spill_active,
+                h.shed
             ),
             Response::Busy { inflight, capacity } => {
                 format!("{{\"busy\": {{\"inflight\": {inflight}, \"capacity\": {capacity}}}}}")
             }
+            Response::Overloaded {
+                waited_ms,
+                budget_ms,
+            } => format!(
+                "{{\"overloaded\": {{\"waited_ms\": {waited_ms}, \"budget_ms\": {budget_ms}}}}}"
+            ),
             Response::Protocol { reason } => format!(
                 "{{\"error\": {{\"kind\": \"protocol\", \"reason\": {}}}}}",
                 jsonio::escape(reason)
@@ -390,10 +476,30 @@ impl Response {
                 memo_hits: count("memo_hits"),
                 cancelled: count("cancelled"),
                 rejected: count("rejected"),
+                overloaded: count("overloaded"),
+                conn_rejected: count("conn_rejected"),
+                write_timeouts: count("write_timeouts"),
                 protocol_errors: count("protocol_errors"),
                 memo_entries: count("memo_entries"),
+                memo_bytes: count("memo_bytes"),
+                memo_evictions: count("memo_evictions"),
                 mesh_hits: count("mesh_hits"),
                 mesh_misses: count("mesh_misses"),
+            }));
+        }
+        if let Some(health) = obj.get("health") {
+            let count = |key: &str| health.get(key).and_then(Json::as_u64).unwrap_or(0);
+            let flag = |key: &str| health.get(key).and_then(Json::as_bool).unwrap_or(false);
+            return Ok(Response::Health(HealthMsg {
+                ready: flag("ready"),
+                inflight: count("inflight"),
+                capacity: count("capacity"),
+                oldest_inflight_ms: count("oldest_inflight_ms"),
+                uptime_ms: count("uptime_ms"),
+                memo_entries: count("memo_entries"),
+                memo_bytes: count("memo_bytes"),
+                spill_active: flag("spill_active"),
+                shed: count("shed"),
             }));
         }
         if let Some(busy) = obj.get("busy") {
@@ -401,6 +507,13 @@ impl Response {
             return Ok(Response::Busy {
                 inflight: count("inflight"),
                 capacity: count("capacity"),
+            });
+        }
+        if let Some(overloaded) = obj.get("overloaded") {
+            let count = |key: &str| overloaded.get(key).and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::Overloaded {
+                waited_ms: count("waited_ms"),
+                budget_ms: count("budget_ms"),
             });
         }
         if let Some(error) = obj.get("error") {
@@ -447,8 +560,8 @@ mod tests {
     }
 
     #[test]
-    fn stats_and_shutdown_round_trip() {
-        for req in [Request::Stats, Request::Shutdown] {
+    fn stats_health_and_shutdown_round_trip() {
+        for req in [Request::Stats, Request::Health, Request::Shutdown] {
             assert_eq!(Request::parse(&req.to_json()), Ok(req));
         }
     }
@@ -540,8 +653,13 @@ mod tests {
             memo_hits: 4,
             cancelled: 1,
             rejected: 2,
+            overloaded: 11,
+            conn_rejected: 12,
+            write_timeouts: 13,
             protocol_errors: 3,
             memo_entries: 5,
+            memo_bytes: 8192,
+            memo_evictions: 14,
             mesh_hits: 7,
             mesh_misses: 6,
         });
@@ -552,6 +670,25 @@ mod tests {
             capacity: 2,
         };
         assert_eq!(Response::parse(&busy.to_json()), Ok(busy));
+
+        let overloaded = Response::Overloaded {
+            waited_ms: 120,
+            budget_ms: 100,
+        };
+        assert_eq!(Response::parse(&overloaded.to_json()), Ok(overloaded));
+
+        let health = Response::Health(HealthMsg {
+            ready: true,
+            inflight: 1,
+            capacity: 2,
+            oldest_inflight_ms: 35,
+            uptime_ms: 9000,
+            memo_entries: 5,
+            memo_bytes: 4096,
+            spill_active: true,
+            shed: 3,
+        });
+        assert_eq!(Response::parse(&health.to_json()), Ok(health));
 
         let err = Response::Protocol {
             reason: "unknown request `runn`".into(),

@@ -1,6 +1,7 @@
 //! Building blocks for the `nanopowerd` persistent analysis service:
-//! the cross-request artifact memo, admission control with bounded
-//! queueing, and lifetime telemetry counters.
+//! the bounded, crash-tolerant artifact memo, admission control with
+//! bounded queueing and queue-wait load shedding, and lifetime
+//! telemetry counters.
 //!
 //! The daemon binary (in `crates/bench`) owns the sockets and threads;
 //! everything policy-shaped lives here so it can be unit-tested without
@@ -13,19 +14,42 @@
 //!   a memo-served response exposes the digest a fresh run would.
 //!   Correct because artifact rendering is deterministic — the whole
 //!   repo is built on byte-identical reproduction (the golden-reference
-//!   drift gate enforces it).
+//!   drift gate enforces it). The memo is **bounded** ([`MemoConfig`]
+//!   entry and byte caps with least-recently-used eviction, so a
+//!   long-lived daemon cannot grow without limit) and optionally
+//!   **persistent**: [`ArtifactMemo::with_spill`] backs it with an
+//!   fsync'd, torn-tail-tolerant spill file (`nanopower-memo/v1`, the
+//!   same JSON-lines conventions as the crash-safe journal) that
+//!   rehydrates warm state across a crash or restart.
 //! - [`AdmissionGate`] — bounded concurrency plus a bounded wait queue.
 //!   `max_inflight` requests execute at once; up to `queue_depth` more
 //!   block waiting; anything beyond that is turned away immediately so
 //!   the caller can answer with a typed `busy` response instead of
-//!   stalling the socket.
+//!   stalling the socket. [`AdmissionGate::admit_within`] adds
+//!   queue-wait load shedding: a waiter whose admission wait exceeds
+//!   its budget is shed with [`Admission::Shed`] — the typed
+//!   `overloaded` response, distinct from `busy` — instead of queueing
+//!   unboundedly long. The gate also tracks how long the oldest
+//!   admitted request has been executing
+//!   ([`AdmissionGate::oldest_inflight_age`]), which is what the
+//!   daemon's stuck-worker watchdog and `health` endpoint read.
 //! - [`ServiceCounters`] — the accepted/served/memo-hit/cancelled/
-//!   rejected counters surfaced by the `{"stats": {}}` request.
+//!   rejected/shed counters surfaced by the `{"stats": {}}` request.
 
 use crate::engine::fnv1a64;
-use std::collections::HashMap;
+use crate::error::Error;
+use crate::jsonio::{self, Json};
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// The memo spill-file schema identifier (header line), following the
+/// `nanopower-journal/v1` conventions.
+pub const SPILL_SCHEMA: &str = "nanopower-memo/v1";
 
 /// One memoized artifact output: the rendered text and its
 /// journal-style digest.
@@ -38,22 +62,170 @@ pub struct MemoEntry {
     pub digest: String,
 }
 
-/// A cross-request, digest-keyed memo of rendered artifact outputs.
+/// Size bounds for the in-memory half of an [`ArtifactMemo`].
+///
+/// Whichever cap is hit first evicts least-recently-used entries. The
+/// spill file (when present) is compacted independently, so eviction
+/// never loses persisted state before its time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Maximum resident entries (min 1).
+    pub max_entries: usize,
+    /// Maximum resident output bytes across all entries (min 1 KiB).
+    pub max_bytes: usize,
+}
+
+impl Default for MemoConfig {
+    /// 256 entries / 64 MiB — generous for the 17-artifact registry,
+    /// but a hard ceiling for a daemon serving arbitrary future specs.
+    fn default() -> Self {
+        MemoConfig {
+            max_entries: 256,
+            max_bytes: 64 << 20,
+        }
+    }
+}
+
+impl MemoConfig {
+    fn clamped(self) -> Self {
+        MemoConfig {
+            max_entries: self.max_entries.max(1),
+            max_bytes: self.max_bytes.max(1024),
+        }
+    }
+}
+
+/// What [`ArtifactMemo::with_spill`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpillReport {
+    /// Entries rehydrated into the memo.
+    pub rehydrated: usize,
+    /// Lines dropped (torn tail, digest mismatch, or unparseable).
+    pub dropped: usize,
+}
+
+/// The append-mode spill writer backing a persistent memo.
+#[derive(Debug)]
+struct SpillFile {
+    file: File,
+    path: PathBuf,
+    /// Entry lines written since the file was last compacted; once this
+    /// outgrows the entry cap by 4x the file is rewritten from the
+    /// resident entries.
+    lines: u64,
+}
+
+/// Everything behind the memo's one lock: the resident entries, their
+/// LRU order (front = coldest), the resident byte total, and the spill.
+#[derive(Debug, Default)]
+struct MemoState {
+    entries: HashMap<u64, MemoEntry>,
+    order: VecDeque<u64>,
+    bytes: usize,
+    spill: Option<SpillFile>,
+}
+
+/// A cross-request, digest-keyed, LRU-bounded memo of rendered artifact
+/// outputs, optionally spilled to a crash-tolerant file.
 ///
 /// Thread-safe; shared across every connection of a daemon process.
-/// Entries never expire — artifact outputs are deterministic, so a
-/// stale entry is impossible within one build of the binary.
+/// Entries never go stale — artifact outputs are deterministic, so a
+/// cached entry is valid for the lifetime of the binary (and, via the
+/// digest check on rehydration, across restarts of the same binary).
 #[derive(Debug, Default)]
 pub struct ArtifactMemo {
-    entries: Mutex<HashMap<u64, MemoEntry>>,
+    state: Mutex<MemoState>,
+    config: MemoConfig,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    spill_errors: AtomicU64,
 }
 
 impl ArtifactMemo {
-    /// An empty memo.
+    /// An empty, unspilled memo with the default bounds.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_config(MemoConfig::default())
+    }
+
+    /// An empty, unspilled memo with explicit bounds.
+    pub fn with_config(config: MemoConfig) -> Self {
+        ArtifactMemo {
+            config: config.clamped(),
+            ..Self::default()
+        }
+    }
+
+    /// A memo persisted at `path`: rehydrates whatever intact entries an
+    /// existing spill holds (tolerating a torn tail and skipping any
+    /// line whose digest no longer matches its output), then compacts
+    /// the file to the retained set so a crash loop cannot grow it.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Journal`] when the spill cannot be read or (re)written.
+    /// A corrupt or foreign-schema file is not an error: it is a cache,
+    /// so it is reset to empty instead.
+    pub fn with_spill(
+        path: impl AsRef<Path>,
+        config: MemoConfig,
+    ) -> Result<(Self, SpillReport), Error> {
+        let path = path.as_ref().to_path_buf();
+        let memo = Self::with_config(config);
+        let mut report = SpillReport::default();
+
+        // Load whatever the previous process left. Later lines win, so
+        // re-inserted entries keep their most recent position.
+        let mut loaded: Vec<(u64, MemoEntry)> = Vec::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let mut lines = text.split_inclusive('\n');
+                let header_ok = lines
+                    .next()
+                    .filter(|header| header.ends_with('\n'))
+                    .and_then(|header| jsonio::parse(header.trim_end()).ok())
+                    .and_then(|h| h.get("schema").and_then(Json::as_str).map(str::to_owned))
+                    .is_some_and(|schema| schema == SPILL_SCHEMA);
+                if header_ok {
+                    for raw in lines {
+                        let complete = raw.ends_with('\n');
+                        let line = raw.trim_end_matches('\n');
+                        if line.is_empty() {
+                            continue;
+                        }
+                        match parse_spill_line(line) {
+                            Some((key, entry)) if complete => loaded.push((key, entry)),
+                            // A parseable newline-less tail may still be
+                            // a prefix of a longer intended line: drop it
+                            // like the journal does.
+                            _ => report.dropped += 1,
+                        }
+                    }
+                } else {
+                    // Torn header or foreign schema: the whole file is
+                    // unusable, start fresh.
+                    report.dropped += text.lines().count();
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => {
+                return Err(Error::Journal {
+                    reason: format!("cannot read memo spill {}: {e}", path.display()),
+                })
+            }
+        }
+
+        {
+            let mut state = memo.state.lock().unwrap_or_else(PoisonError::into_inner);
+            for (key, entry) in loaded {
+                insert_locked(&mut state, key, entry, memo.config, &memo.evictions);
+            }
+            report.rehydrated = state.entries.len();
+            // Compact on open: dedups superseded lines, truncates any
+            // torn tail, and applies the caps to the on-disk form.
+            state.spill = Some(rewrite_spill(&path, &state.entries, &state.order)?);
+        }
+        Ok((memo, report))
     }
 
     /// The memo key for a request descriptor: FNV-1a over the artifact
@@ -63,13 +235,15 @@ impl ArtifactMemo {
         fnv1a64(descriptor.as_bytes())
     }
 
-    /// Looks up a memoized output, counting a hit or miss.
+    /// Looks up a memoized output, counting a hit or miss and marking
+    /// the entry most-recently-used.
     pub fn get(&self, key: u64) -> Option<MemoEntry> {
-        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
-        match entries.get(&key) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        match state.entries.get(&key).cloned() {
             Some(entry) => {
+                touch(&mut state.order, key);
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(entry.clone())
+                Some(entry)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -78,26 +252,71 @@ impl ArtifactMemo {
         }
     }
 
-    /// Memoizes a rendered output under `key`, computing its digest.
+    /// Memoizes a rendered output under `key`, computing its digest,
+    /// evicting least-recently-used entries past the configured bounds,
+    /// and (for a spilled memo) appending the entry to the spill file
+    /// with an fsync before returning.
     pub fn insert(&self, key: u64, output: String) {
         let digest = format!("fnv1a:{:016x}", fnv1a64(output.as_bytes()));
-        self.entries
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(key, MemoEntry { output, digest });
+        let entry = MemoEntry { output, digest };
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Some(spill) = state.spill.as_mut() {
+            let line = spill_line(key, &entry);
+            if spill
+                .file
+                .write_all(line.as_bytes())
+                .and_then(|()| spill.file.sync_data())
+                .is_err()
+            {
+                // A failing disk must not take the service down: fall
+                // back to memory-only and count the degradation.
+                state.spill = None;
+                self.spill_errors.fetch_add(1, Ordering::Relaxed);
+            } else {
+                spill.lines += 1;
+            }
+        }
+        insert_locked(&mut state, key, entry, self.config, &self.evictions);
+        // Compact once the append-only file outgrows the resident set
+        // 4x over; rewrite failure degrades to memory-only like above.
+        let over = state
+            .spill
+            .as_ref()
+            .is_some_and(|s| s.lines > (4 * self.config.max_entries as u64).max(64));
+        if over {
+            let path = state.spill.as_ref().map(|s| s.path.clone());
+            if let Some(path) = path {
+                match rewrite_spill(&path, &state.entries, &state.order) {
+                    Ok(spill) => state.spill = Some(spill),
+                    Err(_) => {
+                        state.spill = None;
+                        self.spill_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
     }
 
-    /// Number of entries currently memoized.
+    /// Number of entries currently resident.
     pub fn len(&self) -> usize {
-        self.entries
+        self.state
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
+            .entries
             .len()
     }
 
     /// Whether the memo holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Approximate resident bytes (output text only).
+    pub fn approx_bytes(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .bytes
     }
 
     /// Lifetime `(hits, misses)` counters.
@@ -107,14 +326,145 @@ impl ArtifactMemo {
             self.misses.load(Ordering::Relaxed),
         )
     }
+
+    /// Entries evicted by the entry/byte bounds over the memo's life.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Whether a spill file is still being written (false for unspilled
+    /// memos and after a disk failure demoted the memo to memory-only).
+    pub fn spill_active(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .spill
+            .is_some()
+    }
+
+    /// Spill writes abandoned because of I/O failures.
+    pub fn spill_errors(&self) -> u64 {
+        self.spill_errors.load(Ordering::Relaxed)
+    }
 }
 
-/// Bounded-concurrency admission control with a bounded wait queue.
+/// Moves `key` to the most-recently-used end of the order.
+fn touch(order: &mut VecDeque<u64>, key: u64) {
+    if let Some(pos) = order.iter().position(|&k| k == key) {
+        order.remove(pos);
+    }
+    order.push_back(key);
+}
+
+/// Inserts into the resident set and evicts from the cold end until the
+/// bounds hold again. An over-cap single entry still resides alone —
+/// the memo must be able to serve the one thing it was just asked for.
+fn insert_locked(
+    state: &mut MemoState,
+    key: u64,
+    entry: MemoEntry,
+    config: MemoConfig,
+    evictions: &AtomicU64,
+) {
+    if let Some(old) = state.entries.insert(key, entry) {
+        state.bytes -= old.output.len();
+    }
+    state.bytes += state.entries[&key].output.len();
+    touch(&mut state.order, key);
+    while state.entries.len() > config.max_entries
+        || (state.bytes > config.max_bytes && state.entries.len() > 1)
+    {
+        let Some(cold) = state.order.pop_front() else {
+            break;
+        };
+        if let Some(old) = state.entries.remove(&cold) {
+            state.bytes -= old.output.len();
+            evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One spill entry as a JSON line (trailing newline included).
+fn spill_line(key: u64, entry: &MemoEntry) -> String {
+    format!(
+        "{{\"key\":\"{key:016x}\",\"digest\":{},\"output\":{}}}\n",
+        jsonio::escape(&entry.digest),
+        jsonio::escape(&entry.output),
+    )
+}
+
+/// Parses and digest-verifies one spill entry line; `None` drops it.
+fn parse_spill_line(line: &str) -> Option<(u64, MemoEntry)> {
+    let fields = jsonio::parse(line).ok()?;
+    let key = u64::from_str_radix(fields.get("key")?.as_str()?, 16).ok()?;
+    let digest = fields.get("digest")?.as_str()?.to_owned();
+    let output = fields.get("output")?.as_str()?.to_owned();
+    // The digest recorded at write time must still match the stored
+    // output — the same tamper/corruption guard the journal applies.
+    if digest != format!("fnv1a:{:016x}", fnv1a64(output.as_bytes())) {
+        return None;
+    }
+    Some((key, MemoEntry { output, digest }))
+}
+
+/// Rewrites the spill at `path` to exactly the resident entries (cold
+/// to hot, so a reload preserves LRU order), atomically via a temp file
+/// rename, and returns the fresh append handle.
+fn rewrite_spill(
+    path: &Path,
+    entries: &HashMap<u64, MemoEntry>,
+    order: &VecDeque<u64>,
+) -> Result<SpillFile, Error> {
+    let io_err = |op: &str, e: &std::io::Error| Error::Journal {
+        reason: format!("cannot {op} memo spill {}: {e}", path.display()),
+    };
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp).map_err(|e| io_err("create", &e))?;
+    let mut text = format!("{{\"schema\":{}}}\n", jsonio::escape(SPILL_SCHEMA));
+    for key in order {
+        if let Some(entry) = entries.get(key) {
+            text.push_str(&spill_line(*key, entry));
+        }
+    }
+    file.write_all(text.as_bytes())
+        .and_then(|()| file.sync_data())
+        .map_err(|e| io_err("write", &e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("commit", &e))?;
+    let file = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err("reopen", &e))?;
+    Ok(SpillFile {
+        file,
+        path: path.to_path_buf(),
+        lines: 0,
+    })
+}
+
+/// The outcome of [`AdmissionGate::admit_within`].
+#[derive(Debug)]
+pub enum Admission<'a> {
+    /// Admitted; the permit releases the slot on drop.
+    Admitted(AdmissionPermit<'a>),
+    /// The wait queue is already full — answer `busy` immediately.
+    QueueFull,
+    /// The caller queued but its admission wait exceeded the shed
+    /// budget — answer with the typed `overloaded` response.
+    Shed {
+        /// How long the caller waited before being shed.
+        waited: Duration,
+    },
+}
+
+/// Bounded-concurrency admission control with a bounded wait queue and
+/// queue-wait load shedding.
 ///
 /// At most `max_inflight` permits are out at once; up to `queue_depth`
 /// callers block in [`AdmissionGate::admit`] waiting for one; beyond
 /// that `admit` returns `None` immediately — backpressure the caller
-/// turns into a typed `busy` response.
+/// turns into a typed `busy` response. [`AdmissionGate::admit_within`]
+/// additionally sheds a queued waiter whose wait exceeds a budget.
 #[derive(Debug)]
 pub struct AdmissionGate {
     state: Mutex<GateState>,
@@ -127,6 +477,10 @@ pub struct AdmissionGate {
 struct GateState {
     inflight: usize,
     queued: usize,
+    /// Start instant of every admitted request, keyed by permit token —
+    /// what [`AdmissionGate::oldest_inflight_age`] reads.
+    starts: HashMap<u64, Instant>,
+    next_token: u64,
 }
 
 impl AdmissionGate {
@@ -145,24 +499,53 @@ impl AdmissionGate {
     /// saturated. Returns `None` without blocking when the queue is
     /// already full.
     pub fn admit(&self) -> Option<AdmissionPermit<'_>> {
+        match self.admit_within(None) {
+            Admission::Admitted(permit) => Some(permit),
+            _ => None,
+        }
+    }
+
+    /// Acquires a permit, queueing at most `budget` (forever when
+    /// `None`). Distinguishes the two overload shapes: a full queue
+    /// ([`Admission::QueueFull`], immediate) versus a queue wait past
+    /// the budget ([`Admission::Shed`]).
+    pub fn admit_within(&self, budget: Option<Duration>) -> Admission<'_> {
+        let start = Instant::now();
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if state.inflight < self.max_inflight {
-            state.inflight += 1;
-            return Some(AdmissionPermit { gate: self });
+        if state.inflight >= self.max_inflight {
+            if state.queued >= self.queue_depth {
+                return Admission::QueueFull;
+            }
+            state.queued += 1;
+            while state.inflight >= self.max_inflight {
+                match budget {
+                    None => {
+                        state = self
+                            .freed
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    Some(budget) => {
+                        let waited = start.elapsed();
+                        let Some(remaining) = budget.checked_sub(waited) else {
+                            state.queued -= 1;
+                            return Admission::Shed { waited };
+                        };
+                        let (next, _timeout) = self
+                            .freed
+                            .wait_timeout(state, remaining)
+                            .unwrap_or_else(PoisonError::into_inner);
+                        state = next;
+                    }
+                }
+            }
+            state.queued -= 1;
         }
-        if state.queued >= self.queue_depth {
-            return None;
-        }
-        state.queued += 1;
-        while state.inflight >= self.max_inflight {
-            state = self
-                .freed
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-        state.queued -= 1;
         state.inflight += 1;
-        Some(AdmissionPermit { gate: self })
+        let token = state.next_token;
+        state.next_token += 1;
+        state.starts.insert(token, Instant::now());
+        Admission::Admitted(AdmissionPermit { gate: self, token })
     }
 
     /// Permits currently out.
@@ -178,9 +561,24 @@ impl AdmissionGate {
         self.max_inflight
     }
 
-    fn release(&self) {
+    /// How long the oldest currently-admitted request has been holding
+    /// its permit — `None` when nothing is inflight. A daemon watchdog
+    /// compares this against a stuck threshold to fail its health
+    /// check when the worker pool has wedged.
+    pub fn oldest_inflight_age(&self) -> Option<Duration> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .starts
+            .values()
+            .map(Instant::elapsed)
+            .max()
+    }
+
+    fn release(&self, token: u64) {
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         state.inflight = state.inflight.saturating_sub(1);
+        state.starts.remove(&token);
         drop(state);
         self.freed.notify_one();
     }
@@ -191,11 +589,12 @@ impl AdmissionGate {
 #[derive(Debug)]
 pub struct AdmissionPermit<'a> {
     gate: &'a AdmissionGate,
+    token: u64,
 }
 
 impl Drop for AdmissionPermit<'_> {
     fn drop(&mut self) {
-        self.gate.release();
+        self.gate.release(self.token);
     }
 }
 
@@ -213,8 +612,15 @@ pub struct ServiceCounters {
     pub memo_hits: AtomicU64,
     /// Requests whose deadline cancelled the run.
     pub cancelled: AtomicU64,
-    /// Requests rejected with `busy`.
+    /// Requests rejected with `busy` (queue full, immediate).
     pub rejected: AtomicU64,
+    /// Requests shed with `overloaded` (queue wait past the budget).
+    pub overloaded: AtomicU64,
+    /// Connections turned away at the max-connections gate.
+    pub conn_rejected: AtomicU64,
+    /// Response writes abandoned because a slow client hit the
+    /// per-connection write deadline.
+    pub write_timeouts: AtomicU64,
     /// Malformed request lines answered with a protocol error.
     pub protocol_errors: AtomicU64,
 }
@@ -232,6 +638,12 @@ pub struct CounterSnapshot {
     pub cancelled: u64,
     /// Requests rejected with `busy`.
     pub rejected: u64,
+    /// Requests shed with `overloaded`.
+    pub overloaded: u64,
+    /// Connections turned away at the max-connections gate.
+    pub conn_rejected: u64,
+    /// Writes abandoned at the per-connection write deadline.
+    pub write_timeouts: u64,
     /// Malformed request lines.
     pub protocol_errors: u64,
 }
@@ -256,6 +668,9 @@ impl ServiceCounters {
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
+            write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
         }
     }
@@ -266,7 +681,14 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
-    use std::time::Duration;
+
+    fn temp_spill(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "np-memo-{tag}-{}-{:?}.spill",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
 
     #[test]
     fn memo_round_trips_and_counts() {
@@ -279,7 +701,9 @@ mod tests {
         assert!(entry.digest.starts_with("fnv1a:"));
         assert_eq!(memo.stats(), (1, 1));
         assert_eq!(memo.len(), 1);
+        assert_eq!(memo.approx_bytes(), "v,drop\n0,1\n".len());
         assert!(!memo.is_empty());
+        assert!(!memo.spill_active(), "plain memo has no spill");
     }
 
     #[test]
@@ -308,10 +732,176 @@ mod tests {
     }
 
     #[test]
+    fn memo_evicts_least_recently_used_past_entry_cap() {
+        let memo = ArtifactMemo::with_config(MemoConfig {
+            max_entries: 2,
+            max_bytes: 1 << 20,
+        });
+        let (a, b, c) = (1u64, 2u64, 3u64);
+        memo.insert(a, "aa".into());
+        memo.insert(b, "bb".into());
+        // Touch `a` so `b` is now the cold entry.
+        assert!(memo.get(a).is_some());
+        memo.insert(c, "cc".into());
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.evictions(), 1);
+        assert!(memo.get(b).is_none(), "LRU entry was evicted");
+        assert!(memo.get(a).is_some());
+        assert!(memo.get(c).is_some());
+    }
+
+    #[test]
+    fn memo_evicts_on_byte_cap_but_keeps_the_newest_entry() {
+        let memo = ArtifactMemo::with_config(MemoConfig {
+            max_entries: 100,
+            max_bytes: 1024, // clamp floor
+        });
+        memo.insert(1, "x".repeat(700));
+        memo.insert(2, "y".repeat(700));
+        assert_eq!(memo.len(), 1, "byte cap holds");
+        assert!(memo.get(2).is_some(), "newest survives");
+        // A single entry over the whole cap still resides.
+        memo.insert(3, "z".repeat(5000));
+        assert!(memo.get(3).is_some());
+        assert_eq!(memo.len(), 1);
+        assert!(memo.evictions() >= 2);
+    }
+
+    #[test]
+    fn reinserting_a_key_replaces_without_double_counting_bytes() {
+        let memo = ArtifactMemo::new();
+        memo.insert(7, "short".into());
+        memo.insert(7, "a longer replacement".into());
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.approx_bytes(), "a longer replacement".len());
+    }
+
+    #[test]
+    fn spill_round_trips_across_a_restart() {
+        let path = temp_spill("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let key = ArtifactMemo::request_key("fig5", false);
+        let digest = {
+            let (memo, report) =
+                ArtifactMemo::with_spill(&path, MemoConfig::default()).expect("fresh spill");
+            assert_eq!(report, SpillReport::default());
+            assert!(memo.spill_active());
+            memo.insert(key, "persisted output\n".into());
+            memo.get(key).expect("resident").digest
+        };
+        // "Restart": a new memo over the same file sees the entry with
+        // an identical digest.
+        let (memo, report) =
+            ArtifactMemo::with_spill(&path, MemoConfig::default()).expect("rehydrate");
+        assert_eq!(report.rehydrated, 1, "{report:?}");
+        assert_eq!(report.dropped, 0);
+        let entry = memo.get(key).expect("rehydrated entry");
+        assert_eq!(entry.output, "persisted output\n");
+        assert_eq!(entry.digest, digest);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_survives_truncation_at_every_byte_offset() {
+        let path = temp_spill("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (memo, _) = ArtifactMemo::with_spill(&path, MemoConfig::default()).expect("create");
+            memo.insert(1, "first output\n".into());
+            memo.insert(2, "second \"quoted\" output\n".into());
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let torn = temp_spill("torn-cut");
+        for cut in 0..=bytes.len() {
+            std::fs::write(&torn, &bytes[..cut]).unwrap();
+            let (memo, report) = ArtifactMemo::with_spill(&torn, MemoConfig::default())
+                .unwrap_or_else(|e| panic!("cut at byte {cut} must load: {e}"));
+            // Whatever rehydrates must be intact: digests verified on
+            // load, so a torn line is dropped, never corrupted.
+            for key in [1u64, 2u64] {
+                if let Some(entry) = memo.get(key) {
+                    assert_eq!(
+                        entry.digest,
+                        format!("fnv1a:{:016x}", fnv1a64(entry.output.as_bytes())),
+                        "cut {cut}: corrupt entry kept"
+                    );
+                }
+            }
+            assert!(report.rehydrated <= 2);
+        }
+        // A full-length copy rehydrates everything.
+        std::fs::write(&torn, &bytes).unwrap();
+        let (_, report) = ArtifactMemo::with_spill(&torn, MemoConfig::default()).unwrap();
+        assert_eq!(report.rehydrated, 2);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&torn).ok();
+    }
+
+    #[test]
+    fn tampered_spill_output_is_dropped_on_load() {
+        let path = temp_spill("tamper");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (memo, _) = ArtifactMemo::with_spill(&path, MemoConfig::default()).expect("create");
+            memo.insert(9, "authentic\n".into());
+        }
+        let text = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("authentic", "tampered!");
+        std::fs::write(&path, text).unwrap();
+        let (memo, report) = ArtifactMemo::with_spill(&path, MemoConfig::default()).unwrap();
+        assert_eq!(report.rehydrated, 0);
+        assert_eq!(report.dropped, 1);
+        assert!(memo.get(9).is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_schema_spill_resets_to_empty() {
+        let path = temp_spill("foreign");
+        std::fs::write(&path, "{\"schema\":\"otherformat/v9\"}\ngarbage\n").unwrap();
+        let (memo, report) = ArtifactMemo::with_spill(&path, MemoConfig::default()).unwrap();
+        assert!(memo.is_empty());
+        assert_eq!(report.dropped, 2);
+        memo.insert(1, "fresh\n".into());
+        let (memo, report) = ArtifactMemo::with_spill(&path, MemoConfig::default()).unwrap();
+        assert_eq!(report.rehydrated, 1);
+        assert!(memo.get(1).is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn spill_compaction_bounds_the_file() {
+        let path = temp_spill("compact");
+        let _ = std::fs::remove_file(&path);
+        let config = MemoConfig {
+            max_entries: 4,
+            max_bytes: 1 << 20,
+        };
+        {
+            let (memo, _) = ArtifactMemo::with_spill(&path, config).expect("create");
+            // Far more inserts than the compaction threshold (64 lines
+            // floor): the file must end up bounded, not ~200 lines.
+            for i in 0..200u64 {
+                memo.insert(i, format!("output {i}\n"));
+            }
+            assert!(memo.evictions() > 0);
+        }
+        let lines = std::fs::read_to_string(&path).unwrap().lines().count();
+        assert!(lines <= 1 + 64 + 4, "spill stayed bounded, {lines} lines");
+        // Rehydration sees at most the resident cap.
+        let (memo, report) = ArtifactMemo::with_spill(&path, config).unwrap();
+        assert!(report.rehydrated <= 4, "{report:?}");
+        assert!(memo.len() <= 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn gate_limits_inflight_and_queues() {
         let gate = Arc::new(AdmissionGate::new(1, 1));
         let first = gate.admit().expect("first admits immediately");
         assert_eq!(gate.inflight(), 1);
+        assert!(gate.oldest_inflight_age().is_some());
 
         // One waiter fits in the queue; it blocks until the permit drops.
         let entered = Arc::new(AtomicUsize::new(0));
@@ -331,6 +921,7 @@ mod tests {
         waiter.join().expect("waiter finishes after release");
         assert_eq!(entered.load(Ordering::SeqCst), 1);
         assert_eq!(gate.inflight(), 0);
+        assert!(gate.oldest_inflight_age().is_none());
     }
 
     #[test]
@@ -338,8 +929,43 @@ mod tests {
         let gate = Arc::new(AdmissionGate::new(1, 0));
         let held = gate.admit().expect("capacity 1");
         assert!(gate.admit().is_none(), "zero queue depth rejects at once");
+        assert!(
+            matches!(
+                gate.admit_within(Some(Duration::ZERO)),
+                Admission::QueueFull
+            ),
+            "budgeted admit distinguishes a full queue"
+        );
         drop(held);
         assert!(gate.admit().is_some(), "slot reusable after release");
+    }
+
+    #[test]
+    fn queue_wait_past_budget_sheds_with_typed_outcome() {
+        let gate = Arc::new(AdmissionGate::new(1, 4));
+        let held = gate.admit().expect("capacity 1");
+        let start = Instant::now();
+        match gate.admit_within(Some(Duration::from_millis(50))) {
+            Admission::Shed { waited } => {
+                assert!(waited >= Duration::from_millis(50), "{waited:?}");
+                assert!(start.elapsed() < Duration::from_secs(5));
+            }
+            other => panic!("expected shed, got {other:?}"),
+        }
+        // The shed waiter left the queue: a fresh waiter still fits and
+        // admits once the slot frees.
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                matches!(
+                    gate.admit_within(Some(Duration::from_secs(10))),
+                    Admission::Admitted(_)
+                )
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        assert!(waiter.join().expect("waiter"), "freed slot admits");
     }
 
     #[test]
@@ -350,14 +976,33 @@ mod tests {
     }
 
     #[test]
+    fn oldest_inflight_age_tracks_the_stuck_permit() {
+        let gate = AdmissionGate::new(2, 0);
+        let _stuck = gate.admit().expect("first");
+        std::thread::sleep(Duration::from_millis(30));
+        let fresh = gate.admit().expect("second");
+        let oldest = gate.oldest_inflight_age().expect("two inflight");
+        assert!(oldest >= Duration::from_millis(30), "{oldest:?}");
+        drop(fresh);
+        let oldest = gate.oldest_inflight_age().expect("stuck one remains");
+        assert!(oldest >= Duration::from_millis(30), "{oldest:?}");
+    }
+
+    #[test]
     fn counters_snapshot() {
         let counters = ServiceCounters::new();
         counters.bump(&counters.accepted);
         counters.bump(&counters.accepted);
         counters.bump(&counters.rejected);
+        counters.bump(&counters.overloaded);
+        counters.bump(&counters.write_timeouts);
+        counters.bump(&counters.conn_rejected);
         let snap = counters.snapshot();
         assert_eq!(snap.accepted, 2);
         assert_eq!(snap.rejected, 1);
+        assert_eq!(snap.overloaded, 1);
+        assert_eq!(snap.write_timeouts, 1);
+        assert_eq!(snap.conn_rejected, 1);
         assert_eq!(snap.served, 0);
     }
 }

@@ -344,6 +344,16 @@ pub fn process_cache_stats() -> (u64, u64) {
     (cache.hits(), cache.misses())
 }
 
+/// Entries currently resident in the process-wide shared cache — the
+/// occupancy figure a service's stats/health endpoints report alongside
+/// [`process_cache_stats`].
+pub fn process_cache_entries() -> usize {
+    process_cache()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -245,11 +245,18 @@ impl SolvePlan {
 
     /// The concrete (strategy, shards) pair this plan uses for a mesh of
     /// `nodes` total nodes.
+    ///
+    /// Auto falls back to the sequential solver whenever the mesh is
+    /// small, the resolved shard count is 1, *or* the effective
+    /// [`thread_budget`] is 1 — on a single-CPU host the parallel path
+    /// is pure sharding overhead even when the caller explicitly asked
+    /// for multiple shards (measured: `pcg.par`/`sor.par` slower than
+    /// seq in `BENCH_grid.json` at ncpu=1).
     pub fn resolve(&self, nodes: usize) -> (SolveStrategy, usize) {
         let shards = self.shards.unwrap_or_else(thread_budget).max(1);
         let strategy = match self.strategy {
             SolveStrategy::Auto => {
-                if nodes < AUTO_PARALLEL_THRESHOLD || shards == 1 {
+                if nodes < AUTO_PARALLEL_THRESHOLD || shards == 1 || thread_budget() == 1 {
                     SolveStrategy::SequentialCg
                 } else {
                     SolveStrategy::ParallelCg
@@ -371,6 +378,20 @@ mod tests {
                 assert_eq!(
                     plan.resolve(AUTO_PARALLEL_THRESHOLD),
                     (SolveStrategy::SequentialCg, 1)
+                );
+                // Even explicit multi-shard plans go sequential under a
+                // budget of 1: the parallel path is pure overhead on a
+                // single-CPU host. Explicit non-auto strategies are
+                // still honored verbatim.
+                let sharded = SolvePlan::auto().with_shards(4);
+                assert_eq!(
+                    sharded.resolve(AUTO_PARALLEL_THRESHOLD),
+                    (SolveStrategy::SequentialCg, 4)
+                );
+                let forced = SolvePlan::with_strategy(SolveStrategy::ParallelCg).with_shards(4);
+                assert_eq!(
+                    forced.resolve(AUTO_PARALLEL_THRESHOLD),
+                    (SolveStrategy::ParallelCg, 4)
                 );
             }
             assert_eq!(thread_budget(), 8);

@@ -12,6 +12,9 @@
 #   3. Assert the daemon's lifetime counters are consistent (served ==
 #      accepted, no protocol errors) and that a shutdown request stops
 #      the process cleanly.
+#   4. Crash recovery: run a spill-backed daemon, kill -9 it mid-life,
+#      restart on the same (now stale) socket and the same spill file,
+#      and assert the memo rehydrates BEFORE any request is served.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -72,6 +75,48 @@ if kill -0 "$daemon_pid" 2>/dev/null; then
     echo "daemon ignored shutdown"; exit 1
 fi
 wait "$daemon_pid" || { echo "daemon exited nonzero"; exit 1; }
+daemon_pid=""
+
+echo "== 4. kill -9 a spill-backed daemon, restart, memo rehydrates =="
+SPILL="$WORK/memo.spill"
+"$DAEMON" serve --socket "$SOCK" --memo-spill "$SPILL" 2> "$WORK/daemon2.err" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    "$DAEMON" health --socket "$SOCK" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$DAEMON" load --socket "$SOCK" --quick --out "$WORK/BENCH_spill.json" > /dev/null
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+[ -S "$SOCK" ] || { echo "kill -9 should leave the socket file"; exit 1; }
+[ -s "$SPILL" ] || { echo "spill file missing after crash"; exit 1; }
+
+# Restart on the same (stale) socket and spill: the daemon must probe
+# and unlink the dead socket, then rehydrate the memo from the spill.
+"$DAEMON" serve --socket "$SOCK" --memo-spill "$SPILL" 2> "$WORK/daemon3.err" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    "$DAEMON" health --socket "$SOCK" > /dev/null 2>&1 && break
+    sleep 0.1
+done
+"$DAEMON" health --socket "$SOCK" | tee "$WORK/health-restart.json"
+python3 - "$WORK/health-restart.json" <<'EOF'
+import json, sys
+health = json.load(open(sys.argv[1]))["health"]
+# No request has been served yet: entries can only come from the spill.
+assert health["ready"] is True, health
+assert health["spill_active"] is True, health
+assert health["memo_entries"] > 0, health
+EOF
+"$DAEMON" load --socket "$SOCK" --quick --out "$WORK/BENCH_spill2.json" \
+    | tee "$WORK/load-restart.txt"
+grep -qE ' 0 errors' "$WORK/load-restart.txt" \
+    || { echo "post-restart load saw errors"; exit 1; }
+grep -qE ' [1-9][0-9]* memo hits' "$WORK/load-restart.txt" \
+    || { echo "restart must replay from the rehydrated memo"; exit 1; }
+"$DAEMON" shutdown --socket "$SOCK" > /dev/null
+wait "$daemon_pid" || { echo "restarted daemon exited nonzero"; exit 1; }
 daemon_pid=""
 
 echo "serve-smoke: all checks passed"
