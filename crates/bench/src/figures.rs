@@ -434,6 +434,122 @@ impl Fig5Report {
     }
 }
 
+/// One row of the production-scale Fig. 5 mesh study: a node's min-pitch
+/// plan with analytic and 1025×1025-mesh worst-case drops.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5MeshRow {
+    /// The min-pitch plan providing the geometry.
+    pub plan: GridPlan,
+    /// The rail width the drop budget demands (routable at min pitch).
+    pub rail_width: np_units::Microns,
+    /// Closed-form worst-case drop for that geometry.
+    pub analytic: Volts,
+    /// Full numerical solve on the 1025×1025 bump-cell mesh.
+    pub mesh: Volts,
+}
+
+/// F5 at production scale — the Fig. 5 min-pitch geometries re-solved on
+/// a 1025×1025 mesh (the grid the analytic model was built to
+/// approximate), via the multigrid-preconditioned CG solver
+/// ([`np_grid::SolveStrategy::MultigridCg`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig5MeshReport {
+    /// One row per node, roadmap order.
+    pub rows: Vec<Fig5MeshRow>,
+}
+
+/// The mesh resolution of [`fig5_mesh`] (2^10 + 1 nodes per side).
+pub const FIG5_MESH_RESOLUTION: usize = 1025;
+
+/// Regenerates the production-scale Fig. 5 mesh comparison.
+///
+/// Deterministic to the bit: the multigrid solve is a fixed sequence of
+/// sequential floating-point operations regardless of the shard count,
+/// so the artifact golden-checks with an exact tolerance.
+///
+/// # Errors
+///
+/// Propagates grid-model and solver errors.
+pub fn fig5_mesh() -> Result<Fig5MeshReport, Error> {
+    fig5_mesh_at(FIG5_MESH_RESOLUTION)
+}
+
+/// [`fig5_mesh`] at an arbitrary mesh resolution (tests use a coarse
+/// one; the artifact is always [`FIG5_MESH_RESOLUTION`]).
+fn fig5_mesh_at(resolution: usize) -> Result<Fig5MeshReport, Error> {
+    use np_grid::mesh::MeshCache;
+    use np_grid::{SolvePlan, SolveStrategy};
+    // Explicit MGCG rather than `Auto` so the artifact's solver does not
+    // silently change if the auto-upgrade threshold is ever retuned.
+    let mut cache = MeshCache::with_plan(SolvePlan::with_strategy(SolveStrategy::MultigridCg));
+    let mut rows = Vec::new();
+    for node in TechNode::ALL {
+        let plan = GridPlan::min_pitch(node)?;
+        let Some(rail_width) = plan.rail_width else {
+            // Min-pitch plans are routable at every node; an unroutable
+            // one would mean the roadmap tables changed under us.
+            return Err(np_grid::GridError::BadParameter("min-pitch plan lost routability").into());
+        };
+        let analytic = np_grid::analytic::worst_case_drop(node, plan.bump_pitch, rail_width)?;
+        let mesh =
+            cache.worst_drop_with_resolution(node, plan.bump_pitch, rail_width, resolution)?;
+        rows.push(Fig5MeshRow {
+            plan,
+            rail_width,
+            analytic,
+            mesh,
+        });
+    }
+    Ok(Fig5MeshReport { rows })
+}
+
+impl Fig5MeshReport {
+    /// CSV series per node: geometry, analytic and mesh drops, ratio.
+    pub fn csv(&self) -> String {
+        let mut out = String::from(
+            "node_nm,pitch_um,rail_width_um,analytic_drop_mv,mesh_drop_mv,mesh_over_analytic\n",
+        );
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.plan.node.drawn().0,
+                r.plan.bump_pitch.0,
+                r.rail_width.0,
+                r.analytic.0 * 1e3,
+                r.mesh.0 * 1e3,
+                r.mesh.0 / r.analytic.0
+            ));
+        }
+        out
+    }
+
+    /// Plain-text rendering.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "node",
+            "pitch (um)",
+            "rail (um)",
+            "analytic (mV)",
+            "mesh 1025 (mV)",
+            "mesh/analytic",
+        ]);
+        for r in &self.rows {
+            t.row(&[
+                &format!("{}", r.plan.node),
+                &format!("{:.0}", r.plan.bump_pitch.0),
+                &fmt_sig(r.rail_width.0),
+                &fmt_sig(r.analytic.0 * 1e3),
+                &fmt_sig(r.mesh.0 * 1e3),
+                &format!("{:.3}", r.mesh.0 / r.analytic.0),
+            ]);
+        }
+        format!(
+            "Figure 5 (mesh). Min-pitch IR drop: analytic model vs 1025x1025 multigrid solve.\n{}",
+            t.render()
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -494,6 +610,31 @@ mod tests {
         assert!(min35.width_over_min() < 40.0);
         assert!(itrs35.width_over_min() > 500.0);
         assert!(!itrs35.is_routable());
+    }
+
+    #[test]
+    fn fig5_mesh_tracks_the_analytic_model() {
+        // Coarse multigrid-compatible resolution: same code path as the
+        // 1025-point artifact at unit-test cost.
+        let f = fig5_mesh_at(65).unwrap();
+        assert_eq!(f.rows.len(), TechNode::ALL.len());
+        for r in &f.rows {
+            assert!(r.analytic.0 > 0.0 && r.mesh.0 > 0.0, "{:?}", r.plan.node);
+            let ratio = r.mesh.0 / r.analytic.0;
+            // The mesh drop includes the log-divergent spreading term
+            // the closed form folds into a constant; same order, not
+            // equal.
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "{:?}: ratio {ratio}",
+                r.plan.node
+            );
+        }
+        let csv = f.csv();
+        assert!(csv.starts_with("node_nm,pitch_um,rail_width_um,"));
+        assert_eq!(csv.lines().count(), TechNode::ALL.len() + 1);
+        assert!(f.render().contains("Figure 5 (mesh)"));
+        assert!(f.render().contains("mesh/analytic"));
     }
 
     #[test]

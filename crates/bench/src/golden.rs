@@ -92,13 +92,17 @@ fn delta_of(e: Option<f64>, a: Option<f64>) -> f64 {
 /// Exact`]. Figure CSVs carry floating-point series and compare
 /// [`Tolerance::Relative`] at `1e-9`; `fig5` runs the iterative grid
 /// solver whose worst-drop cells sit near zero volts, so it gets an
-/// [`Tolerance::Absolute`] floor at `1e-12` instead.
+/// [`Tolerance::Absolute`] floor at `1e-12` instead. `fig5-mesh` is
+/// the multigrid solve, which is a fixed sequence of sequential
+/// floating-point operations at any shard count — bitwise
+/// reproducible, so its CSV is held to [`Tolerance::Exact`].
 pub fn tolerance_for(name: &str, csv: bool) -> Tolerance {
     if !csv {
         return Tolerance::Exact;
     }
     match name {
         "fig5" => Tolerance::Absolute(1e-12),
+        "fig5-mesh" => Tolerance::Exact,
         _ => Tolerance::Relative(1e-9),
     }
 }
@@ -345,5 +349,6 @@ mod tests {
         assert_eq!(tolerance_for("table1", false), Tolerance::Exact);
         assert_eq!(tolerance_for("fig1", true), Tolerance::Relative(1e-9));
         assert_eq!(tolerance_for("fig5", true), Tolerance::Absolute(1e-12));
+        assert_eq!(tolerance_for("fig5-mesh", true), Tolerance::Exact);
     }
 }

@@ -16,7 +16,7 @@
 //! (`nanopower::engine`), and the integration tests alike.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 #[cfg(unix)]
 pub mod chaos;

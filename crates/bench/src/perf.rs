@@ -5,12 +5,22 @@
 //! harness times three kernel families:
 //!
 //! * **grid** — sequential and parallel SOR, plain CG, sequential and
-//!   parallel Jacobi-PCG, and the warm [`np_grid::mesh::MeshCache`] path,
-//!   across three bump-cell mesh sizes (one in `--bench-quick` mode);
+//!   parallel Jacobi-PCG, multigrid and MGCG, and the warm
+//!   [`np_grid::mesh::MeshCache`] path, across bump-cell mesh sizes from
+//!   33 to 1025 nodes per side (each kernel capped at the largest size
+//!   where it finishes in reasonable time — SOR is O(n⁴) and stops at
+//!   129); plus a first-class shard-count sweep of the parallel kernels
+//!   at a fixed mesh;
 //! * **thermal** — the electro-thermal fixed point of
 //!   [`np_thermal::package::Package::electro_thermal_temperature`];
 //! * **sta** — [`np_circuit::sta::TimingContext::analyze`] over a
 //!   generated netlist.
+//!
+//! A separate algorithmic-comparison block solves the largest mesh once
+//! per solver under a telemetry collector and records PCG iterations
+//! against multigrid fine-grid-sweep equivalents (`mg_vs_pcg` in the
+//! JSON) — the ISSUE 8 acceptance currency, independent of wall-clock
+//! noise.
 //!
 //! The report schema (`nanopower-bench/v1`) is documented in
 //! `BENCHMARKS.md`; its *shape* is deterministic (same keys, same kernel
@@ -23,14 +33,27 @@ use np_circuit::sta::TimingContext;
 use np_device::Mosfet;
 use np_grid::cg::{solve_cg, solve_pcg, solve_pcg_parallel};
 use np_grid::mesh::MeshCache;
+use np_grid::multigrid::{solve_mgcg_sharded, solve_multigrid_sharded};
 use np_grid::plan::thread_budget;
 use np_grid::solver::MeshProblem;
 use np_roadmap::TechNode;
 use np_thermal::package::Package;
 use np_units::{Celsius, Microns, ThermalResistance, Volts, Watts};
+use std::time::Instant;
 
-/// Mesh sizes (nodes per side) of the full grid sweep.
-pub const MESH_SIZES: [usize; 3] = [33, 65, 129];
+/// Mesh sizes (nodes per side) of the full grid sweep. Individual
+/// kernels cap out earlier (see the gates in [`run`]); the tail sizes
+/// belong to the CG/multigrid families.
+pub const MESH_SIZES: [usize; 6] = [33, 65, 129, 257, 513, 1025];
+
+/// Shard counts the parallel kernels sweep at [`SHARD_SWEEP_MESH`] —
+/// the first-class scaling axis (on a multi-core host the curve shows
+/// real speedup; at ncpu=1 it quantifies the sharding overhead).
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The mesh the shard-count sweep runs on in full mode (quick mode
+/// drops to the smallest mesh).
+pub const SHARD_SWEEP_MESH: usize = 257;
 
 /// Configuration for one harness run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -48,10 +71,30 @@ pub struct KernelResult {
     /// Mesh nodes per side for grid kernels; `0` for mesh-independent
     /// kernels (thermal, STA).
     pub mesh: usize,
+    /// Shards the kernel ran with (1 for sequential kernels; the
+    /// explicit count for shard-sweep entries).
+    pub shards: usize,
     /// Mean wall-clock per iteration, nanoseconds.
     pub mean_ns: f64,
     /// Timed iterations behind the mean.
     pub iterations: u64,
+}
+
+/// The algorithmic MG-vs-PCG comparison at the largest mesh: solver
+/// work measured in iteration/sweep counters, not wall-clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MgComparison {
+    /// Mesh nodes per side the comparison solved.
+    pub mesh: usize,
+    /// Jacobi-PCG iterations to its 1e-12 tolerance.
+    pub pcg_iterations: u64,
+    /// Standalone V-cycle fine-grid-sweep equivalents.
+    pub mg_sweeps_equivalent: u64,
+    /// MGCG fine-grid-sweep equivalents.
+    pub mgcg_sweeps_equivalent: u64,
+    /// `pcg_iterations / min(mg, mgcg)` — the acceptance ratio (each
+    /// PCG iteration costs about one fine-grid sweep).
+    pub fine_sweep_ratio: f64,
 }
 
 /// A completed harness run, ready to serialize.
@@ -70,6 +113,10 @@ pub struct BenchReport {
     pub quick: bool,
     /// Mesh sizes the grid kernels swept.
     pub mesh_sizes: Vec<usize>,
+    /// Shard counts the parallel kernels swept.
+    pub shard_counts: Vec<usize>,
+    /// The MG-vs-PCG work comparison, if the grid sweep ran.
+    pub mg_vs_pcg: Option<MgComparison>,
     /// Every timed kernel, in sweep order.
     pub kernels: Vec<KernelResult>,
 }
@@ -84,6 +131,28 @@ fn bench_mesh(n: usize) -> MeshProblem {
     m
 }
 
+/// Reads one summed counter out of a collector summary.
+fn counter_of(summary: &np_telemetry::Summary, name: &str) -> u64 {
+    summary
+        .counters
+        .iter()
+        .find(|(n, _)| n == name)
+        .map_or(0, |(_, v)| *v)
+}
+
+/// Times one closure once under its own telemetry collector, returning
+/// (elapsed ns, requested counter).
+fn timed_counted<F: FnOnce()>(counter: &str, f: F) -> (f64, u64) {
+    let collector = np_telemetry::Collector::new();
+    let start = Instant::now();
+    {
+        let _guard = np_telemetry::install(&collector);
+        f();
+    }
+    let elapsed = start.elapsed().as_nanos() as f64;
+    (elapsed, counter_of(&collector.summary(), counter))
+}
+
 /// Runs the full harness and collects the report.
 ///
 /// Progress lines print to stdout as each kernel completes (the shim's
@@ -96,51 +165,172 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     } else {
         MESH_SIZES.to_vec()
     };
-    let samples = if opts.quick { 3 } else { 7 };
+    let shard_counts: Vec<usize> = if opts.quick {
+        vec![1, 2]
+    } else {
+        SHARD_COUNTS.to_vec()
+    };
     let mut criterion = Criterion::default();
     let mut kernels = Vec::new();
 
     for &n in &mesh_sizes {
+        let samples = match n {
+            _ if opts.quick => 3,
+            0..=129 => 7,
+            257 => 5,
+            _ => 3,
+        };
         let m = bench_mesh(n);
         let mut group = criterion.benchmark_group(format!("grid/{n}"));
         group.sample_size(samples);
-        group.bench_function("grid.sor.seq", |b| b.iter(|| black_box(&m).solve()));
-        group.bench_function("grid.sor.par", |b| {
-            b.iter(|| black_box(&m).solve_parallel(shards))
-        });
-        group.bench_function("grid.cg.seq", |b| b.iter(|| solve_cg(black_box(&m))));
-        group.bench_function("grid.pcg.seq", |b| b.iter(|| solve_pcg(black_box(&m))));
-        group.bench_function("grid.pcg.par", |b| {
-            b.iter(|| solve_pcg_parallel(black_box(&m), shards))
-        });
-        // Warm-path cache: prime once, then time the hit + warm-start.
-        let mut cache = MeshCache::new();
-        let _prime =
-            cache.worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), n);
-        group.bench_function("grid.cache.warm", |b| {
-            b.iter(|| {
-                cache.worst_drop_with_resolution(
-                    TechNode::N35,
-                    Microns(80.0),
-                    black_box(Microns(4.0)),
-                    n,
-                )
-            })
-        });
+        // Per-kernel size gates: SOR relaxation is O(n⁴) (~3 s at 129
+        // already), plain CG is O(n³) without preconditioning, and the
+        // parallel-PCG barrier path is pure overhead on big meshes at
+        // ncpu=1 — each stops at the largest size it can afford. The
+        // CG/multigrid tail (513/1025) is timed once per solver in the
+        // comparison block below instead of through criterion.
+        if n <= 129 {
+            group.bench_function("grid.sor.seq", |b| b.iter(|| black_box(&m).solve()));
+            group.bench_function("grid.sor.par", |b| {
+                b.iter(|| black_box(&m).solve_parallel(shards))
+            });
+        }
+        if n <= 257 {
+            group.bench_function("grid.cg.seq", |b| b.iter(|| solve_cg(black_box(&m))));
+        }
+        if n <= 513 {
+            group.bench_function("grid.pcg.seq", |b| b.iter(|| solve_pcg(black_box(&m))));
+        }
+        if n <= 129 {
+            group.bench_function("grid.pcg.par", |b| {
+                b.iter(|| solve_pcg_parallel(black_box(&m), shards))
+            });
+        }
+        if n <= 513 {
+            group.bench_function("grid.mg.seq", |b| {
+                b.iter(|| solve_multigrid_sharded(black_box(&m), 1))
+            });
+            group.bench_function("grid.mgcg.seq", |b| {
+                b.iter(|| solve_mgcg_sharded(black_box(&m), 1))
+            });
+        }
+        if n <= 129 {
+            // Warm-path cache: prime once, then time the hit + warm-start.
+            let mut cache = MeshCache::new();
+            let _prime =
+                cache.worst_drop_with_resolution(TechNode::N35, Microns(80.0), Microns(4.0), n);
+            group.bench_function("grid.cache.warm", |b| {
+                b.iter(|| {
+                    cache.worst_drop_with_resolution(
+                        TechNode::N35,
+                        Microns(80.0),
+                        black_box(Microns(4.0)),
+                        n,
+                    )
+                })
+            });
+        }
         group.finish();
         for r in criterion.records().iter().skip(kernels.len()) {
+            let kernel_shards = if r.name.ends_with(".par") { shards } else { 1 };
             kernels.push(KernelResult {
                 name: r.name.clone(),
                 mesh: n,
+                shards: kernel_shards,
                 mean_ns: r.mean_ns,
                 iterations: r.iterations,
             });
         }
     }
 
+    // The first-class shard axis: the same parallel kernels across an
+    // explicit shard-count sweep at one fixed mesh, so scaling (or, at
+    // ncpu=1, sharding overhead) is measured rather than inferred.
+    {
+        let n = if opts.quick {
+            MESH_SIZES[0]
+        } else {
+            SHARD_SWEEP_MESH
+        };
+        let m = bench_mesh(n);
+        let mut group = criterion.benchmark_group(format!("shards/{n}"));
+        group.sample_size(3);
+        let before = kernels.len();
+        for &s in &shard_counts {
+            group.bench_function(format!("grid.pcg.par/s{s}"), |b| {
+                b.iter(|| solve_pcg_parallel(black_box(&m), s))
+            });
+            group.bench_function(format!("grid.mg.par/s{s}"), |b| {
+                b.iter(|| solve_multigrid_sharded(black_box(&m), s))
+            });
+        }
+        group.finish();
+        for (i, r) in criterion.records().iter().skip(before).enumerate() {
+            // Two kernels per shard count, in push order.
+            let s = shard_counts[i / 2];
+            let name = r
+                .name
+                .split('/')
+                .next()
+                .unwrap_or(r.name.as_str())
+                .to_string();
+            kernels.push(KernelResult {
+                name,
+                mesh: n,
+                shards: s,
+                mean_ns: r.mean_ns,
+                iterations: r.iterations,
+            });
+        }
+    }
+
+    // The algorithmic comparison at the largest mesh: one timed solve
+    // per solver under its own collector (MG's coarse-level solves also
+    // emit PCG counters, so they must not share one), recording work in
+    // counters rather than repeated wall-clock samples.
+    let mg_vs_pcg = {
+        let n = *mesh_sizes.iter().max().unwrap_or(&MESH_SIZES[0]);
+        let m = bench_mesh(n);
+        let (pcg_ns, pcg_iters) = timed_counted("grid.pcg.iterations", || {
+            let _ = solve_pcg(&m);
+        });
+        let (mg_ns, mg_sweeps) = timed_counted("grid.mg.sweeps_equivalent", || {
+            let _ = solve_multigrid_sharded(&m, 1);
+        });
+        let (mgcg_ns, mgcg_sweeps) = timed_counted("grid.mgcg.sweeps_equivalent", || {
+            let _ = solve_mgcg_sharded(&m, 1);
+        });
+        if !opts.quick && n > 513 {
+            // The 1025 tail is too expensive for repeated criterion
+            // samples; record the single timed solves as kernels so the
+            // scaling table has wall-clock at every size.
+            for (name, ns) in [
+                ("grid.pcg.seq", pcg_ns),
+                ("grid.mg.seq", mg_ns),
+                ("grid.mgcg.seq", mgcg_ns),
+            ] {
+                kernels.push(KernelResult {
+                    name: name.to_string(),
+                    mesh: n,
+                    shards: 1,
+                    mean_ns: ns,
+                    iterations: 1,
+                });
+            }
+        }
+        let best_mg = mg_sweeps.min(mgcg_sweeps).max(1);
+        Some(MgComparison {
+            mesh: n,
+            pcg_iterations: pcg_iters,
+            mg_sweeps_equivalent: mg_sweeps,
+            mgcg_sweeps_equivalent: mgcg_sweeps,
+            fine_sweep_ratio: pcg_iters as f64 / best_mg as f64,
+        })
+    };
+
     {
         let mut group = criterion.benchmark_group("models");
-        group.sample_size(samples);
+        group.sample_size(if opts.quick { 3 } else { 7 });
         let pkg = Package::new(ThermalResistance(0.8), Celsius(45.0));
         let dev = Mosfet::for_node(TechNode::N70);
         if let Ok(dev) = dev {
@@ -167,6 +357,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         kernels.push(KernelResult {
             name: r.name.clone(),
             mesh: 0,
+            shards: 1,
             mean_ns: r.mean_ns,
             iterations: r.iterations,
         });
@@ -179,12 +370,17 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         arch: std::env::consts::ARCH,
         quick: opts.quick,
         mesh_sizes,
+        shard_counts,
+        mg_vs_pcg,
         kernels,
     }
 }
 
 impl BenchReport {
     /// Mean time of `name` at mesh size `mesh`, if that kernel ran.
+    /// Where both a budget-sharded sweep row and shard-sweep rows exist,
+    /// the sweep row wins (it is pushed first); otherwise the
+    /// lowest-shard-count entry.
     pub fn mean_ns(&self, name: &str, mesh: usize) -> Option<f64> {
         self.kernels
             .iter()
@@ -193,10 +389,15 @@ impl BenchReport {
     }
 
     /// Sequential-over-parallel speedup of `seq`/`par` on the largest
-    /// mesh swept (values > 1 mean the parallel solver is faster).
+    /// mesh where both ran (values > 1 mean the parallel solver is
+    /// faster).
     pub fn speedup(&self, seq: &str, par: &str) -> Option<f64> {
-        let mesh = *self.mesh_sizes.iter().max()?;
-        Some(self.mean_ns(seq, mesh)? / self.mean_ns(par, mesh)?)
+        let mesh = self
+            .mesh_sizes
+            .iter()
+            .rev()
+            .find(|&&m| self.mean_ns(seq, m).is_some() && self.mean_ns(par, m).is_some())?;
+        Some(self.mean_ns(seq, *mesh)? / self.mean_ns(par, *mesh)?)
     }
 
     /// Serializes the report as `nanopower-bench/v1` JSON.
@@ -210,21 +411,43 @@ impl BenchReport {
         out.push_str(&format!("  \"quick\": {},\n", self.quick));
         let sizes: Vec<String> = self.mesh_sizes.iter().map(ToString::to_string).collect();
         out.push_str(&format!("  \"mesh_sizes\": [{}],\n", sizes.join(", ")));
+        let shard_axis: Vec<String> = self.shard_counts.iter().map(ToString::to_string).collect();
+        out.push_str(&format!(
+            "  \"shard_counts\": [{}],\n",
+            shard_axis.join(", ")
+        ));
         if let (Some(sor), Some(pcg)) = (
             self.speedup("grid.sor.seq", "grid.sor.par"),
             self.speedup("grid.pcg.seq", "grid.pcg.par"),
         ) {
-            let mesh = self.mesh_sizes.iter().max().copied().unwrap_or(0);
+            let mesh = self
+                .mesh_sizes
+                .iter()
+                .rev()
+                .find(|&&m| self.mean_ns("grid.pcg.par", m).is_some())
+                .copied()
+                .unwrap_or(0);
             out.push_str(&format!(
                 "  \"speedup\": {{\"mesh\": {mesh}, \"sor\": {sor:.3}, \"pcg\": {pcg:.3}}},\n"
+            ));
+        }
+        if let Some(c) = &self.mg_vs_pcg {
+            out.push_str(&format!(
+                "  \"mg_vs_pcg\": {{\"mesh\": {}, \"pcg_iterations\": {}, \"mg_sweeps_equivalent\": {}, \"mgcg_sweeps_equivalent\": {}, \"fine_sweep_ratio\": {:.2}}},\n",
+                c.mesh,
+                c.pcg_iterations,
+                c.mg_sweeps_equivalent,
+                c.mgcg_sweeps_equivalent,
+                c.fine_sweep_ratio
             ));
         }
         out.push_str("  \"kernels\": [\n");
         for (i, k) in self.kernels.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mesh\": {}, \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
+                "    {{\"name\": \"{}\", \"mesh\": {}, \"shards\": {}, \"mean_ns\": {:.1}, \"iterations\": {}}}{}\n",
                 k.name,
                 k.mesh,
+                k.shards,
                 k.mean_ns,
                 k.iterations,
                 if i + 1 < self.kernels.len() { "," } else { "" }
@@ -243,12 +466,15 @@ mod tests {
     fn quick_run_times_every_kernel_and_serializes() {
         let report = run(BenchOptions { quick: true });
         assert_eq!(report.mesh_sizes, vec![33]);
+        assert_eq!(report.shard_counts, vec![1, 2]);
         for name in [
             "grid.sor.seq",
             "grid.sor.par",
             "grid.cg.seq",
             "grid.pcg.seq",
             "grid.pcg.par",
+            "grid.mg.seq",
+            "grid.mgcg.seq",
             "grid.cache.warm",
         ] {
             assert!(
@@ -262,10 +488,33 @@ mod tests {
                 "{name} missing or unmeasured"
             );
         }
+        // The shard sweep ran both parallel kernels at every count.
+        for &s in &[1usize, 2] {
+            for name in ["grid.pcg.par", "grid.mg.par"] {
+                assert!(
+                    report
+                        .kernels
+                        .iter()
+                        .any(|k| k.name == name && k.shards == s && k.mean_ns > 0.0),
+                    "{name} missing at shards={s}"
+                );
+            }
+        }
+        // The comparison block proves the acceptance ratio even in
+        // quick mode (the margin grows with mesh size; 33 is its floor).
+        let cmp = report.mg_vs_pcg.expect("comparison must run");
+        assert_eq!(cmp.mesh, 33);
+        assert!(cmp.pcg_iterations > 0);
+        assert!(cmp.mg_sweeps_equivalent > 0);
+        assert!(cmp.mgcg_sweeps_equivalent > 0);
+        assert!(cmp.fine_sweep_ratio > 0.0);
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"nanopower-bench/v1\""));
         assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"shard_counts\": [1, 2]"));
+        assert!(json.contains("\"mg_vs_pcg\""));
         assert!(json.contains("\"grid.pcg.par\""));
+        assert!(json.contains("\"grid.mg.seq\""));
         assert!(json.contains("\"quick\": true"));
         // Host metadata pins where the numbers came from.
         assert_eq!(report.os, std::env::consts::OS);

@@ -151,6 +151,13 @@ pub static REGISTRY: &[Artifact] = &[
         run_csv: Some(|| Ok(figures::fig5()?.csv())),
     },
     Artifact {
+        name: "fig5-mesh",
+        description: "Fig. 5 min-pitch drops re-solved on a 1025x1025 multigrid mesh",
+        paper_ref: "Fig. 5 / §2.3",
+        run_text: || Ok(figures::fig5_mesh()?.render()),
+        run_csv: Some(|| Ok(figures::fig5_mesh()?.csv())),
+    },
+    Artifact {
         name: "dtm",
         description: "dynamic thermal management closure",
         paper_ref: "§2.1 / E1",
@@ -239,7 +246,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_findable() {
         let names = names();
-        assert_eq!(names.len(), 17, "all 17 paper artifacts registered");
+        assert_eq!(names.len(), 18, "all 18 paper artifacts registered");
         for (i, name) in names.iter().enumerate() {
             assert_eq!(
                 names.iter().position(|n| n == name),

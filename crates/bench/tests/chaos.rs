@@ -561,7 +561,10 @@ fn torn_frames_and_midline_disconnects_never_take_the_daemon_down() {
         // The proxy severs mid-line; depending on timing the client's
         // own write may already see EPIPE — that is the fault working,
         // not a failure. Either way: no hang, no daemon crash.
-        let request = format!("{}\n", Request::Run(run_names(&["fig5", "table2"])).to_json());
+        let request = format!(
+            "{}\n",
+            Request::Run(run_names(&["fig5", "table2"])).to_json()
+        );
         let _ = conn.writer.write_all(request.as_bytes());
         let mut line = String::new();
         let _ = conn.reader.read_line(&mut line);

@@ -31,7 +31,10 @@ use np_units::convergence::{Breakdown, ResidualTrace};
 use std::sync::{Barrier, Mutex, PoisonError};
 
 /// Applies the mesh Laplacian `G·v` (pinned nodes held at zero).
-fn apply(m: &MeshProblem, v: &[f64], out: &mut [f64]) {
+///
+/// Shared with [`crate::multigrid`], whose outer MGCG iteration runs the
+/// same mat-vec.
+pub(crate) fn apply(m: &MeshProblem, v: &[f64], out: &mut [f64]) {
     let (nx, ny, g) = (m.nx, m.ny, m.edge_conductance);
     for y in 0..ny {
         for x in 0..nx {
@@ -592,9 +595,10 @@ fn pcg_parallel_iterate(
 }
 
 /// One row of the mesh Laplacian `(G·v)_i`, reading `v` through the
-/// shared atomic vector; mirrors [`apply`] exactly.
+/// shared atomic vector; mirrors [`apply`] exactly. Shared with
+/// [`crate::multigrid`]'s per-level residual evaluation.
 #[inline]
-fn apply_row_atomic(m: &MeshProblem, v: &AtomicF64Vec, i: usize) -> f64 {
+pub(crate) fn apply_row_atomic(m: &MeshProblem, v: &AtomicF64Vec, i: usize) -> f64 {
     let (nx, ny, g) = (m.nx, m.ny, m.edge_conductance);
     if m.pinned[i] {
         return v.get(i); // identity row for pinned nodes

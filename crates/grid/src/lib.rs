@@ -12,6 +12,9 @@
 //! * [`cg`] / [`shard`] — conjugate-gradient solvers (plain and
 //!   Jacobi-preconditioned, sequential and row-band parallel) over the
 //!   same mesh, plus the lock-free sharing primitives they build on;
+//! * [`multigrid`] — the O(N) geometric multigrid V-cycle over the same
+//!   mesh (red-black smoothing, full-weighting restriction, bilinear
+//!   prolongation), standalone or as a CG preconditioner (MGCG);
 //! * [`plan`] — the Fig. 5 study: required rail width (normalized to the
 //!   minimum top-metal width) and routing-resource share per node, under
 //!   (a) minimum attainable bump pitch and (b) ITRS pad counts — and the
@@ -49,6 +52,7 @@ mod error;
 pub mod hotspot;
 pub mod mcml;
 pub mod mesh;
+pub mod multigrid;
 pub mod plan;
 pub mod shard;
 pub mod solver;

@@ -10,6 +10,7 @@
 use crate::analytic::hotspot_current_density;
 use crate::cg::{solve_pcg_parallel_warm, solve_pcg_warm, PreparedMesh};
 use crate::error::GridError;
+use crate::multigrid::{solve_mgcg_warm, solve_multigrid_warm, MgHierarchy};
 use crate::plan::{SolvePlan, SolveStrategy};
 use crate::solver::MeshProblem;
 use np_roadmap::TechNode;
@@ -114,12 +115,21 @@ struct CacheKey {
 }
 
 /// One memoized mesh: the assembled problem, its Jacobi preconditioner,
-/// and the most recent solution for warm-starting the next solve.
+/// the multigrid level hierarchy (built lazily, on the first solve that
+/// needs it), and per-strategy-family warm-start solutions.
+///
+/// Warm starts are kept per family — CG-family and multigrid-family
+/// solves each warm-start from their own last solution — so alternating
+/// strategies on the same mesh (a plan switch, or Auto straddling the
+/// multigrid threshold across resolutions) don't evict each other's
+/// state.
 #[derive(Debug, Clone)]
 struct CacheEntry {
     problem: MeshProblem,
     prepared: PreparedMesh,
-    last_solution: Option<Vec<f64>>,
+    hierarchy: Option<MgHierarchy>,
+    warm_cg: Option<Vec<f64>>,
+    warm_mg: Option<Vec<f64>>,
     i_per_node: f64,
 }
 
@@ -164,6 +174,14 @@ impl MeshCache {
             plan,
             ..Self::default()
         }
+    }
+
+    /// Switches the plan for subsequent solves; memoized meshes (and
+    /// each strategy family's warm starts) are kept — switching between
+    /// CG and multigrid on the same mesh never discards the other
+    /// family's state.
+    pub fn set_plan(&mut self, plan: SolvePlan) {
+        self.plan = plan;
     }
 
     /// Cached counterpart of [`mesh_worst_drop`].
@@ -229,7 +247,9 @@ impl MeshCache {
             slot.insert(CacheEntry {
                 problem,
                 prepared,
-                last_solution: None,
+                hierarchy: None,
+                warm_cg: None,
+                warm_mg: None,
                 i_per_node,
             });
             self.misses += 1;
@@ -248,19 +268,43 @@ impl MeshCache {
             injection: vec![entry.i_per_node * scale; n_nodes],
             ..entry.problem.clone()
         };
-        let (strategy, shards) = self.plan.resolve(m.nx * m.ny);
-        let x0 = entry.last_solution.as_deref();
+        let (strategy, shards) = self.plan.resolve_for(&m);
         let v = match strategy {
-            SolveStrategy::ParallelSor => m.solve_parallel(shards),
-            SolveStrategy::SequentialSor => m.solve(),
-            SolveStrategy::ParallelCg => solve_pcg_parallel_warm(&m, &entry.prepared, shards, x0),
-            // Auto never survives `resolve`; SequentialCg takes the
+            SolveStrategy::ParallelSor => m.solve_parallel(shards)?,
+            SolveStrategy::SequentialSor => m.solve()?,
+            SolveStrategy::ParallelCg => {
+                let x0 = entry.warm_cg.as_deref();
+                let v = solve_pcg_parallel_warm(&m, &entry.prepared, shards, x0)?;
+                entry.warm_cg = Some(v.clone());
+                v
+            }
+            // Auto never survives `resolve_for`; SequentialCg takes the
             // warm-started preconditioned path.
             SolveStrategy::SequentialCg | SolveStrategy::Auto => {
-                solve_pcg_warm(&m, &entry.prepared, x0)
+                let x0 = entry.warm_cg.as_deref();
+                let v = solve_pcg_warm(&m, &entry.prepared, x0)?;
+                entry.warm_cg = Some(v.clone());
+                v
             }
-        }?;
-        entry.last_solution = Some(v.clone());
+            SolveStrategy::Multigrid | SolveStrategy::MultigridCg => {
+                // The hierarchy depends only on the mesh shape and pins
+                // (not the injection), so one build serves every scale.
+                if entry.hierarchy.is_none() {
+                    entry.hierarchy = Some(MgHierarchy::new(&m)?);
+                }
+                let Some(hier) = entry.hierarchy.as_ref() else {
+                    return Err(GridError::BadParameter("mesh cache hierarchy vanished"));
+                };
+                let x0 = entry.warm_mg.as_deref();
+                let v = if strategy == SolveStrategy::Multigrid {
+                    solve_multigrid_warm(&m, hier, shards, x0)?
+                } else {
+                    solve_mgcg_warm(&m, hier, shards, x0)?
+                };
+                entry.warm_mg = Some(v.clone());
+                v
+            }
+        };
         Ok(worst_drop_of(&v))
     }
 
@@ -530,6 +574,51 @@ mod tests {
         assert!(process_cache_enabled(), "inner guard restored outer state");
         drop(outer);
         assert!(!process_cache_enabled());
+    }
+
+    #[test]
+    fn strategy_switches_share_the_entry_but_not_warm_starts() {
+        // One cache, one mesh (64 rounds up to 65 = 2^6+1, so the
+        // multigrid ladder applies), three strategy switches: every
+        // solve reuses the single assembled entry, each family warm
+        // starts from its own last solution, and the answers agree.
+        let mut cache = MeshCache::with_plan(SolvePlan::with_strategy(SolveStrategy::SequentialCg));
+        let geometry = (TechNode::N50, Microns(90.0), Microns(3.0), 65);
+        let (node, pitch, width, res) = geometry;
+        let cg = cache
+            .worst_drop_with_resolution(node, pitch, width, res)
+            .unwrap();
+        cache.set_plan(SolvePlan::with_strategy(SolveStrategy::Multigrid).with_shards(1));
+        let mg = cache
+            .worst_drop_with_resolution(node, pitch, width, res)
+            .unwrap();
+        cache.set_plan(SolvePlan::with_strategy(SolveStrategy::MultigridCg).with_shards(1));
+        let mgcg = cache
+            .worst_drop_with_resolution(node, pitch, width, res)
+            .unwrap();
+        cache.set_plan(SolvePlan::with_strategy(SolveStrategy::SequentialCg));
+        let cg_again = cache
+            .worst_drop_with_resolution(node, pitch, width, res)
+            .unwrap();
+        assert!(
+            (cg.0 - mg.0).abs() <= 1e-6 * cg.0.abs(),
+            "CG {cg} vs MG {mg}"
+        );
+        assert!(
+            (cg.0 - mgcg.0).abs() <= 1e-6 * cg.0.abs(),
+            "CG {cg} vs MGCG {mgcg}"
+        );
+        // The CG family's warm start survived the multigrid interlude:
+        // returning to CG reproduces its own answer to solver precision.
+        assert!(
+            (cg.0 - cg_again.0).abs() <= 1e-9 * cg.0.abs(),
+            "CG {cg} vs warm CG {cg_again}"
+        );
+        assert_eq!(
+            (cache.misses(), cache.hits()),
+            (1, 3),
+            "all four solves shared one assembled mesh"
+        );
     }
 
     #[test]

@@ -6,6 +6,7 @@
 use crate::analytic::{rail_routing_fraction, required_rail_width, IrBudget};
 use crate::cg::{solve_cg, solve_pcg, solve_pcg_parallel};
 use crate::error::GridError;
+use crate::multigrid::{solve_mgcg_sharded, solve_multigrid_sharded, MgHierarchy};
 use crate::solver::MeshProblem;
 use np_roadmap::{PackagingRoadmap, TechNode};
 use np_units::Microns;
@@ -141,6 +142,12 @@ pub fn fig5_series() -> Result<Vec<(GridPlan, GridPlan)>, GridError> {
 /// right at the boundary on commodity cores).
 pub const AUTO_PARALLEL_THRESHOLD: usize = 16_384;
 
+/// Meshes with at least this many nodes (257×257) — when their
+/// dimensions fit the 2^k+1 multigrid ladder — auto-route to MGCG: the
+/// O(N) cycle overtakes Jacobi-PCG's O(N^1.5) iteration growth around
+/// here, and the margin widens by ~2× per further mesh doubling.
+pub const AUTO_MULTIGRID_THRESHOLD: usize = 66_049;
+
 /// The process-wide solver thread budget; `0` means "unset", which
 /// resolves to the machine's available parallelism.
 static THREAD_BUDGET: AtomicUsize = AtomicUsize::new(0);
@@ -185,7 +192,11 @@ impl Drop for ThreadBudgetGuard {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum SolveStrategy {
     /// Pick per mesh: sequential PCG below [`AUTO_PARALLEL_THRESHOLD`]
-    /// nodes or when the [`thread_budget`] is 1, parallel PCG otherwise.
+    /// nodes or when the [`thread_budget`] is 1, parallel PCG otherwise
+    /// — upgraded to [`SolveStrategy::MultigridCg`] at
+    /// [`AUTO_MULTIGRID_THRESHOLD`] nodes and above when the mesh
+    /// dimensions fit the 2^k+1 coarsening ladder (see
+    /// [`SolvePlan::resolve_for`]).
     #[default]
     Auto,
     /// The red-black SOR sweep of [`MeshProblem::solve`].
@@ -197,6 +208,15 @@ pub enum SolveStrategy {
     SequentialCg,
     /// Jacobi-preconditioned CG, sharded ([`solve_pcg_parallel`]).
     ParallelCg,
+    /// The standalone geometric multigrid V-cycle
+    /// ([`crate::multigrid::solve_multigrid_sharded`]); needs 2^k+1
+    /// mesh dimensions.
+    Multigrid,
+    /// Multigrid-preconditioned CG
+    /// ([`crate::multigrid::solve_mgcg_sharded`]); needs 2^k+1 mesh
+    /// dimensions. What [`SolveStrategy::Auto`] picks on large
+    /// compatible meshes.
+    MultigridCg,
 }
 
 /// A solver selection: strategy plus an optional explicit shard count.
@@ -211,6 +231,26 @@ pub enum SolveStrategy {
 /// m.pinned[centre] = true;
 /// let v = SolvePlan::auto().solve(&m)?;
 /// assert_eq!(v.len(), 81);
+/// # Ok::<(), np_grid::GridError>(())
+/// ```
+///
+/// Strategies can be forced; on a 2^k+1 mesh the multigrid family is
+/// available explicitly (Auto upgrades to it only from
+/// [`AUTO_MULTIGRID_THRESHOLD`] nodes up):
+///
+/// ```
+/// use np_grid::solver::MeshProblem;
+/// use np_grid::{SolvePlan, SolveStrategy};
+///
+/// let mut m = MeshProblem::new(17, 17, 1.0);
+/// m.injection = vec![1e-4; 17 * 17];
+/// let centre = m.index(8, 8);
+/// m.pinned[centre] = true;
+/// let auto = SolvePlan::auto().solve(&m)?;
+/// let mgcg = SolvePlan::with_strategy(SolveStrategy::MultigridCg).solve(&m)?;
+/// for (a, b) in auto.iter().zip(&mgcg) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
 /// # Ok::<(), np_grid::GridError>(())
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -267,14 +307,37 @@ impl SolvePlan {
         (strategy, shards)
     }
 
+    /// [`SolvePlan::resolve`] with the mesh in hand: Auto additionally
+    /// upgrades to [`SolveStrategy::MultigridCg`] when the mesh has at
+    /// least [`AUTO_MULTIGRID_THRESHOLD`] nodes *and* its dimensions fit
+    /// the 2^k+1 coarsening ladder.
+    ///
+    /// Multigrid smoothing shards drop to 1 under a [`thread_budget`]
+    /// of 1 (same single-CPU reasoning as the CG fallback), but the
+    /// strategy upgrade still happens — MGCG wins on algorithmic work,
+    /// not parallelism.
+    pub fn resolve_for(&self, m: &MeshProblem) -> (SolveStrategy, usize) {
+        let nodes = m.nx * m.ny;
+        let (strategy, shards) = self.resolve(nodes);
+        if self.strategy == SolveStrategy::Auto
+            && nodes >= AUTO_MULTIGRID_THRESHOLD
+            && MgHierarchy::compatible(m.nx, m.ny)
+        {
+            let mg_shards = if thread_budget() == 1 { 1 } else { shards };
+            return (SolveStrategy::MultigridCg, mg_shards);
+        }
+        (strategy, shards)
+    }
+
     /// Solves `m` with the resolved strategy.
     ///
     /// # Errors
     ///
     /// Those of the underlying solver ([`MeshProblem::solve`] /
-    /// [`solve_cg`] / [`solve_pcg`]).
+    /// [`solve_cg`] / [`solve_pcg`] /
+    /// [`crate::multigrid::solve_multigrid`]).
     pub fn solve(&self, m: &MeshProblem) -> Result<Vec<f64>, GridError> {
-        match self.resolve(m.nx * m.ny) {
+        match self.resolve_for(m) {
             (SolveStrategy::SequentialSor, _) => m.solve(),
             (SolveStrategy::ParallelSor, shards) => m.solve_parallel(shards),
             (SolveStrategy::SequentialCg, _) => {
@@ -285,6 +348,8 @@ impl SolvePlan {
                 }
             }
             (SolveStrategy::ParallelCg, shards) => solve_pcg_parallel(m, shards),
+            (SolveStrategy::Multigrid, shards) => solve_multigrid_sharded(m, shards),
+            (SolveStrategy::MultigridCg, shards) => solve_mgcg_sharded(m, shards),
             (SolveStrategy::Auto, _) => unreachable!("resolve never returns Auto"),
         }
     }
@@ -406,8 +471,33 @@ mod tests {
     }
 
     #[test]
+    fn auto_upgrades_large_compatible_meshes_to_mgcg() {
+        let plan = SolvePlan::auto();
+        // 257x257 fits the ladder and crosses the threshold.
+        let big = loaded_mesh(257);
+        assert_eq!(big.nx * big.ny, AUTO_MULTIGRID_THRESHOLD);
+        let (strategy, _) = plan.resolve_for(&big);
+        assert_eq!(strategy, SolveStrategy::MultigridCg);
+        // A mesh of the same size that misses the 2^k+1 ladder keeps
+        // the CG-family pick.
+        let incompatible = loaded_mesh(260);
+        let (strategy, _) = plan.resolve_for(&incompatible);
+        assert_ne!(strategy, SolveStrategy::MultigridCg);
+        // Small meshes never upgrade.
+        let small = loaded_mesh(33);
+        let (strategy, _) = plan.resolve_for(&small);
+        assert_eq!(strategy, SolveStrategy::SequentialCg);
+        // Explicit strategies are never upgraded.
+        let forced = SolvePlan::with_strategy(SolveStrategy::SequentialCg);
+        let (strategy, _) = forced.resolve_for(&big);
+        assert_eq!(strategy, SolveStrategy::SequentialCg);
+    }
+
+    #[test]
     fn all_strategies_agree_on_a_loaded_mesh() {
-        let m = loaded_mesh(11);
+        // 9x9: small enough for SOR, and 2^3+1 so the multigrid
+        // strategies are eligible too.
+        let m = loaded_mesh(9);
         let reference = m.solve().unwrap();
         for strategy in [
             SolveStrategy::Auto,
@@ -415,6 +505,8 @@ mod tests {
             SolveStrategy::ParallelSor,
             SolveStrategy::SequentialCg,
             SolveStrategy::ParallelCg,
+            SolveStrategy::Multigrid,
+            SolveStrategy::MultigridCg,
         ] {
             let v = SolvePlan::with_strategy(strategy)
                 .with_shards(3)

@@ -2,8 +2,9 @@
 
 use np_grid::analytic::{required_rail_width, worst_case_drop, IrBudget};
 use np_grid::cg::{solve_pcg, solve_pcg_parallel};
+use np_grid::multigrid::{solve_mgcg_sharded, solve_multigrid, solve_multigrid_sharded};
 use np_grid::solver::MeshProblem;
-use np_grid::{SolvePlan, SolveStrategy};
+use np_grid::{GridError, SolvePlan, SolveStrategy};
 use np_roadmap::TechNode;
 use np_units::Microns;
 use proptest::prelude::*;
@@ -203,5 +204,56 @@ proptest! {
         ) {
             prop_assert!(wt >= wl);
         }
+    }
+}
+
+// A separate block with a lower case count: 257×257 solves are real
+// work, and the property holds per (size, shards) cell rather than
+// needing a dense random sweep.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // ISSUE 8's equivalence contract: the multigrid family agrees with
+    // PCG to 1e-6 at every ladder size (33/129/257) and shard count
+    // (1/2/NCPU via `any_shards`).
+    #[test]
+    fn multigrid_family_matches_pcg_across_sizes_and_shards(
+        n in prop::sample::select(vec![33usize, 129, 257]),
+        g in 0.1..10.0f64,
+        load in 1e-4..1e-1f64,
+        shards in any_shards(),
+    ) {
+        let m = loaded_mesh(n, g, load, n / 2, n / 2);
+        let pcg = solve_pcg(&m).unwrap();
+        let mg = solve_multigrid_sharded(&m, shards).unwrap();
+        let mgcg = solve_mgcg_sharded(&m, shards).unwrap();
+        for i in 0..pcg.len() {
+            prop_assert!(
+                (pcg[i] - mg[i]).abs() <= 1e-6 * (1.0 + pcg[i].abs()),
+                "MG n={n} shards={shards} node {i}: {} vs {}",
+                pcg[i],
+                mg[i]
+            );
+            prop_assert!(
+                (pcg[i] - mgcg[i]).abs() <= 1e-6 * (1.0 + pcg[i].abs()),
+                "MGCG n={n} shards={shards} node {i}: {} vs {}",
+                pcg[i],
+                mgcg[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn multigrid_rejects_non_pow2_plus_one_meshes_with_a_typed_error() {
+    // 20 is even (MeshProblem::new accepts it) and 21 = 3·7 misses the
+    // 2^k+1 ladder; both must come back as a typed BadParameter, not a
+    // panic or a silent wrong answer.
+    for n in [20usize, 21] {
+        let m = loaded_mesh(n, 1.0, 1e-2, n / 2, n / 2);
+        assert!(
+            matches!(solve_multigrid(&m), Err(GridError::BadParameter(_))),
+            "n={n} must be a BadParameter"
+        );
     }
 }

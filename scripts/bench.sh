@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Runs the perf harness (repro --bench) in release mode and leaves
-# BENCH_grid.json at the repo root. Extra flags pass through, e.g.:
+# BENCH_grid.json at the repo root. The full run sweeps mesh sizes
+# 33..1025, shard counts 1/2/4/8, and the PCG-vs-multigrid iteration
+# comparison — budget a few minutes (the sequential PCG solves at
+# 513/1025 dominate). Extra flags pass through, e.g.:
 #   scripts/bench.sh --bench-quick
 #   scripts/bench.sh --bench-out /tmp/bench.json
 set -euo pipefail
