@@ -17,10 +17,13 @@
 //! repro --resume r.jsonl   # resume: replay completed, run the rest
 //! repro --check            # drift gate: compare against golden/
 //! repro --golden DIR       # golden reference directory (default golden)
-//! repro --bench            # perf harness: grid/thermal/STA kernels
+//! repro --bench            # perf harness: grid/thermal/STA/opt kernels
 //! repro --bench --bench-quick          # smallest mesh only (CI smoke)
 //! repro --bench --bench-out BENCH.json # report path (default
 //!                                      # BENCH_grid.json)
+//! repro --bench-opt        # optimizer scaling sweep (default
+//!                          # BENCH_opt.json; 10k/100k/1M cells, or the
+//!                          # 1k/5k smoke axis with --bench-quick)
 //! ```
 //!
 //! Artifacts run concurrently across `--jobs` worker threads, but output
@@ -132,8 +135,9 @@ struct Options {
     golden: PathBuf,
     bless: bool,
     bench: bool,
+    bench_opt: bool,
     bench_quick: bool,
-    bench_out: PathBuf,
+    bench_out: Option<PathBuf>,
     names: Vec<String>,
 }
 
@@ -159,8 +163,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
         golden: PathBuf::from("golden"),
         bless: false,
         bench: false,
+        bench_opt: false,
         bench_quick: false,
-        bench_out: PathBuf::from("BENCH_grid.json"),
+        bench_out: None,
         names: Vec::new(),
     };
     let mut it = args.into_iter();
@@ -201,10 +206,11 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 opts.golden = PathBuf::from(value);
             }
             "--bench" => opts.bench = true,
+            "--bench-opt" => opts.bench_opt = true,
             "--bench-quick" => opts.bench_quick = true,
             "--bench-out" => {
                 let value = it.next().ok_or("--bench-out needs a file path")?;
-                opts.bench_out = PathBuf::from(value);
+                opts.bench_out = Some(PathBuf::from(value));
             }
             other => {
                 if let Some(value) = other.strip_prefix("--jobs=") {
@@ -222,7 +228,7 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
                 } else if let Some(value) = other.strip_prefix("--golden=") {
                     opts.golden = PathBuf::from(value);
                 } else if let Some(value) = other.strip_prefix("--bench-out=") {
-                    opts.bench_out = PathBuf::from(value);
+                    opts.bench_out = Some(PathBuf::from(value));
                 } else if other.starts_with('-') {
                     return Err(format!("unknown flag `{other}`"));
                 } else {
@@ -236,6 +242,9 @@ fn parse_args(args: Vec<String>) -> Result<Options, String> {
     }
     if opts.bless && opts.check {
         return Err("--bless and --check are mutually exclusive".into());
+    }
+    if opts.bench && opts.bench_opt {
+        return Err("--bench and --bench-opt are mutually exclusive (run them separately)".into());
     }
     Ok(opts)
 }
@@ -573,16 +582,51 @@ fn main() -> ExitCode {
         print_list();
         return ExitCode::SUCCESS;
     }
+    if opts.bench_opt {
+        let report = match np_bench::perf::run_opt(np_bench::perf::BenchOptions {
+            quick: opts.bench_quick,
+        }) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("optimizer sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let out = opts
+            .bench_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_opt.json"));
+        if let Err(e) = std::fs::write(&out, report.to_json()) {
+            eprintln!("cannot write opt bench report to {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        for r in &report.rows {
+            println!(
+                "{} cells: full STA {:.1} ms, probe {:.1} us (cone {:.0}), x{:.0} speedup, \
+                 round {:.1} ms ({} accepts)",
+                r.cells,
+                r.full_sta_ns / 1e6,
+                r.probe_ns / 1e3,
+                r.probe_cone,
+                r.inc_speedup,
+                r.round_ns / 1e6,
+                r.round_accepted
+            );
+        }
+        println!("opt bench report written to {}", out.display());
+        return ExitCode::SUCCESS;
+    }
     if opts.bench {
         let report = np_bench::perf::run(np_bench::perf::BenchOptions {
             quick: opts.bench_quick,
         });
         let json = report.to_json();
-        if let Err(e) = std::fs::write(&opts.bench_out, &json) {
-            eprintln!(
-                "cannot write bench report to {}: {e}",
-                opts.bench_out.display()
-            );
+        let out = opts
+            .bench_out
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_grid.json"));
+        if let Err(e) = std::fs::write(&out, &json) {
+            eprintln!("cannot write bench report to {}: {e}", out.display());
             return ExitCode::FAILURE;
         }
         if let Some(speedup) = report.speedup("grid.pcg.seq", "grid.pcg.par") {
@@ -601,7 +645,7 @@ fn main() -> ExitCode {
                 ratio = c.fine_sweep_ratio
             );
         }
-        println!("bench report written to {}", opts.bench_out.display());
+        println!("bench report written to {}", out.display());
         return ExitCode::SUCCESS;
     }
     match run_artifacts(&opts) {

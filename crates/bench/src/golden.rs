@@ -96,13 +96,16 @@ fn delta_of(e: Option<f64>, a: Option<f64>) -> f64 {
 /// the multigrid solve, which is a fixed sequence of sequential
 /// floating-point operations at any shard count — bitwise
 /// reproducible, so its CSV is held to [`Tolerance::Exact`].
+/// `fig34-mgate` is the parallel optimizer, whose frozen-round scoring
+/// and fixed-order accepts are bitwise identical at any worker count —
+/// its CSV is likewise held to [`Tolerance::Exact`].
 pub fn tolerance_for(name: &str, csv: bool) -> Tolerance {
     if !csv {
         return Tolerance::Exact;
     }
     match name {
         "fig5" => Tolerance::Absolute(1e-12),
-        "fig5-mesh" => Tolerance::Exact,
+        "fig5-mesh" | "fig34-mgate" => Tolerance::Exact,
         _ => Tolerance::Relative(1e-9),
     }
 }
@@ -350,5 +353,6 @@ mod tests {
         assert_eq!(tolerance_for("fig1", true), Tolerance::Relative(1e-9));
         assert_eq!(tolerance_for("fig5", true), Tolerance::Absolute(1e-12));
         assert_eq!(tolerance_for("fig5-mesh", true), Tolerance::Exact);
+        assert_eq!(tolerance_for("fig34-mgate", true), Tolerance::Exact);
     }
 }

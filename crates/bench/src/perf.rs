@@ -28,7 +28,10 @@
 //! values vary run to run.
 
 use criterion::{black_box, Criterion};
+use np_circuit::cell::VthClass;
 use np_circuit::generate::{generate_netlist, NetlistSpec};
+use np_circuit::incremental::IncrementalSta;
+use np_circuit::netlist::{GateId, Netlist};
 use np_circuit::sta::TimingContext;
 use np_device::Mosfet;
 use np_grid::cg::{solve_cg, solve_pcg, solve_pcg_parallel};
@@ -172,6 +175,11 @@ pub fn run(opts: BenchOptions) -> BenchReport {
     };
     let mut criterion = Criterion::default();
     let mut kernels = Vec::new();
+    // Criterion records consumed into `kernels` so far. Kept separate
+    // from `kernels.len()` because the mg-vs-pcg comparison pushes
+    // kernel rows that have no criterion record behind them — skipping
+    // by `kernels.len()` would then silently drop later records.
+    let mut consumed = 0usize;
 
     for &n in &mesh_sizes {
         let samples = match n {
@@ -231,7 +239,8 @@ pub fn run(opts: BenchOptions) -> BenchReport {
             });
         }
         group.finish();
-        for r in criterion.records().iter().skip(kernels.len()) {
+        for r in criterion.records().iter().skip(consumed) {
+            consumed += 1;
             let kernel_shards = if r.name.ends_with(".par") { shards } else { 1 };
             kernels.push(KernelResult {
                 name: r.name.clone(),
@@ -255,7 +264,6 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         let m = bench_mesh(n);
         let mut group = criterion.benchmark_group(format!("shards/{n}"));
         group.sample_size(3);
-        let before = kernels.len();
         for &s in &shard_counts {
             group.bench_function(format!("grid.pcg.par/s{s}"), |b| {
                 b.iter(|| solve_pcg_parallel(black_box(&m), s))
@@ -265,7 +273,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
             });
         }
         group.finish();
-        for (i, r) in criterion.records().iter().skip(before).enumerate() {
+        for (i, r) in criterion.records().iter().skip(consumed).enumerate() {
             // Two kernels per shard count, in push order.
             let s = shard_counts[i / 2];
             let name = r
@@ -282,6 +290,7 @@ pub fn run(opts: BenchOptions) -> BenchReport {
                 iterations: r.iterations,
             });
         }
+        consumed = criterion.records().len();
     }
 
     // The algorithmic comparison at the largest mesh: one timed solve
@@ -353,11 +362,65 @@ pub fn run(opts: BenchOptions) -> BenchReport {
         }
         group.finish();
     }
-    for r in criterion.records().iter().skip(kernels.len()) {
+
+    // The optimizer kernels: full vs incremental STA and one parallel
+    // optimization round on a streamed netlist, so the CI smoke report
+    // carries the `opt.*` family alongside the grid kernels. The
+    // dedicated cell-count sweep lives in [`run_opt`].
+    {
+        let cells = if opts.quick { 2_000 } else { 20_000 };
+        let mut group = criterion.benchmark_group("opt");
+        group.sample_size(3);
+        let mut netlist = generate_netlist(&NetlistSpec::large(7, cells));
+        if let Ok(ctx) = TimingContext::for_node(TechNode::N100) {
+            if let Ok(baseline) = ctx.analyze(&netlist) {
+                let ctx = ctx.with_clock(baseline.critical_delay() * 1.25);
+                group.bench_function("opt.sta.full", |b| {
+                    b.iter(|| ctx.analyze(black_box(&netlist)))
+                });
+                let probe = GateId::from_index(cells / 2);
+                let mut sta = IncrementalSta::new(&ctx, &netlist);
+                group.bench_function("opt.sta.incremental", |b| {
+                    b.iter(|| {
+                        // Alternate the flip so every probe moves real
+                        // arrivals through the fan-out cone.
+                        let flipped = match netlist.gate(probe).vth {
+                            VthClass::Low => VthClass::High,
+                            VthClass::High => VthClass::Low,
+                        };
+                        netlist.gate_mut(probe).set_vth(flipped);
+                        sta.reevaluate(black_box(&netlist), probe)
+                    })
+                });
+                let round = np_opt::ParallelOptions {
+                    max_rounds: 1,
+                    ..np_opt::ParallelOptions::default()
+                };
+                group.bench_function("opt.parallel.round", |b| {
+                    b.iter(|| {
+                        // The round mutates assignments; each iteration
+                        // optimizes a fresh copy (the clone is a few
+                        // percent of the round cost).
+                        let mut fresh = netlist.clone();
+                        np_opt::optimize_parallel(&mut fresh, &ctx, black_box(&round))
+                    })
+                });
+            }
+        }
+        group.finish();
+    }
+    for r in criterion.records().iter().skip(consumed) {
+        // Mesh-independent kernels; the parallel optimizer round is the
+        // one that fans out over the thread budget.
+        let kernel_shards = if r.name == "opt.parallel.round" {
+            shards
+        } else {
+            1
+        };
         kernels.push(KernelResult {
             name: r.name.clone(),
             mesh: 0,
-            shards: 1,
+            shards: kernel_shards,
             mean_ns: r.mean_ns,
             iterations: r.iterations,
         });
@@ -458,6 +521,201 @@ impl BenchReport {
     }
 }
 
+/// Cell counts of the full optimizer scaling sweep ([`run_opt`]).
+pub const OPT_SWEEP_CELLS: [usize; 3] = [10_000, 100_000, 1_000_000];
+
+/// Cell counts of the quick (CI smoke) optimizer sweep.
+pub const OPT_SWEEP_CELLS_QUICK: [usize; 2] = [1_000, 5_000];
+
+/// Incremental-STA probes per sweep size (each probe flips one gate's
+/// Vth and re-propagates its fan-out cone).
+const OPT_PROBES: usize = 200;
+
+/// One cell-count row of the optimizer scaling sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptScalingRow {
+    /// Netlist size in cells.
+    pub cells: usize,
+    /// Streamed generation wall-clock, nanoseconds.
+    pub generate_ns: f64,
+    /// One full STA pass, nanoseconds.
+    pub full_sta_ns: f64,
+    /// Building the incremental view ([`IncrementalSta::new`]),
+    /// nanoseconds.
+    pub inc_build_ns: f64,
+    /// Mean single-gate incremental re-propagation, nanoseconds.
+    pub probe_ns: f64,
+    /// Mean fan-out-cone size the probes visited, gates.
+    pub probe_cone: f64,
+    /// `full_sta_ns / probe_ns` — how many times cheaper one incremental
+    /// probe is than a full re-analysis.
+    pub inc_speedup: f64,
+    /// One parallel optimization round, nanoseconds.
+    pub round_ns: f64,
+    /// Moves the round accepted.
+    pub round_accepted: usize,
+    /// Moves the round proposed.
+    pub round_proposed: usize,
+    /// Assignment digest after the round — deterministic per
+    /// (seed, cells), independent of host and worker count.
+    pub digest: u64,
+}
+
+/// The optimizer scaling sweep, serialized to `BENCH_opt.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptBenchReport {
+    /// The machine's available parallelism when the run started.
+    pub ncpu: usize,
+    /// Scoring workers the optimizer rounds used (the thread budget).
+    pub workers: usize,
+    /// The host operating system.
+    pub os: &'static str,
+    /// The host CPU architecture.
+    pub arch: &'static str,
+    /// Whether this was a quick (CI smoke) sweep.
+    pub quick: bool,
+    /// One row per cell count, ascending.
+    pub rows: Vec<OptScalingRow>,
+}
+
+/// Times one closure once, returning (elapsed ns, result).
+fn timed<T>(f: impl FnOnce() -> T) -> (f64, T) {
+    let start = Instant::now();
+    let out = f();
+    (start.elapsed().as_nanos() as f64, out)
+}
+
+/// Runs the optimizer scaling sweep: for each cell count, streamed
+/// generation, full STA, incremental-view build, 200 (`OPT_PROBES`)
+/// single-gate re-propagations, and one parallel optimization round.
+///
+/// # Errors
+///
+/// Propagates circuit-model and optimizer errors.
+pub fn run_opt(opts: BenchOptions) -> Result<OptBenchReport, nanopower::Error> {
+    let ncpu = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let workers = thread_budget();
+    let cells_axis: Vec<usize> = if opts.quick {
+        OPT_SWEEP_CELLS_QUICK.to_vec()
+    } else {
+        OPT_SWEEP_CELLS.to_vec()
+    };
+    let mut rows = Vec::new();
+    for &cells in &cells_axis {
+        println!("opt sweep: {cells} cells...");
+        let spec = NetlistSpec::large(7, cells);
+        let (generate_ns, mut netlist) = timed(|| generate_netlist(&spec));
+        let ctx = TimingContext::for_node(TechNode::N100).map_err(np_opt::OptError::from)?;
+        let (full_sta_ns, baseline) = timed(|| ctx.analyze(&netlist));
+        let baseline = baseline.map_err(np_opt::OptError::from)?;
+        let ctx = ctx.with_clock(baseline.critical_delay() * 1.25);
+        let (inc_build_ns, mut sta) = timed(|| IncrementalSta::new(&ctx, &netlist));
+        let (probe_ns, probe_cone) = probe_mean(&mut netlist, &mut sta, cells)?;
+        let options = np_opt::ParallelOptions {
+            max_rounds: 1,
+            ..np_opt::ParallelOptions::default()
+        };
+        let (round_ns, round) = timed(|| np_opt::optimize_parallel(&mut netlist, &ctx, &options));
+        let round = round?;
+        rows.push(OptScalingRow {
+            cells,
+            generate_ns,
+            full_sta_ns,
+            inc_build_ns,
+            probe_ns,
+            probe_cone,
+            inc_speedup: full_sta_ns / probe_ns.max(1.0),
+            round_ns,
+            round_accepted: round.rounds.first().map_or(0, |r| r.accepted),
+            round_proposed: round.rounds.first().map_or(0, |r| r.proposed),
+            digest: np_opt::assignment_digest(&netlist),
+        });
+    }
+    Ok(OptBenchReport {
+        ncpu,
+        workers,
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
+        quick: opts.quick,
+        rows,
+    })
+}
+
+/// Mean (ns, cone gates) over [`OPT_PROBES`] single-gate Vth flips
+/// spread evenly across the netlist.
+fn probe_mean(
+    netlist: &mut Netlist,
+    sta: &mut IncrementalSta<'_>,
+    cells: usize,
+) -> Result<(f64, f64), nanopower::Error> {
+    let stride = (cells / OPT_PROBES).max(1);
+    let mut total_ns = 0.0;
+    let mut total_cone = 0usize;
+    let mut probes = 0usize;
+    for i in (0..cells).step_by(stride).take(OPT_PROBES) {
+        let id = GateId::from_index(i);
+        let flipped = match netlist.gate(id).vth {
+            VthClass::Low => VthClass::High,
+            VthClass::High => VthClass::Low,
+        };
+        netlist.gate_mut(id).set_vth(flipped);
+        let start = Instant::now();
+        let cone = sta
+            .reevaluate(netlist, id)
+            .map_err(np_opt::OptError::from)?;
+        total_ns += start.elapsed().as_nanos() as f64;
+        total_cone += cone.visited;
+        probes += 1;
+        // Flip back so the sweep's optimizer round starts from the
+        // generated assignment.
+        let back = match netlist.gate(id).vth {
+            VthClass::Low => VthClass::High,
+            VthClass::High => VthClass::Low,
+        };
+        netlist.gate_mut(id).set_vth(back);
+        sta.reevaluate(netlist, id)
+            .map_err(np_opt::OptError::from)?;
+    }
+    let n = probes.max(1) as f64;
+    Ok((total_ns / n, total_cone as f64 / n))
+}
+
+impl OptBenchReport {
+    /// Serializes the sweep as `nanopower-opt-bench/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"nanopower-opt-bench/v1\",\n");
+        out.push_str(&format!("  \"ncpu\": {},\n", self.ncpu));
+        out.push_str(&format!("  \"workers\": {},\n", self.workers));
+        out.push_str(&format!("  \"os\": \"{}\",\n", self.os));
+        out.push_str(&format!("  \"arch\": \"{}\",\n", self.arch));
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"cells\": {}, \"generate_ns\": {:.1}, \"full_sta_ns\": {:.1}, \
+                 \"inc_build_ns\": {:.1}, \"probe_ns\": {:.1}, \"probe_cone\": {:.1}, \
+                 \"inc_speedup\": {:.1}, \"round_ns\": {:.1}, \"round_accepted\": {}, \
+                 \"round_proposed\": {}, \"digest\": \"fnv1a:{:016x}\"}}{}\n",
+                r.cells,
+                r.generate_ns,
+                r.full_sta_ns,
+                r.inc_build_ns,
+                r.probe_ns,
+                r.probe_cone,
+                r.inc_speedup,
+                r.round_ns,
+                r.round_accepted,
+                r.round_proposed,
+                r.digest,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -482,12 +740,23 @@ mod tests {
                 "{name} missing or unmeasured"
             );
         }
-        for name in ["thermal.fixed_point", "sta.analyze"] {
+        for name in [
+            "thermal.fixed_point",
+            "sta.analyze",
+            "opt.sta.full",
+            "opt.sta.incremental",
+            "opt.parallel.round",
+        ] {
             assert!(
                 report.mean_ns(name, 0).is_some_and(|ns| ns > 0.0),
                 "{name} missing or unmeasured"
             );
         }
+        // The optimizer round records its real scoring fan-out.
+        assert!(report
+            .kernels
+            .iter()
+            .any(|k| k.name == "opt.parallel.round" && k.shards == report.shards));
         // The shard sweep ran both parallel kernels at every count.
         for &s in &[1usize, 2] {
             for name in ["grid.pcg.par", "grid.mg.par"] {
@@ -522,5 +791,31 @@ mod tests {
         assert!(report.ncpu >= 1);
         assert!(json.contains(&format!("\"os\": \"{}\"", std::env::consts::OS)));
         assert!(json.contains(&format!("\"arch\": \"{}\"", std::env::consts::ARCH)));
+    }
+
+    #[test]
+    fn quick_opt_sweep_reports_incremental_speedup() {
+        let report = run_opt(BenchOptions { quick: true }).unwrap();
+        assert_eq!(report.rows.len(), OPT_SWEEP_CELLS_QUICK.len());
+        for r in &report.rows {
+            assert!(r.generate_ns > 0.0 && r.full_sta_ns > 0.0, "{r:?}");
+            assert!(r.probe_cone >= 1.0, "{r:?}");
+            assert!(
+                r.inc_speedup > 1.0,
+                "one probe must beat a full re-analysis: {r:?}"
+            );
+            assert!(r.round_accepted > 0, "{r:?}");
+            // The touched cone is a sliver of the netlist.
+            assert!(r.probe_cone < r.cells as f64 / 4.0, "{r:?}");
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"nanopower-opt-bench/v1\""));
+        assert!(json.contains("\"inc_speedup\""));
+        assert!(json.contains("\"digest\": \"fnv1a:"));
+        assert!(json.contains("\"quick\": true"));
+        // Determinism: the post-round digest is a pure function of
+        // (seed, cells) — rerunning one size must reproduce it.
+        let again = run_opt(BenchOptions { quick: true }).unwrap();
+        assert_eq!(report.rows[0].digest, again.rows[0].digest);
     }
 }

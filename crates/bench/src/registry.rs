@@ -158,6 +158,13 @@ pub static REGISTRY: &[Artifact] = &[
         run_csv: Some(|| Ok(figures::fig5_mesh()?.csv())),
     },
     Artifact {
+        name: "fig34-mgate",
+        description: "S3.3 co-optimization at 50k cells via the parallel optimizer",
+        paper_ref: "Figs. 3-4 / §3.3",
+        run_text: || Ok(figures::fig34_mgate()?.render()),
+        run_csv: Some(|| Ok(figures::fig34_mgate()?.csv())),
+    },
+    Artifact {
         name: "dtm",
         description: "dynamic thermal management closure",
         paper_ref: "§2.1 / E1",
@@ -246,7 +253,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_findable() {
         let names = names();
-        assert_eq!(names.len(), 18, "all 18 paper artifacts registered");
+        assert_eq!(names.len(), 19, "all 19 paper artifacts registered");
         for (i, name) in names.iter().enumerate() {
             assert_eq!(
                 names.iter().position(|n| n == name),

@@ -1,0 +1,65 @@
+//! Chaos leg for the parallel optimizer: a real asynchronous
+//! [`CancelToken`] fired from another thread mid-run must drain the
+//! optimizer cleanly — flagged result, timing-feasible netlist, no
+//! half-applied scoring round.
+//!
+//! Unlike the deterministic counter-based cancel tests in `np-opt`,
+//! this leg is intentionally racy (wall-clock cancel against live
+//! threads); the *assertions* hold at whatever point the token lands.
+
+use std::time::{Duration, Instant};
+
+use nanopower::engine::CancelToken;
+use np_circuit::generate::{generate_netlist, NetlistSpec};
+use np_circuit::sta::TimingContext;
+use np_opt::{optimize_parallel_with_cancel, ParallelOptions};
+use np_roadmap::TechNode;
+
+#[test]
+fn async_cancel_token_drains_the_optimizer_cleanly() {
+    let mut netlist = generate_netlist(&NetlistSpec::large(23, 20_000));
+    let ctx = TimingContext::for_node(TechNode::N100).expect("calibration");
+    let crit = ctx.analyze(&netlist).expect("analyze").critical_delay();
+    let ctx = ctx.with_clock(crit * 1.3);
+
+    let token = CancelToken::new();
+    let killer = token.clone();
+    let trigger = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(150));
+        killer.cancel();
+    });
+
+    let options = ParallelOptions {
+        workers: Some(2),
+        // Far more rounds than 150 ms allows at 20k cells in a debug
+        // build, so the token always lands mid-run.
+        max_rounds: 64,
+        ..ParallelOptions::default()
+    };
+    let started = Instant::now();
+    let result =
+        optimize_parallel_with_cancel(&mut netlist, &ctx, &options, &|| token.is_cancelled())
+            .expect("cancelled run still returns a result");
+    let elapsed = started.elapsed();
+    trigger.join().expect("trigger thread");
+
+    assert!(result.cancelled, "token fired but the run was not flagged");
+    assert!(
+        result.rounds.len() < 64,
+        "cancel did not shorten the {}-round run",
+        result.rounds.len()
+    );
+    // The drain is prompt: one cancel-poll stride past the token, not
+    // minutes of remaining rounds. Generous bound for slow CI machines.
+    assert!(
+        elapsed < Duration::from_secs(60),
+        "drain took {elapsed:?} — cancel checkpoints are not being polled"
+    );
+    // The contract that matters: whatever was applied is consistent.
+    assert!(
+        ctx.analyze(&netlist)
+            .expect("post-cancel sta")
+            .is_feasible(),
+        "cancelled run left an infeasible netlist"
+    );
+}

@@ -27,6 +27,14 @@ pub enum CircuitError {
         /// Human-readable description of the request.
         wanted: String,
     },
+    /// An incremental analysis was handed a netlist whose topology does
+    /// not match the one its cached state was built from.
+    StaleTimingView {
+        /// Topology digest captured when the analysis was created.
+        expected: u64,
+        /// Topology digest of the netlist passed to the update call.
+        found: u64,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -43,6 +51,13 @@ impl fmt::Display for CircuitError {
             CircuitError::Device(e) => write!(f, "device model error: {e}"),
             CircuitError::NoMatchingCell { wanted } => {
                 write!(f, "no cell in library matches {wanted}")
+            }
+            CircuitError::StaleTimingView { expected, found } => {
+                write!(
+                    f,
+                    "netlist topology digest {found:#018x} does not match the \
+                     analysis view {expected:#018x}"
+                )
             }
         }
     }

@@ -9,12 +9,27 @@
 //! deterministic in the seed.
 
 use crate::cell::CellKind;
-use crate::netlist::{Gate, GateId, Netlist};
+use crate::netlist::{Gate, GateId, Netlist, NetlistBuilder};
 use np_units::Farads;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// Parameters of a synthetic netlist.
+///
+/// # Examples
+///
+/// ```
+/// use np_circuit::{generate_netlist, NetlistSpec};
+///
+/// // The unit-test tier builds through the validating constructor...
+/// let small = generate_netlist(&NetlistSpec::small(42));
+/// assert_eq!(small.len(), 250);
+///
+/// // ...while the large tier streams construction in O(n).
+/// let spec = NetlistSpec::large(42, 20_000);
+/// assert!(spec.streaming);
+/// assert_eq!(generate_netlist(&spec).len(), 20_000);
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetlistSpec {
     /// Number of gates.
@@ -34,6 +49,13 @@ pub struct NetlistSpec {
     /// the critical depth — the tight slack profile of a hand-tuned
     /// datapath, versus the default wide spread of random control logic.
     pub balanced_depth: bool,
+    /// When true, generation streams through [`NetlistBuilder`] in O(n)
+    /// (layer histogram + prefix sums instead of a global sort, one
+    /// reused gate buffer, no end-of-build validation pass) — the path
+    /// the 10⁶–10⁷-cell tiers use. The RNG stream differs from the
+    /// sort-based path, so this is a distinct deterministic family, not
+    /// a faster route to the same netlists.
+    pub streaming: bool,
 }
 
 impl NetlistSpec {
@@ -46,6 +68,7 @@ impl NetlistSpec {
             output_fraction: 0.1,
             mean_wire_cap_ff: 3.0,
             balanced_depth: false,
+            streaming: false,
         }
     }
 
@@ -58,6 +81,25 @@ impl NetlistSpec {
             output_fraction: 0.08,
             mean_wire_cap_ff: 3.0,
             balanced_depth: false,
+            streaming: false,
+        }
+    }
+
+    /// An industrial-shape tier for `n_cells` in the 10⁵–10⁷ range:
+    /// streamed O(n) generation, logic depth growing logarithmically
+    /// with size (as placed designs do), and a 5% register fraction.
+    pub fn large(seed: u64, n_cells: usize) -> Self {
+        // ~44 levels at 10⁶ cells, ~51 at 10⁷ — deep enough that paths
+        // spread, shallow enough that layers stay thousands of cells wide.
+        let depth = 24 + (n_cells.max(2) as f64).log2().round() as usize;
+        NetlistSpec {
+            gates: n_cells,
+            depth,
+            seed,
+            output_fraction: 0.05,
+            mean_wire_cap_ff: 3.0,
+            balanced_depth: false,
+            streaming: true,
         }
     }
 
@@ -90,6 +132,9 @@ impl Default for NetlistSpec {
 pub fn generate_netlist(spec: &NetlistSpec) -> Netlist {
     assert!(spec.gates > 0, "spec must request at least one gate");
     assert!(spec.depth > 0, "spec must request at least one layer");
+    if spec.streaming {
+        return generate_streamed(spec);
+    }
     let mut rng = StdRng::seed_from_u64(spec.seed);
     // Layer assignment: uniform by default; cubic-biased towards the deep
     // layers for datapath-like (balanced-depth) netlists. Sorted so that
@@ -149,6 +194,67 @@ pub fn generate_netlist(spec: &NetlistSpec) -> Netlist {
     }
 }
 
+/// O(n) streamed generation for the large tiers.
+///
+/// Instead of materializing and sorting a per-gate layer vector, the
+/// first pass draws a layer *histogram* (n RNG draws, O(depth) memory for
+/// the counts) whose prefix sums give each layer's index range directly —
+/// gate indices are topological by construction. The second pass emits
+/// gates layer by layer through [`NetlistBuilder`], reusing one `Gate`
+/// buffer, with the same kind mix, locality-biased fan-in sampling, drive
+/// palette, and wire/output distributions as the sort-based path.
+fn generate_streamed(spec: &NetlistSpec) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut counts = vec![0usize; spec.depth];
+    for _ in 0..spec.gates {
+        let layer = if spec.balanced_depth {
+            let u: f64 = rng.random();
+            let frac = 1.0 - u * u * u; // mass near the deep end
+            ((frac * spec.depth as f64) as usize).min(spec.depth - 1)
+        } else {
+            rng.random_range(0..spec.depth)
+        };
+        counts[layer] += 1;
+    }
+    // Average fan-in under the kind mix is ~1.8; reserve 2 edges/gate.
+    let mut builder = NetlistBuilder::with_capacity(spec.gates, spec.gates * 2);
+    let mut gate = Gate::new(CellKind::Inverter, Vec::with_capacity(4));
+    let mut emitted = 0usize; // gates in strictly earlier layers
+    for (layer, &width) in counts.iter().enumerate() {
+        let pool_end = emitted;
+        for _ in 0..width {
+            gate.kind = pick_kind(&mut rng);
+            gate.fanins.clear();
+            if layer > 0 && pool_end > 0 {
+                for _ in 0..gate.kind.fanin() {
+                    // Locality: quadratic bias towards the end of the pool.
+                    let u: f64 = rng.random::<f64>();
+                    let idx = ((1.0 - u * u) * pool_end as f64) as usize;
+                    let id = GateId::from_index(idx.min(pool_end - 1));
+                    if !gate.fanins.contains(&id) {
+                        gate.fanins.push(id);
+                    }
+                }
+            }
+            gate.drive = [1.0, 2.0, 4.0, 8.0][rng.random_range(0..4)];
+            let wire_ff = -spec.mean_wire_cap_ff * (1.0 - rng.random::<f64>()).ln();
+            gate.wire_cap = Farads::from_femto(wire_ff);
+            gate.is_output = layer == spec.depth - 1 || rng.random::<f64>() < spec.output_fraction;
+            match builder.push(&gate) {
+                // Fanins reference strictly earlier indices, so the
+                // builder's topological-push invariant always holds.
+                Ok(_) => {}
+                Err(e) => unreachable!("layered streaming is topological by design: {e}"),
+            }
+        }
+        emitted += width;
+    }
+    match builder.finish() {
+        Ok(nl) => nl,
+        Err(e) => unreachable!("streamed generation pushes at least one gate: {e}"),
+    }
+}
+
 fn pick_kind(rng: &mut StdRng) -> CellKind {
     let r: f64 = rng.random();
     if r < 0.35 {
@@ -199,10 +305,35 @@ mod tests {
     fn fanins_precede_gates() {
         let nl = generate_netlist(&NetlistSpec::small(5));
         for id in nl.ids() {
-            for f in &nl.gate(id).fanins {
+            for f in nl.gate(id).fanins {
                 assert!(f.index() < id.index());
             }
         }
+    }
+
+    #[test]
+    fn streamed_generation_is_deterministic_and_topological() {
+        let spec = NetlistSpec::large(11, 5000);
+        let a = generate_netlist(&spec);
+        let b = generate_netlist(&spec);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5000);
+        assert!(!a.entry_gates().is_empty());
+        assert!(!a.timing_endpoints().is_empty());
+        for id in a.ids() {
+            for f in a.gate(id).fanins {
+                assert!(f.index() < id.index());
+            }
+        }
+        assert_ne!(a, generate_netlist(&NetlistSpec::large(12, 5000)));
+    }
+
+    #[test]
+    fn streamed_netlists_are_analyzable() {
+        let nl = generate_netlist(&NetlistSpec::large(2, 20_000));
+        let ctx = TimingContext::for_node(TechNode::N100).unwrap();
+        let rep = ctx.analyze(&nl).unwrap();
+        assert!(rep.critical_delay().0 > 0.0);
     }
 
     #[test]

@@ -1,60 +1,131 @@
 //! Incremental arrival-time maintenance.
 //!
-//! The optimization loops (CVS, dual-Vth, sizing) try thousands of
-//! single-gate changes, each followed by a feasibility check. Re-running
-//! full STA costs `O(gates)` per probe; this engine re-propagates arrivals
-//! only through the *affected cone* — the changed gate, the gates whose
-//! load it alters (its fan-ins), and whatever downstream actually moves —
-//! which is typically a small fraction of the design.
+//! The optimization loops (CVS, dual-Vth, sizing) try thousands to
+//! millions of single-gate changes, each followed by a feasibility check.
+//! Re-running full STA costs `O(gates)` per probe; this engine
+//! re-propagates arrivals only through the *affected cone* — the changed
+//! gate, the gates whose load it alters (its fan-ins), and whatever
+//! downstream actually moves — which is typically a tiny fraction of the
+//! design. All scratch state (the rank-ordered worklist heap and its
+//! membership bitmap) persists across calls, so a probe on a 10⁷-cell
+//! netlist allocates nothing and touches only the cone.
 //!
 //! The engine maintains exact arrivals (identical to
-//! [`TimingContext::analyze`]) and the set of endpoint violations against
-//! the context clock.
+//! [`TimingContext::analyze`]) plus an incrementally-updated count of
+//! endpoint violations against the context clock, making
+//! [`IncrementalSta::is_feasible`] O(1).
+//!
+//! # View validity
+//!
+//! The tracker captures the netlist's [topology
+//! digest](crate::netlist::Netlist::topology_digest) at construction.
+//! Every update call re-validates the digest of the netlist it is handed
+//! and returns [`CircuitError::StaleTimingView`] on mismatch — assignment
+//! mutations (drive/supply/Vth/wire) are fine, but silently swapping in a
+//! structurally different netlist is a typed error instead of garbage
+//! arrivals.
 
+use crate::error::CircuitError;
 use crate::netlist::{GateId, Netlist};
 use crate::sta::TimingContext;
 use np_units::Seconds;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Arrivals within this absolute tolerance (seconds) are considered
+/// unchanged, stopping re-propagation.
+const MOVE_EPSILON: f64 = 1e-21;
+
+/// Slack this far below zero (seconds) still counts as meeting the clock —
+/// the same tolerance full STA's feasibility check uses.
+const FEASIBILITY_SLOP: f64 = 1e-18;
+
+/// Size of the cone a [`IncrementalSta::reevaluate`] call actually
+/// touched — the acceptance metric for incrementality (`visited ≪ n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConeStats {
+    /// Gates popped from the worklist (arrival recomputed).
+    pub visited: usize,
+    /// Gates whose arrival actually moved (> 1e-21 s).
+    pub moved: usize,
+}
+
 /// Exact incremental arrival tracker over one netlist + timing context.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), np_circuit::CircuitError> {
+/// use np_circuit::{generate_netlist, IncrementalSta, NetlistSpec, TimingContext, VthClass};
+/// use np_roadmap::TechNode;
+///
+/// let mut netlist = generate_netlist(&NetlistSpec::small(9));
+/// let ctx = TimingContext::for_node(TechNode::N100)?;
+/// let clock = ctx.analyze(&netlist)?.critical_delay() * 1.2;
+/// let ctx = ctx.with_clock(clock);
+///
+/// let mut sta = IncrementalSta::new(&ctx, &netlist);
+/// let id = netlist.timing_endpoints()[0];
+/// netlist.gate_mut(id).set_vth(VthClass::High);
+/// let cone = sta.reevaluate(&netlist, id)?;
+/// // Only the endpoint's fan-out cone was touched, not the whole design.
+/// assert!(cone.visited < netlist.len());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone)]
 pub struct IncrementalSta<'a> {
     ctx: &'a TimingContext,
+    /// Topology digest of the netlist this state was built from.
+    digest: u64,
     /// Topological rank of each gate (for ordered re-propagation).
-    rank: Vec<usize>,
+    rank: Vec<u32>,
     /// Current gate delays.
     delay: Vec<Seconds>,
     /// Current arrival times.
     arrival: Vec<Seconds>,
-    /// Indices of the timing endpoints (topology-fixed).
-    endpoints: Vec<usize>,
+    /// True for timing endpoints (topology-fixed).
+    is_endpoint: Vec<bool>,
+    /// Number of endpoints currently violating the context clock —
+    /// maintained on every arrival move so feasibility probes are O(1).
+    violations: usize,
+    /// Worklist membership bitmap. Invariant: all-false between calls
+    /// (bits are cleared as entries pop), so no O(n) reset per probe.
+    queued: Vec<bool>,
+    /// Rank-ordered worklist, persistent so probes allocate nothing.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
 }
 
 impl<'a> IncrementalSta<'a> {
     /// Builds the tracker with a full initial propagation.
     pub fn new(ctx: &'a TimingContext, netlist: &Netlist) -> Self {
         let n = netlist.len();
-        let mut rank = vec![0usize; n];
+        let mut rank = vec![0u32; n];
         for (r, id) in netlist.topological_order().iter().enumerate() {
-            rank[id.index()] = r;
+            rank[id.index()] = r as u32;
         }
-        let endpoints = netlist
-            .timing_endpoints()
-            .into_iter()
-            .map(|id| id.index())
-            .collect();
+        let mut is_endpoint = vec![false; n];
+        for id in netlist.timing_endpoints() {
+            is_endpoint[id.index()] = true;
+        }
         let mut this = Self {
             ctx,
+            digest: netlist.topology_digest(),
             rank,
             delay: vec![Seconds(0.0); n],
             arrival: vec![Seconds(0.0); n],
-            endpoints,
+            is_endpoint,
+            violations: 0,
+            queued: vec![false; n],
+            heap: BinaryHeap::new(),
         };
         for &id in netlist.topological_order() {
             this.delay[id.index()] = ctx.gate_delay(netlist, id);
             this.arrival[id.index()] = this.arrival_from_fanins(netlist, id);
         }
+        this.violations = (0..n)
+            .filter(|&i| this.is_endpoint[i] && this.violates(this.arrival[i]))
+            .count();
         this
     }
 
@@ -63,7 +134,8 @@ impl<'a> IncrementalSta<'a> {
         self.arrival[id.index()]
     }
 
-    /// Current critical (maximum) arrival.
+    /// Current critical (maximum) arrival. O(n) — intended for reporting,
+    /// not inner-loop probing.
     pub fn critical_delay(&self) -> Seconds {
         self.arrival
             .iter()
@@ -71,69 +143,126 @@ impl<'a> IncrementalSta<'a> {
             .fold(Seconds(0.0), Seconds::max)
     }
 
-    /// True when every timing endpoint meets the context clock.
+    /// True when every timing endpoint meets the context clock. O(1):
+    /// the violation count is maintained incrementally.
     pub fn is_feasible(&self) -> bool {
-        let clock = self.ctx.clock_period;
-        self.endpoints
-            .iter()
-            .all(|&i| self.arrival[i].0 <= clock.0 + 1e-18)
+        self.violations == 0
+    }
+
+    /// Number of endpoints currently missing the context clock.
+    pub fn violation_count(&self) -> usize {
+        self.violations
+    }
+
+    fn violates(&self, arrival: Seconds) -> bool {
+        arrival.0 > self.ctx.clock_period.0 + FEASIBILITY_SLOP
     }
 
     fn arrival_from_fanins(&self, netlist: &Netlist, id: GateId) -> Seconds {
-        let g = netlist.gate(id);
         let mut at = Seconds(0.0);
-        for &f in &g.fanins {
+        for &f in netlist.fanins(id) {
             let c = self.arrival[f.index()] + self.ctx.edge_penalty(netlist, f, id);
             at = at.max(c);
         }
         at + self.delay[id.index()]
     }
 
+    /// Queues a gate for re-propagation unless already queued.
+    fn enqueue(&mut self, id: GateId) {
+        let i = id.index();
+        if !self.queued[i] {
+            self.queued[i] = true;
+            self.heap.push(Reverse((self.rank[i], i as u32)));
+        }
+    }
+
+    /// Verifies the handed netlist is the one this state was built from.
+    fn check_view(&self, netlist: &Netlist) -> Result<(), CircuitError> {
+        let found = netlist.topology_digest();
+        if found != self.digest {
+            return Err(CircuitError::StaleTimingView {
+                expected: self.digest,
+                found,
+            });
+        }
+        Ok(())
+    }
+
     /// Re-propagates after the gate `changed` had its assignment (drive,
-    /// supply, or Vth) mutated in `netlist`. Returns the number of gates
-    /// whose arrival actually moved.
+    /// supply, Vth, or wire cap) mutated in `netlist`.
     ///
     /// The affected set seeded: the changed gate (its own delay and the
-    /// conversion penalty on its in-edges changed) and its fan-ins (their
-    /// load — and hence delay — changed when the drive changed).
-    pub fn reevaluate(&mut self, netlist: &Netlist, changed: GateId) -> usize {
-        let mut heap: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
-        let mut queued = vec![false; netlist.len()];
-        let push = |heap: &mut BinaryHeap<Reverse<(usize, usize)>>,
-                    queued: &mut Vec<bool>,
-                    rank: &Vec<usize>,
-                    id: GateId| {
-            if !queued[id.index()] {
-                queued[id.index()] = true;
-                heap.push(Reverse((rank[id.index()], id.index())));
+    /// conversion penalty on its in-edges changed), its fan-ins (their
+    /// load — and hence delay — changed when the drive changed), and its
+    /// fan-outs (supply changes alter conversion penalties on out-edges).
+    /// From there arrivals re-propagate in topological-rank order,
+    /// stopping wherever an arrival comes out unchanged.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::StaleTimingView`] when `netlist`'s topology digest
+    /// differs from the one captured at [`IncrementalSta::new`].
+    pub fn reevaluate(
+        &mut self,
+        netlist: &Netlist,
+        changed: GateId,
+    ) -> Result<ConeStats, CircuitError> {
+        self.reevaluate_batch(netlist, &[changed])
+    }
+
+    /// Batch form of [`reevaluate`](IncrementalSta::reevaluate) for
+    /// multi-gate moves: seeds every changed gate's neighborhood first,
+    /// then runs one rank-ordered propagation pass, so overlapping cones
+    /// are each visited once instead of once per change.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::StaleTimingView`] when `netlist`'s topology digest
+    /// differs from the one captured at [`IncrementalSta::new`].
+    pub fn reevaluate_batch(
+        &mut self,
+        netlist: &Netlist,
+        changed: &[GateId],
+    ) -> Result<ConeStats, CircuitError> {
+        self.check_view(netlist)?;
+        for &c in changed {
+            // Fan-ins: their load changed; their delay must be refreshed.
+            for i in 0..netlist.fanins(c).len() {
+                let f = netlist.fanins(c)[i];
+                self.delay[f.index()] = self.ctx.gate_delay(netlist, f);
+                self.enqueue(f);
             }
-        };
-        // Fan-ins: their load changed; their delay must be refreshed.
-        for &f in &netlist.gate(changed).fanins.clone() {
-            self.delay[f.index()] = self.ctx.gate_delay(netlist, f);
-            push(&mut heap, &mut queued, &self.rank, f);
+            self.delay[c.index()] = self.ctx.gate_delay(netlist, c);
+            self.enqueue(c);
+            for i in 0..netlist.fanouts(c).len() {
+                self.enqueue(netlist.fanouts(c)[i]);
+            }
         }
-        self.delay[changed.index()] = self.ctx.gate_delay(netlist, changed);
-        push(&mut heap, &mut queued, &self.rank, changed);
-        // Supply changes alter conversion penalties on out-edges too: the
-        // fan-outs' arrivals can move even if their delays do not.
-        for &fo in netlist.fanouts(changed) {
-            push(&mut heap, &mut queued, &self.rank, fo);
-        }
-        let mut moved = 0usize;
-        while let Some(Reverse((_, idx))) = heap.pop() {
+        let mut stats = ConeStats::default();
+        while let Some(Reverse((_, idx))) = self.heap.pop() {
+            let idx = idx as usize;
             let id = GateId::from_index(idx);
-            queued[idx] = false;
+            self.queued[idx] = false;
+            stats.visited += 1;
             let fresh = self.arrival_from_fanins(netlist, id);
-            if (fresh.0 - self.arrival[idx].0).abs() > 1e-21 {
+            if (fresh.0 - self.arrival[idx].0).abs() > MOVE_EPSILON {
+                if self.is_endpoint[idx] {
+                    let was = self.violates(self.arrival[idx]);
+                    let now = self.violates(fresh);
+                    match (was, now) {
+                        (false, true) => self.violations += 1,
+                        (true, false) => self.violations -= 1,
+                        _ => {}
+                    }
+                }
                 self.arrival[idx] = fresh;
-                moved += 1;
-                for &fo in netlist.fanouts(id) {
-                    push(&mut heap, &mut queued, &self.rank, fo);
+                stats.moved += 1;
+                for i in 0..netlist.fanouts(id).len() {
+                    self.enqueue(netlist.fanouts(id)[i]);
                 }
             }
         }
-        moved
+        Ok(stats)
     }
 }
 
@@ -160,6 +289,7 @@ mod tests {
             let b = full.arrival[id.index()].0;
             assert!((a - b).abs() < 1e-18, "{id}: incremental {a} vs full {b}");
         }
+        assert_eq!(inc.is_feasible(), full.is_feasible());
     }
 
     #[test]
@@ -168,6 +298,7 @@ mod tests {
         let inc = IncrementalSta::new(&ctx, &nl);
         assert_matches_full_sta(&inc, &nl, &ctx);
         assert!(inc.is_feasible());
+        assert_eq!(inc.violation_count(), 0);
     }
 
     #[test]
@@ -186,7 +317,7 @@ mod tests {
                     .gate_mut(id)
                     .set_drive([0.5, 1.0, 2.0, 4.0][rng.random_range(0..4)]),
             }
-            inc.reevaluate(&nl, id);
+            inc.reevaluate(&nl, id).unwrap();
             assert_matches_full_sta(&inc, &nl, &ctx);
         }
     }
@@ -198,13 +329,13 @@ mod tests {
         let ids: Vec<GateId> = nl.ids().collect();
         for &id in &ids {
             nl.gate_mut(id).set_supply(SupplyClass::Low);
-            inc.reevaluate(&nl, id);
+            inc.reevaluate(&nl, id).unwrap();
             let full = ctx.analyze(&nl).unwrap();
             assert_eq!(inc.is_feasible(), full.is_feasible(), "diverged at {id}");
             // Revert to keep the design mostly feasible.
             if !inc.is_feasible() {
                 nl.gate_mut(id).set_supply(SupplyClass::High);
-                inc.reevaluate(&nl, id);
+                inc.reevaluate(&nl, id).unwrap();
             }
         }
     }
@@ -217,8 +348,13 @@ mod tests {
         // whole netlist.
         let id = nl.timing_endpoints()[0];
         nl.gate_mut(id).set_vth(VthClass::High);
-        let moved = inc.reevaluate(&nl, id);
-        assert!(moved <= 3, "endpoint change moved {moved} arrivals");
+        let cone = inc.reevaluate(&nl, id).unwrap();
+        assert!(
+            cone.moved <= 3,
+            "endpoint change moved {} arrivals",
+            cone.moved
+        );
+        assert!(cone.visited < nl.len() / 4);
     }
 
     #[test]
@@ -228,9 +364,69 @@ mod tests {
         let ids: Vec<GateId> = nl.ids().collect();
         for &id in ids.iter().take(30) {
             nl.gate_mut(id).set_drive(2.0);
-            inc.reevaluate(&nl, id);
+            inc.reevaluate(&nl, id).unwrap();
         }
         let full = ctx.analyze(&nl).unwrap();
         assert!((inc.critical_delay().0 - full.critical_delay().0).abs() < 1e-18);
+    }
+
+    #[test]
+    fn batch_reevaluate_matches_sequential() {
+        let (nl, ctx) = setup();
+        let ids: Vec<GateId> = nl.ids().collect();
+        let moved: Vec<GateId> = ids.iter().copied().step_by(17).collect();
+
+        let mut nl_a = nl.clone();
+        let mut inc_a = IncrementalSta::new(&ctx, &nl_a);
+        for &id in &moved {
+            nl_a.gate_mut(id).set_drive(4.0);
+            inc_a.reevaluate(&nl_a, id).unwrap();
+        }
+
+        let mut nl_b = nl.clone();
+        let mut inc_b = IncrementalSta::new(&ctx, &nl_b);
+        for &id in &moved {
+            nl_b.gate_mut(id).set_drive(4.0);
+        }
+        inc_b.reevaluate_batch(&nl_b, &moved).unwrap();
+
+        for id in nl_b.ids() {
+            assert_eq!(inc_a.arrival_of(id).0, inc_b.arrival_of(id).0, "{id}");
+        }
+        assert_matches_full_sta(&inc_b, &nl_b, &ctx);
+    }
+
+    #[test]
+    fn stale_view_is_a_typed_error() {
+        let (nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        // A structurally different netlist (one gate fewer) must be
+        // rejected, not silently mixed with cached arrivals.
+        let mut spec = NetlistSpec::small(96);
+        spec.gates -= 1;
+        let other = generate_netlist(&spec);
+        let err = inc
+            .reevaluate(&other, other.ids().next().unwrap())
+            .unwrap_err();
+        assert!(matches!(err, CircuitError::StaleTimingView { .. }));
+        // The original view still works.
+        assert!(inc.reevaluate(&nl, nl.ids().next().unwrap()).is_ok());
+    }
+
+    #[test]
+    fn worklist_buffers_stay_clean_across_calls() {
+        let (mut nl, ctx) = setup();
+        let mut inc = IncrementalSta::new(&ctx, &nl);
+        for round in 0..5 {
+            let id = GateId::from_index(round * 7);
+            nl.gate_mut(id).set_drive(2.0);
+            inc.reevaluate(&nl, id).unwrap();
+            assert!(inc.heap.is_empty());
+            assert!(
+                inc.queued.iter().all(|&q| !q),
+                "round {round} left bits set"
+            );
+        }
+        assert_matches_full_sta(&inc, &nl, &ctx);
     }
 }

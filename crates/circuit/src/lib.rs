@@ -43,7 +43,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod activity;
@@ -59,6 +59,8 @@ pub mod sta;
 
 pub use cell::{Cell, CellKind, SupplyClass, VthClass};
 pub use error::CircuitError;
+pub use generate::{generate_netlist, NetlistSpec};
+pub use incremental::{ConeStats, IncrementalSta};
 pub use library::Library;
-pub use netlist::{Gate, GateId, Netlist};
+pub use netlist::{Gate, GateId, GateView, Netlist, NetlistBuilder};
 pub use sta::{TimingContext, TimingReport};

@@ -254,7 +254,7 @@ impl TimingContext {
         for &id in netlist.topological_order() {
             let g = netlist.gate(id);
             let mut at = Seconds(0.0);
-            for &f in &g.fanins {
+            for &f in g.fanins {
                 let candidate = arrival[f.index()] + self.edge_penalty(netlist, f, id);
                 at = at.max(candidate);
             }
@@ -267,7 +267,7 @@ impl TimingContext {
         }
         for &id in netlist.topological_order().iter().rev() {
             let req_here = required[id.index()];
-            for &f in &netlist.gate(id).fanins {
+            for &f in netlist.gate(id).fanins {
                 let budget = req_here - delay[id.index()] - self.edge_penalty(netlist, f, id);
                 required[f.index()] = required[f.index()].min(budget);
             }

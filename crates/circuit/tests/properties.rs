@@ -16,6 +16,7 @@ fn spec(seed: u64, gates: usize, depth: usize) -> NetlistSpec {
         output_fraction: 0.1,
         mean_wire_cap_ff: 3.0,
         balanced_depth: false,
+        streaming: false,
     }
 }
 
@@ -36,7 +37,7 @@ proptest! {
         prop_assert_eq!(nl.len(), gates);
         // Construction validates acyclicity; also check fan-in ordering.
         for id in nl.ids() {
-            for f in &nl.gate(id).fanins {
+            for f in nl.gate(id).fanins {
                 prop_assert!(f.index() < id.index());
             }
         }
@@ -49,7 +50,7 @@ proptest! {
         let c = ctx().with_clock(Seconds::from_nano(100.0));
         let rep = c.analyze(&nl).unwrap();
         for id in nl.ids() {
-            for f in &nl.gate(id).fanins {
+            for f in nl.gate(id).fanins {
                 prop_assert!(
                     rep.arrival[id.index()] > rep.arrival[f.index()],
                     "arrival must grow along edges"

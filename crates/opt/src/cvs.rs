@@ -146,10 +146,10 @@ pub fn cluster_voltage_scale(
             continue;
         }
         netlist.gate_mut(id).set_supply(SupplyClass::Low);
-        sta.reevaluate(netlist, id);
+        sta.reevaluate(netlist, id)?;
         if !sta.is_feasible() {
             netlist.gate_mut(id).set_supply(SupplyClass::High);
-            sta.reevaluate(netlist, id);
+            sta.reevaluate(netlist, id)?;
         }
     }
     let after = netlist_power(netlist, ctx, options.activity, freq)?;

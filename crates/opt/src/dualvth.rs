@@ -82,10 +82,10 @@ pub fn assign_dual_vth(
     let mut sta = IncrementalSta::new(ctx, netlist);
     for id in order {
         netlist.gate_mut(id).set_vth(VthClass::High);
-        sta.reevaluate(netlist, id);
+        sta.reevaluate(netlist, id)?;
         if !sta.is_feasible() {
             netlist.gate_mut(id).set_vth(VthClass::Low);
-            sta.reevaluate(netlist, id);
+            sta.reevaluate(netlist, id)?;
         }
     }
     let after = netlist_power(netlist, ctx, activity, freq)?;

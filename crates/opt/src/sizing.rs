@@ -96,12 +96,12 @@ pub fn downsize(
                 continue;
             }
             netlist.gate_mut(id).set_drive(next);
-            sta.reevaluate(netlist, id);
+            sta.reevaluate(netlist, id)?;
             if sta.is_feasible() {
                 changed = true;
             } else {
                 netlist.gate_mut(id).set_drive(current);
-                sta.reevaluate(netlist, id);
+                sta.reevaluate(netlist, id)?;
             }
         }
         if !changed {
