@@ -11,14 +11,22 @@
 //! graceful cancellation, and a self-watchdog behind the `health`
 //! request.
 //!
+//! Untrusted scenario specs (`nanopower::spec`) enter through a
+//! hardened pipeline: field-validated parsing with typed `invalid_spec`
+//! rejections, a static cost gate (`--max-spec-cost`) answering typed
+//! `too_expensive` before any work, and a bounded panic quarantine
+//! (`--quarantine-max`) that turns a spec-induced worker panic into a
+//! typed `panicked` record and rejects the same digest O(1) afterwards.
+//!
 //! ```text
 //! nanopowerd serve --socket /tmp/nanopower.sock [--tcp 127.0.0.1:7070]
 //!            [--workers N] [--max-inflight N] [--queue-depth N]
 //!            [--max-connections N] [--shed-ms N] [--write-timeout-ms N]
 //!            [--watchdog-ms N] [--memo-spill PATH] [--memo-max-entries N]
-//!            [--memo-max-bytes N] [--hold-ms N]
+//!            [--memo-max-bytes N] [--max-spec-cost N] [--quarantine-max N]
+//!            [--hold-ms N]
 //! nanopowerd load  --socket PATH|--tcp ADDR [--connections N] [--requests N]
-//!            [--csv] [--quick] [--out BENCH_serve.json]
+//!            [--csv] [--quick] [--seed N] [--out BENCH_serve.json]
 //! nanopowerd stats --socket PATH|--tcp ADDR
 //! nanopowerd health --socket PATH|--tcp ADDR
 //! nanopowerd shutdown --socket PATH|--tcp ADDR
@@ -31,10 +39,15 @@ use nanopower::engine::{CancelToken, Job, JobRecord, Session};
 use nanopower::proto::{
     HealthMsg, Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg,
 };
-use nanopower::service::{Admission, AdmissionGate, ArtifactMemo, MemoConfig, ServiceCounters};
+use nanopower::roadmap::TechNode;
+use nanopower::service::{
+    Admission, AdmissionGate, ArtifactMemo, MemoConfig, Quarantine, ServiceCounters,
+};
+use nanopower::spec::{GridSpec, ScenarioSpec, DEFAULT_COST_BUDGET};
 use nanopower::Error;
 use np_bench::registry;
-use np_bench::serve::{DaemonCounters, ServeReport};
+use np_bench::serve::{DaemonCounters, KindStats, ServeReport};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -89,6 +102,12 @@ SERVE OPTIONS:
                            file and rehydrate it on restart
     --memo-max-entries N   memo entry cap, LRU-evicted (default: 256)
     --memo-max-bytes N     memo byte cap, LRU-evicted (default: 67108864)
+    --max-spec-cost N      cost-unit budget per request for scenario
+                           specs; pricier requests get a typed
+                           `too_expensive` before any work runs
+                           (default: 100000)
+    --quarantine-max N     panic-quarantine capacity, LRU-evicted
+                           (default: 1024)
     --hold-ms N            hold each admission slot N extra ms (test hook)
 
 LOAD OPTIONS:
@@ -96,6 +115,8 @@ LOAD OPTIONS:
     --requests N      requests per connection (default: 25)
     --csv             request CSV artifact forms
     --quick           small fast run (2 connections x 5 requests)
+    --seed N          mixed-workload seed: which requests carry scenario
+                      specs instead of registry names (default: 1)
     --out PATH        report path (default: BENCH_serve.json)
 ";
 
@@ -173,6 +194,12 @@ struct ServerState {
     memo: ArtifactMemo,
     gate: AdmissionGate,
     counters: ServiceCounters,
+    /// Digests of specs that panicked a worker: repeats are rejected
+    /// O(1) with the original panic message, without re-running.
+    quarantine: Quarantine,
+    /// Per-request cost-unit budget for scenario specs; estimates above
+    /// it are answered with a typed `too_expensive` before any work.
+    max_spec_cost: u64,
     workers: usize,
     hold_ms: u64,
     /// Queue-wait budget before a run is shed with `overloaded`.
@@ -209,6 +236,7 @@ impl ServerState {
             memo_bytes: self.memo.approx_bytes() as u64,
             spill_active: self.memo.spill_active(),
             shed: self.counters.snapshot().overloaded,
+            quarantine_entries: self.quarantine.len() as u64,
         }
     }
 }
@@ -234,6 +262,8 @@ fn cmd_serve(args: &[String]) -> i32 {
             parse_flag_opt(&rest, "--memo-spill")?,
             parse_flag_value(&rest, "--memo-max-entries", 256usize)?,
             parse_flag_value(&rest, "--memo-max-bytes", 64usize << 20)?,
+            parse_flag_value(&rest, "--max-spec-cost", DEFAULT_COST_BUDGET)?,
+            parse_flag_value(&rest, "--quarantine-max", Quarantine::DEFAULT_MAX)?,
             parse_flag_value(&rest, "--hold-ms", 0u64)?,
         ))
     })();
@@ -248,6 +278,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         memo_spill,
         memo_max_entries,
         memo_max_bytes,
+        max_spec_cost,
+        quarantine_max,
         hold_ms,
     ) = match parsed {
         Ok(opts) => opts,
@@ -280,6 +312,8 @@ fn cmd_serve(args: &[String]) -> i32 {
         memo,
         gate: AdmissionGate::new(max_inflight, queue_depth),
         counters: ServiceCounters::new(),
+        quarantine: Quarantine::new(quarantine_max),
+        max_spec_cost,
         workers,
         hold_ms,
         shed_budget: Duration::from_millis(shed_ms),
@@ -597,6 +631,11 @@ where
                         conn_rejected: snap.conn_rejected,
                         write_timeouts: snap.write_timeouts,
                         protocol_errors: snap.protocol_errors,
+                        invalid_specs: snap.invalid_specs,
+                        too_expensive: snap.too_expensive,
+                        panicked: snap.panicked,
+                        quarantined: snap.quarantined,
+                        quarantine_entries: state.quarantine.len() as u64,
                         memo_entries: state.memo.len() as u64,
                         memo_bytes: state.memo.approx_bytes() as u64,
                         memo_evictions: state.memo.evictions(),
@@ -616,6 +655,10 @@ where
             Err(Error::Protocol { reason }) => {
                 state.counters.bump(&state.counters.protocol_errors);
                 writer.send(state, &Response::Protocol { reason })?;
+            }
+            Err(Error::InvalidSpec { field, reason }) => {
+                state.counters.bump(&state.counters.invalid_specs);
+                writer.send(state, &Response::InvalidSpec { field, reason })?;
             }
             Err(other) => {
                 state.counters.bump(&state.counters.protocol_errors);
@@ -642,6 +685,20 @@ fn handle_run<W>(
 where
     W: Write + Send + 'static,
 {
+    // Cost gate: a static estimate of the specs' work, answered before
+    // admission so an over-budget request never consumes a slot (or any
+    // compute). Registry names are pre-vetted and bypass the gate.
+    let estimate: u64 = run.specs.iter().map(ScenarioSpec::cost).sum();
+    if estimate > state.max_spec_cost {
+        state.counters.bump(&state.counters.too_expensive);
+        return writer.send(
+            state,
+            &Response::TooExpensive {
+                estimate,
+                budget: state.max_spec_cost,
+            },
+        );
+    }
     let permit = match state.gate.admit_within(Some(state.shed_budget)) {
         Admission::Admitted(permit) => permit,
         Admission::QueueFull => {
@@ -723,6 +780,56 @@ where
         }
     }
 
+    // Spec pass: quarantined digests are rejected O(1) with the original
+    // panic message; memoized digests are served like registry hits; the
+    // rest become render jobs keyed by their canonical digest.
+    let mut pre_failures = 0u64;
+    let mut spec_digests: HashMap<String, u64> = HashMap::new();
+    for spec in &run.specs {
+        let digest = spec.digest();
+        let name = spec.job_name();
+        if let Some(message) = state.quarantine.check(digest) {
+            state.counters.bump(&state.counters.quarantined);
+            pre_failures += 1;
+            writer.send(
+                state,
+                &Response::Record(RecordMsg {
+                    name,
+                    status: "quarantined".into(),
+                    duration_ms: 0.0,
+                    memo: false,
+                    bytes: None,
+                    digest: None,
+                    error: Some(message),
+                }),
+            )?;
+            continue;
+        }
+        let key = ArtifactMemo::request_key(&name, run.csv);
+        if let Some(entry) = state.memo.get(key) {
+            memo_hits += 1;
+            ok += 1;
+            state.counters.bump(&state.counters.memo_hits);
+            writer.send(
+                state,
+                &Response::Record(RecordMsg {
+                    name,
+                    status: "ok".into(),
+                    duration_ms: 0.0,
+                    memo: true,
+                    bytes: Some(entry.output.len() as u64),
+                    digest: Some(entry.digest),
+                    error: None,
+                }),
+            )?;
+        } else {
+            spec_digests.insert(name.clone(), digest);
+            let spec = spec.clone();
+            let csv = run.csv;
+            jobs.push(Job::new(name, move || spec.render(csv)));
+        }
+    }
+
     let report = if jobs.is_empty() {
         None
     } else {
@@ -733,10 +840,20 @@ where
             .workers(state.workers)
             .cancel(token.clone())
             .on_record(move |_, record: &JobRecord| {
-                if let Ok(output) = &record.outcome {
-                    shared
+                match &record.outcome {
+                    Ok(output) => shared
                         .memo
-                        .insert(ArtifactMemo::request_key(&record.name, csv), output.clone());
+                        .insert(ArtifactMemo::request_key(&record.name, csv), output.clone()),
+                    // A spec that panicked its worker is quarantined by
+                    // digest: the engine already caught the panic, and
+                    // every later identical spec is rejected O(1).
+                    Err(Error::Panic(message)) => {
+                        if let Some(&digest) = spec_digests.get(&record.name) {
+                            shared.counters.bump(&shared.counters.panicked);
+                            shared.quarantine.insert(digest, message.clone());
+                        }
+                    }
+                    Err(_) => {}
                 }
                 // Record streaming runs on the engine's shared workers;
                 // `send` bounds a stalled client to one write deadline
@@ -754,7 +871,7 @@ where
         let _ = handle.join();
     }
 
-    let mut failures = 0u64;
+    let mut failures = pre_failures;
     let mut cancelled = 0u64;
     let mut interrupted = false;
     if let Some(report) = &report {
@@ -902,6 +1019,14 @@ impl Client {
                 Response::Report(report) => return Ok(RunOutcome::Report(report)),
                 Response::Busy { .. } => return Ok(RunOutcome::Busy),
                 Response::Overloaded { .. } => return Ok(RunOutcome::Overloaded),
+                Response::TooExpensive { estimate, budget } => {
+                    return Err(format!(
+                        "rejected as too expensive: estimate {estimate} over budget {budget}"
+                    ))
+                }
+                Response::InvalidSpec { field, reason } => {
+                    return Err(format!("invalid spec: field `{field}`: {reason}"))
+                }
                 Response::Protocol { reason } => return Err(format!("protocol error: {reason}")),
                 other => return Err(format!("unexpected response {other:?}")),
             }
@@ -937,16 +1062,24 @@ fn cmd_load(args: &[String]) -> i32 {
     let opts = (
         parse_flag_value(&rest, "--connections", defaults.0),
         parse_flag_value(&rest, "--requests", defaults.1),
+        parse_flag_value(&rest, "--seed", 1u64),
         parse_flag_value(&rest, "--out", "BENCH_serve.json".to_string()),
     );
-    let (connections, requests, out) = match opts {
-        (Ok(c), Ok(r), Ok(o)) => (c, r, o),
-        (Err(e), ..) | (_, Err(e), _) | (.., Err(e)) => {
+    let (connections, requests, seed, out) = match opts {
+        (Ok(c), Ok(r), Ok(s), Ok(o)) => (c, r, s, o),
+        (Err(e), ..) | (_, Err(e), ..) | (.., Err(e), _) | (.., Err(e)) => {
             eprintln!("nanopowerd load: {e}");
             return 2;
         }
     };
-    match run_load(&endpoint, connections.max(1), requests.max(1), csv, quick) {
+    match run_load(
+        &endpoint,
+        connections.max(1),
+        requests.max(1),
+        csv,
+        quick,
+        seed,
+    ) {
         Ok(report) => {
             println!("{}", report.summary());
             if let Err(e) = std::fs::write(&out, report.to_json()) {
@@ -974,6 +1107,48 @@ struct LoadTally {
     errors: u64,
     busy_retries: u64,
     shed_retries: u64,
+    registry: KindStats,
+    specs: KindStats,
+}
+
+/// SplitMix64 step — the deterministic mixer behind every seeded
+/// workload choice the load client makes.
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pool of cheap valid scenario specs: every field
+/// derives from the seed alone, so two runs with equal seeds request
+/// identical digests — which is what makes the daemon's spec-keyed memo
+/// observable across connections.
+fn spec_pool(seed: u64) -> Vec<ScenarioSpec> {
+    let nodes = [
+        TechNode::N180,
+        TechNode::N130,
+        TechNode::N100,
+        TechNode::N70,
+        TechNode::N50,
+        TechNode::N35,
+    ];
+    nodes
+        .iter()
+        .enumerate()
+        .map(|(i, &node)| {
+            let mix = splitmix(seed.wrapping_add(i as u64));
+            let mut spec = ScenarioSpec::at_node(node);
+            spec.activity = 0.05 + (mix % 10) as f64 * 0.01;
+            spec.workload_ratio = 0.25 + ((mix >> 16) % 4) as f64 * 0.25;
+            if i % 3 == 0 {
+                // A small mesh leg on every third spec keeps the grid
+                // path exercised without dominating the run.
+                spec.grid = Some(GridSpec { resolution: 17 });
+            }
+            spec
+        })
+        .collect()
 }
 
 fn run_load(
@@ -982,6 +1157,7 @@ fn run_load(
     requests_per_conn: u64,
     csv: bool,
     quick: bool,
+    seed: u64,
 ) -> Result<ServeReport, String> {
     // A small rotation of cheap artifacts: repeats within and across
     // connections are what make the daemon's memo observable.
@@ -993,15 +1169,18 @@ fn run_load(
     if names.is_empty() {
         return Err("artifact registry is empty".into());
     }
+    let specs = spec_pool(seed);
     let tally = Arc::new(Mutex::new(LoadTally::default()));
     let start = Instant::now();
     std::thread::scope(|scope| {
         for conn in 0..connections {
             let names = &names;
+            let specs = &specs;
             let tally = Arc::clone(&tally);
             let endpoint = endpoint.clone();
             scope.spawn(move || {
-                let outcome = drive_connection(&endpoint, conn, requests_per_conn, names, csv);
+                let outcome =
+                    drive_connection(&endpoint, conn, requests_per_conn, names, specs, csv, seed);
                 let mut tally = tally.lock().unwrap_or_else(PoisonError::into_inner);
                 match outcome {
                     Ok(conn_tally) => {
@@ -1009,6 +1188,8 @@ fn run_load(
                         tally.errors += conn_tally.errors;
                         tally.busy_retries += conn_tally.busy_retries;
                         tally.shed_retries += conn_tally.shed_retries;
+                        tally.registry.merge(conn_tally.registry);
+                        tally.specs.merge(conn_tally.specs);
                     }
                     Err(e) => {
                         eprintln!("connection {conn}: {e}");
@@ -1053,6 +1234,8 @@ fn run_load(
         quick,
         total_wall,
         latencies_ms: tally.latencies_ms.clone(),
+        registry: tally.registry.clone(),
+        specs: tally.specs.clone(),
     })
 }
 
@@ -1061,25 +1244,48 @@ fn drive_connection(
     conn: usize,
     requests: u64,
     names: &[String],
+    specs: &[ScenarioSpec],
     csv: bool,
+    seed: u64,
 ) -> Result<LoadTally, String> {
     let (mut client, _hello) = Client::connect(endpoint)?;
     let mut tally = LoadTally::default();
     for i in 0..requests {
-        // Rotate through the name set so every name repeats early.
-        let name = &names[(conn + i as usize) % names.len()];
-        let request = RunRequest {
-            names: vec![name.clone()],
-            csv,
-            deadline_ms: Some(60_000),
+        // Seeded mix: roughly every third request carries a scenario
+        // spec from the pool; the rest rotate through the registry
+        // names so every name (and digest) repeats early.
+        let roll = splitmix(seed ^ ((conn as u64) << 32) ^ i);
+        let is_spec = roll.is_multiple_of(3);
+        let request = if is_spec {
+            RunRequest {
+                names: Vec::new(),
+                specs: vec![specs[(roll as usize / 3) % specs.len()].clone()],
+                csv,
+                deadline_ms: Some(60_000),
+            }
+        } else {
+            let name = &names[(conn + i as usize) % names.len()];
+            RunRequest {
+                names: vec![name.clone()],
+                specs: Vec::new(),
+                csv,
+                deadline_ms: Some(60_000),
+            }
         };
         let started = Instant::now();
         loop {
             match client.run(&request)? {
                 RunOutcome::Report(report) => {
-                    tally
-                        .latencies_ms
-                        .push(started.elapsed().as_secs_f64() * 1e3);
+                    let ms = started.elapsed().as_secs_f64() * 1e3;
+                    tally.latencies_ms.push(ms);
+                    let kind = if is_spec {
+                        &mut tally.specs
+                    } else {
+                        &mut tally.registry
+                    };
+                    kind.completed += 1;
+                    kind.memo_hits += report.memo_hits;
+                    kind.latencies_ms.push(ms);
                     if report.failures > 0 || report.cancelled > 0 {
                         tally.errors += 1;
                     }

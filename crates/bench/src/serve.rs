@@ -40,6 +40,54 @@ pub struct ServeReport {
     pub total_wall: Duration,
     /// Per-request latencies, milliseconds, completion order.
     pub latencies_ms: Vec<f64>,
+    /// The registry-artifact slice of the mixed workload.
+    pub registry: KindStats,
+    /// The scenario-spec slice of the mixed workload.
+    pub specs: KindStats,
+}
+
+/// One request kind's slice of a mixed load run: the registry-name
+/// requests and the scenario-spec requests are tallied separately so
+/// memo behaviour and latency can be compared per kind.
+#[derive(Debug, Clone, Default)]
+pub struct KindStats {
+    /// Requests of this kind that returned a terminal report.
+    pub completed: u64,
+    /// Memo-served records observed in this kind's reports
+    /// (client-side count, from each report's `memo_hits`).
+    pub memo_hits: u64,
+    /// Per-request latencies of this kind, milliseconds.
+    pub latencies_ms: Vec<f64>,
+}
+
+impl KindStats {
+    /// Folds another tally of the same kind into this one.
+    pub fn merge(&mut self, other: KindStats) {
+        self.completed += other.completed;
+        self.memo_hits += other.memo_hits;
+        self.latencies_ms.extend(other.latencies_ms);
+    }
+
+    /// Median latency of this kind, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        percentile(&self.latencies_ms, 50.0)
+    }
+
+    /// 99th-percentile latency of this kind, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        percentile(&self.latencies_ms, 99.0)
+    }
+
+    /// This kind's slice of the `serve.kinds` JSON object.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"completed\": {}, \"memo_hits\": {}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}}}",
+            self.completed,
+            self.memo_hits,
+            self.p50_ms(),
+            self.p99_ms()
+        )
+    }
 }
 
 /// The daemon-side resilience counters a load run records alongside its
@@ -146,6 +194,11 @@ impl ServeReport {
             self.daemon.conn_rejected,
             self.daemon.write_timeouts,
         ));
+        out.push_str(&format!(
+            "  \"kinds\": {{\"registry\": {}, \"spec\": {}}},\n",
+            self.registry.to_json(),
+            self.specs.to_json()
+        ));
         out.push_str("  \"kernels\": [\n");
         let kernels = [
             ("serve.request", self.mean_ms()),
@@ -218,6 +271,16 @@ mod tests {
             quick: false,
             total_wall: Duration::from_secs(2),
             latencies_ms: (1..=98).map(f64::from).collect(),
+            registry: KindStats {
+                completed: 66,
+                memo_hits: 30,
+                latencies_ms: (1..=66).map(f64::from).collect(),
+            },
+            specs: KindStats {
+                completed: 32,
+                memo_hits: 10,
+                latencies_ms: (67..=98).map(f64::from).collect(),
+            },
         };
         let json = report.to_json();
         assert!(json.contains("\"schema\": \"nanopower-bench/v1\""));
@@ -228,6 +291,8 @@ mod tests {
         assert!(json.contains("\"daemon\": {\"memo_entries\": 6"));
         assert!(json.contains("\"memo_evictions\": 2"));
         assert!(json.contains("\"shed_retries\": 1"));
+        assert!(json.contains("\"kinds\": {\"registry\": {\"completed\": 66"));
+        assert!(json.contains("\"spec\": {\"completed\": 32, \"memo_hits\": 10"));
         assert!((report.p50_ms() - 49.5).abs() < 1e-9);
         assert!(report.p99_ms() > 95.0);
         let summary = report.summary();

@@ -9,6 +9,8 @@
 #![cfg(unix)]
 
 use nanopower::proto::{Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg};
+use nanopower::roadmap::TechNode;
+use nanopower::spec::ScenarioSpec;
 use np_bench::chaos::{ChaosProxy, ChaosSchedule, Fault};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
@@ -188,6 +190,7 @@ impl Conn {
 fn run_names(names: &[&str]) -> RunRequest {
     RunRequest {
         names: names.iter().map(|n| n.to_string()).collect(),
+        specs: Vec::new(),
         csv: false,
         deadline_ms: Some(60_000),
     }
@@ -256,6 +259,49 @@ fn kill_nine_mid_load_then_restart_rehydrates_the_memo() {
     let health = conn.health();
     assert!(health.spill_active, "{health:?}");
     assert!(health.memo_entries >= 2, "{health:?}");
+    restarted.shutdown();
+    let _ = std::fs::remove_file(&spill);
+    let _ = std::fs::remove_file(&old_socket);
+}
+
+#[test]
+fn spec_memo_entries_rehydrate_after_kill_nine_with_pre_crash_digests() {
+    let spill = temp_path("spec-spill", ".memo");
+    let _ = std::fs::remove_file(&spill);
+    let spill_arg = spill.to_string_lossy().into_owned();
+    let run_spec = |spec: ScenarioSpec| RunRequest {
+        names: Vec::new(),
+        specs: vec![spec],
+        csv: false,
+        deadline_ms: Some(60_000),
+    };
+    let mut spec = ScenarioSpec::at_node(TechNode::N70);
+    spec.activity = 0.2;
+
+    // First life: render the spec (spilled at insert time), then kill -9.
+    let daemon = Daemon::spawn("spec-crash", &["--memo-spill", &spill_arg]);
+    let mut conn = daemon.connect();
+    let (report, records) = conn.run(run_spec(spec.clone()));
+    assert_eq!(report.ok, 1, "{report:?}");
+    assert!(records[0].name.starts_with("spec:"), "{records:?}");
+    let pre_crash = (records[0].name.clone(), records[0].digest.clone());
+    let old_socket = daemon.kill9();
+
+    // Second life: the very first identical spec must answer from the
+    // rehydrated memo under the same digest-derived key.
+    let restarted = Daemon::spawn("spec-crash2", &["--memo-spill", &spill_arg]);
+    let mut conn = restarted.connect();
+    let (report, records) = conn.run(run_spec(spec));
+    assert_eq!(
+        report.memo_hits, 1,
+        "spec memo entry survives the crash: {report:?}"
+    );
+    assert!(records[0].memo, "{records:?}");
+    assert_eq!(
+        (records[0].name.clone(), records[0].digest.clone()),
+        pre_crash,
+        "digest-keyed identity survives the crash"
+    );
     restarted.shutdown();
     let _ = std::fs::remove_file(&spill);
     let _ = std::fs::remove_file(&old_socket);

@@ -79,7 +79,7 @@ fn chaos_json_reports_attempts_and_deadline_status() {
     let panic = record_for(&json, "chaos-panic");
     assert!(panic.contains("\"timed_out\": false"), "panic: {panic}");
     assert!(panic.contains("\"attempts\": 1"), "panic: {panic}");
-    assert!(panic.contains("\"status\": \"error\""), "panic: {panic}");
+    assert!(panic.contains("\"status\": \"panicked\""), "panic: {panic}");
 
     // The flaky job fails twice, succeeds on the third attempt.
     let flaky = record_for(&json, "chaos-flaky");

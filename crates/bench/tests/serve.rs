@@ -6,7 +6,11 @@
 //! `nanopower::proto`.
 #![cfg(unix)]
 
-use nanopower::proto::{Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg};
+use nanopower::proto::{
+    HealthMsg, Hello, RecordMsg, ReportMsg, Request, Response, RunRequest, StatsMsg,
+};
+use nanopower::roadmap::TechNode;
+use nanopower::spec::{GridSpec, ScenarioSpec};
 use std::io::{BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::PathBuf;
@@ -131,6 +135,12 @@ impl Conn {
     /// records. Panics on `busy`.
     fn run(&mut self, request: RunRequest) -> (ReportMsg, Vec<RecordMsg>) {
         self.send(&Request::Run(request));
+        self.finish_run()
+    }
+
+    /// Reads records until the terminal report (for requests already
+    /// sent, typed or raw).
+    fn finish_run(&mut self) -> (ReportMsg, Vec<RecordMsg>) {
         let mut records = Vec::new();
         loop {
             match self.read() {
@@ -148,11 +158,29 @@ impl Conn {
             other => panic!("expected stats, got {other:?}"),
         }
     }
+
+    fn health(&mut self) -> HealthMsg {
+        self.send(&Request::Health);
+        match self.read() {
+            Response::Health(health) => health,
+            other => panic!("expected health, got {other:?}"),
+        }
+    }
 }
 
 fn run_names(names: &[&str]) -> RunRequest {
     RunRequest {
         names: names.iter().map(|n| n.to_string()).collect(),
+        specs: Vec::new(),
+        csv: false,
+        deadline_ms: Some(60_000),
+    }
+}
+
+fn run_specs(specs: Vec<ScenarioSpec>) -> RunRequest {
+    RunRequest {
+        names: Vec::new(),
+        specs,
         csv: false,
         deadline_ms: Some(60_000),
     }
@@ -235,6 +263,7 @@ fn deadline_expiry_cancels_with_typed_records() {
     let mut conn = daemon.connect();
     let (report, records) = conn.run(RunRequest {
         names: vec!["fig5".into(), "table2".into()],
+        specs: Vec::new(),
         csv: false,
         deadline_ms: Some(20),
     });
@@ -329,6 +358,143 @@ fn malformed_lines_get_typed_errors_and_the_connection_survives() {
 }
 
 #[test]
+fn spec_requests_render_memoize_and_digest_reordered_keys_equal() {
+    let daemon = Daemon::spawn("spec", &["--workers", "2"]);
+    let mut conn = daemon.connect();
+
+    conn.send_raw(r#"{"run": {"specs": [{"activity": 0.2, "node": 70}]}}"#);
+    let (report, records) = conn.finish_run();
+    assert_eq!(report.ok, 1, "{report:?}");
+    assert_eq!(records.len(), 1, "{records:?}");
+    assert!(records[0].name.starts_with("spec:"), "{records:?}");
+    assert!(!records[0].memo);
+    let fresh = (records[0].name.clone(), records[0].digest.clone());
+
+    // The same scenario with reordered keys and explicit defaults is the
+    // same canonical digest: served from the memo without re-rendering.
+    conn.send_raw(
+        r#"{"run": {"specs": [{"node": 70, "workload_ratio": 1, "effective_fraction": 0.75, "activity": 0.2}]}}"#,
+    );
+    let (report, records) = conn.finish_run();
+    assert_eq!(report.memo_hits, 1, "{report:?}");
+    assert!(records[0].memo, "{records:?}");
+    assert_eq!((records[0].name.clone(), records[0].digest.clone()), fresh);
+
+    // A field violation draws a typed invalid_spec naming the field —
+    // and the connection keeps serving.
+    conn.send_raw(r#"{"run": {"specs": [{"node": 70, "activity": 42}]}}"#);
+    match conn.read() {
+        Response::InvalidSpec { field, reason } => {
+            assert_eq!(field, "activity");
+            assert!(reason.contains("(0, 1]"), "{reason}");
+        }
+        other => panic!("expected invalid_spec, got {other:?}"),
+    }
+
+    // Unknown `run` keys are rejected, never silently ignored: a typo'd
+    // deadline must not demote a bounded request to an unbounded one.
+    conn.send_raw(r#"{"run": {"names": ["fig5"], "deadlne_ms": 5}}"#);
+    match conn.read() {
+        Response::Protocol { reason } => assert!(reason.contains("deadlne_ms"), "{reason}"),
+        other => panic!("expected protocol error, got {other:?}"),
+    }
+
+    let stats = conn.stats();
+    assert_eq!(stats.invalid_specs, 1, "{stats:?}");
+    assert_eq!(stats.protocol_errors, 1, "{stats:?}");
+    assert_eq!(stats.memo_hits, 1, "{stats:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn over_budget_specs_draw_too_expensive_before_any_work() {
+    let daemon = Daemon::spawn("cost", &["--max-spec-cost", "100"]);
+    let mut conn = daemon.connect();
+    let mut pricey = ScenarioSpec::at_node(TechNode::N70);
+    pricey.grid = Some(GridSpec { resolution: 65 });
+    let estimate = pricey.cost();
+    assert!(estimate > 100, "test premise: the mesh leg is over budget");
+    conn.send(&Request::Run(run_specs(vec![pricey])));
+    match conn.read() {
+        Response::TooExpensive {
+            estimate: quoted,
+            budget,
+        } => {
+            assert_eq!(quoted, estimate, "the rejection quotes the estimate");
+            assert_eq!(budget, 100);
+        }
+        other => panic!("expected too_expensive, got {other:?}"),
+    }
+
+    // Rejected before any work: nothing admitted, served, or memoized.
+    let stats = conn.stats();
+    assert_eq!(stats.too_expensive, 1, "{stats:?}");
+    assert_eq!(stats.accepted, 0, "{stats:?}");
+    assert_eq!(stats.memo_entries, 0, "{stats:?}");
+
+    // An in-budget spec on the same connection still runs.
+    let (report, _) = conn.run(run_specs(vec![ScenarioSpec::at_node(TechNode::N70)]));
+    assert_eq!(report.ok, 1, "{report:?}");
+    daemon.shutdown();
+}
+
+#[test]
+fn panicking_spec_is_quarantined_and_the_daemon_stays_ready() {
+    let daemon = Daemon::spawn("quar", &["--workers", "2", "--max-inflight", "4"]);
+    let mut conn = daemon.connect();
+    let mut panicky = ScenarioSpec::at_node(TechNode::N70);
+    panicky.chaos = Some("panic".into());
+
+    // Healthy traffic on a second connection completes while the panic
+    // lands — the quarantine is per-spec, never per-daemon.
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            let mut side = daemon.connect();
+            for _ in 0..3 {
+                let (report, _) = side.run(run_names(&["fig5"]));
+                assert_eq!(report.ok, 1, "{report:?}");
+            }
+        });
+        let (report, records) = conn.run(run_specs(vec![panicky.clone()]));
+        assert_eq!(report.failures, 1, "{report:?}");
+        assert_eq!(records[0].status, "panicked", "{records:?}");
+        assert!(
+            records[0].error.as_deref().unwrap_or("").contains("chaos"),
+            "the typed record carries the panic message: {records:?}"
+        );
+        handle.join().expect("concurrent client");
+    });
+    assert!(conn.health().ready, "the daemon absorbed the panic");
+
+    // The identical spec is now rejected from quarantine O(1): a typed
+    // `quarantined` record carrying the original panic message, with no
+    // re-execution.
+    let (report, records) = conn.run(run_specs(vec![panicky.clone()]));
+    assert_eq!(report.failures, 1, "{report:?}");
+    assert_eq!(records[0].status, "quarantined", "{records:?}");
+    assert_eq!(records[0].duration_ms, 0.0, "no re-execution: {records:?}");
+    assert!(
+        records[0].error.as_deref().unwrap_or("").contains("chaos"),
+        "{records:?}"
+    );
+
+    // The healthy twin (no chaos hook, so a different digest) runs fine
+    // — quarantining the poisoned spec cannot shadow it.
+    let mut healthy = panicky;
+    healthy.chaos = None;
+    let (report, records) = conn.run(run_specs(vec![healthy]));
+    assert_eq!(report.ok, 1, "{report:?}");
+    assert_eq!(records[0].status, "ok", "{records:?}");
+
+    let stats = conn.stats();
+    assert_eq!(stats.panicked, 1, "{stats:?}");
+    assert_eq!(stats.quarantined, 1, "{stats:?}");
+    assert_eq!(stats.quarantine_entries, 1, "{stats:?}");
+    assert_eq!(conn.health().quarantine_entries, 1);
+    daemon.shutdown();
+}
+
+#[test]
 fn load_client_writes_bench_report() {
     let daemon = Daemon::spawn("load", &["--workers", "2"]);
     let out = std::env::temp_dir().join(format!("nanopowerd-load-{}.json", std::process::id()));
@@ -350,6 +516,10 @@ fn load_client_writes_bench_report() {
     );
     assert!(json.contains("\"serve\": {"), "{json}");
     assert!(json.contains("\"name\": \"serve.p99\""), "{json}");
+    assert!(
+        json.contains("\"kinds\": {\"registry\": {"),
+        "mixed workload splits per kind: {json}"
+    );
     let _ = std::fs::remove_file(&out);
     let mut conn = daemon.connect();
     let stats = conn.stats();

@@ -1,0 +1,301 @@
+//! Scenario-spec fuzzing: property tests over the canonical spec form
+//! plus a seeded live-daemon fuzz.
+//!
+//! Two layers:
+//!
+//! 1. **Properties** — `parse ∘ to_json` is the identity for every
+//!    generated spec, and the digest ignores client key order and
+//!    explicit defaults (the canonical form is the identity, not the
+//!    wire bytes).
+//! 2. **Live fuzz** — `np_bench::chaos::SpecFuzzer` drives a real
+//!    daemon with a seeded mix of valid, boundary, malformed, and
+//!    over-budget request lines; every response must be the typed class
+//!    the case was generated for, and the daemon must stay ready
+//!    throughout. Case count is `NP_SPEC_FUZZ_CASES` (default 1000),
+//!    seed is `NP_SPEC_FUZZ_SEED` (default 1) — a failing case replays
+//!    from those two numbers alone.
+
+use nanopower::spec::{GridSpec, NetlistTier, ScenarioSpec};
+use np_roadmap::TechNode;
+use proptest::prelude::*;
+
+/// Builds one spec from plain draws (the shim has no composite
+/// strategies, so the test folds the option toggles in by hand).
+#[allow(clippy::too_many_arguments)]
+fn build_spec(
+    node_i: usize,
+    activity: f64,
+    eff: f64,
+    workload: f64,
+    tj: f64,
+    toggles: u32,
+    grid_i: usize,
+    cells: usize,
+    seed: u64,
+) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::at_node(TechNode::ALL[node_i % TechNode::ALL.len()]);
+    spec.activity = activity;
+    spec.effective_fraction = eff;
+    spec.workload_ratio = workload;
+    if toggles & 1 != 0 {
+        spec.junction_temp_c = Some(tj);
+    }
+    if toggles & 2 != 0 {
+        spec.grid = Some(GridSpec {
+            resolution: [5, 9, 17, 33, 65][grid_i % 5],
+        });
+    }
+    if toggles & 4 != 0 {
+        spec.netlist = Some(NetlistTier { cells, seed });
+    }
+    spec
+}
+
+/// The same spec rendered with keys in the *reverse* of the canonical
+/// order (optional legs first, nested keys swapped) — a digest that
+/// cared about wire order would change.
+fn reversed_json(spec: &ScenarioSpec) -> String {
+    let mut parts = Vec::new();
+    if let Some(n) = &spec.netlist {
+        parts.push(format!(
+            "\"netlist\": {{\"seed\": {}, \"cells\": {}}}",
+            n.seed, n.cells
+        ));
+    }
+    if let Some(g) = &spec.grid {
+        parts.push(format!("\"grid\": {{\"resolution\": {}}}", g.resolution));
+    }
+    if let Some(t) = spec.junction_temp_c {
+        parts.push(format!("\"junction_temp_c\": {t}"));
+    }
+    parts.push(format!("\"workload_ratio\": {}", spec.workload_ratio));
+    parts.push(format!(
+        "\"effective_fraction\": {}",
+        spec.effective_fraction
+    ));
+    parts.push(format!("\"activity\": {}", spec.activity));
+    parts.push(format!("\"node\": {}", spec.node.drawn().0));
+    format!("{{{}}}", parts.join(", "))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_of_canonical_form_is_identity(
+        node_i in 0usize..6,
+        activity in 0.001f64..1.0,
+        eff in 0.001f64..1.0,
+        workload in 0.001f64..1.0,
+        tj in -55.0f64..250.0,
+        toggles in 0u32..8,
+        grid_i in 0usize..5,
+        cells in 100usize..10_000_000,
+        // Seeds stay below 2^53: JSON numbers travel as f64, so larger
+        // u64s would lose precision on the wire by design.
+        seed in 0u64..(1u64 << 53),
+    ) {
+        let spec = build_spec(node_i, activity, eff, workload, tj, toggles, grid_i, cells, seed);
+        let text = spec.to_json();
+        let back = ScenarioSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("canonical form must reparse: {text} -> {e}"));
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(back.digest(), spec.digest());
+        prop_assert_eq!(back.to_json(), text, "canonical form is a fixed point");
+    }
+
+    #[test]
+    fn digest_ignores_key_order_and_explicit_defaults(
+        node_i in 0usize..6,
+        activity in 0.001f64..1.0,
+        eff in 0.001f64..1.0,
+        workload in 0.001f64..1.0,
+        tj in -55.0f64..250.0,
+        toggles in 0u32..8,
+        grid_i in 0usize..5,
+        cells in 100usize..10_000_000,
+        seed in 0u64..(1u64 << 53),
+    ) {
+        let spec = build_spec(node_i, activity, eff, workload, tj, toggles, grid_i, cells, seed);
+        let reordered = ScenarioSpec::parse(&reversed_json(&spec))
+            .unwrap_or_else(|e| panic!("reversed form must parse: {e}"));
+        prop_assert_eq!(&reordered, &spec);
+        prop_assert_eq!(reordered.digest(), spec.digest());
+        prop_assert_eq!(reordered.job_name(), spec.job_name());
+    }
+
+    #[test]
+    fn digest_distinguishes_scenarios(
+        node_i in 0usize..6,
+        activity in 0.001f64..1.0,
+        eff in 0.001f64..1.0,
+        workload in 0.001f64..1.0,
+    ) {
+        let spec = build_spec(node_i, activity, eff, workload, 0.0, 0, 0, 100, 0);
+        let mut other = spec.clone();
+        other.activity = (activity * 0.5).max(0.0005);
+        prop_assert!(spec.digest() != other.digest(), "{}", spec.to_json());
+    }
+}
+
+// ---------------------------------------------------------------------
+// live-daemon fuzz
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod live {
+    use nanopower::proto::Response;
+    use np_bench::chaos::{SpecCase, SpecExpectation, SpecFuzzer};
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+    use std::path::PathBuf;
+    use std::process::{Child, Command, Stdio};
+    use std::time::{Duration, Instant};
+
+    fn env_u64(key: &str, default: u64) -> u64 {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    struct Daemon {
+        child: Child,
+        socket: PathBuf,
+    }
+
+    impl Drop for Daemon {
+        fn drop(&mut self) {
+            let _ = self.child.kill();
+            let _ = self.child.wait();
+            let _ = std::fs::remove_file(&self.socket);
+        }
+    }
+
+    fn spawn_daemon() -> Daemon {
+        let socket = std::env::temp_dir().join(format!("np-spec-fuzz-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&socket);
+        let child = Command::new(env!("CARGO_BIN_EXE_nanopowerd"))
+            .arg("serve")
+            .arg("--socket")
+            .arg(&socket)
+            .args(["--workers", "2", "--max-inflight", "2"])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn nanopowerd");
+        let daemon = Daemon { child, socket };
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while UnixStream::connect(&daemon.socket).is_err() {
+            assert!(Instant::now() < deadline, "daemon never opened its socket");
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        daemon
+    }
+
+    struct Conn {
+        reader: BufReader<UnixStream>,
+        writer: UnixStream,
+    }
+
+    impl Conn {
+        fn open(socket: &PathBuf) -> Conn {
+            let writer = UnixStream::connect(socket).expect("connect");
+            let reader = BufReader::new(writer.try_clone().expect("clone socket"));
+            let mut conn = Conn { reader, writer };
+            match conn.read() {
+                Response::Hello(_) => conn,
+                other => panic!("expected hello, got {other:?}"),
+            }
+        }
+
+        fn read(&mut self) -> Response {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line).expect("read response");
+            assert!(n > 0, "daemon dropped the connection — a fuzz failure");
+            Response::parse(line.trim_end())
+                .unwrap_or_else(|e| panic!("untyped response line {line:?}: {e}"))
+        }
+
+        /// Sends one fuzz case and asserts the typed response class it
+        /// was generated for.
+        fn drive(&mut self, i: usize, case: &SpecCase) {
+            self.writer
+                .write_all(case.line.as_bytes())
+                .and_then(|()| self.writer.write_all(b"\n"))
+                .expect("send case");
+            match case.expect {
+                SpecExpectation::Report => loop {
+                    match self.read() {
+                        Response::Record(record) => assert!(
+                            record.status == "ok",
+                            "case {i}: valid spec produced a {} record: {record:?}\n{}",
+                            record.status,
+                            case.line
+                        ),
+                        Response::Report(report) => {
+                            assert_eq!(report.failures, 0, "case {i}: {report:?}\n{}", case.line);
+                            break;
+                        }
+                        other => panic!("case {i}: unexpected {other:?}\n{}", case.line),
+                    }
+                },
+                SpecExpectation::InvalidSpec => match self.read() {
+                    Response::InvalidSpec { field, .. } => {
+                        assert!(!field.is_empty(), "case {i} names no field\n{}", case.line);
+                    }
+                    other => panic!(
+                        "case {i}: expected invalid_spec, got {other:?}\n{}",
+                        case.line
+                    ),
+                },
+                SpecExpectation::TooExpensive => match self.read() {
+                    Response::TooExpensive { estimate, budget } => {
+                        assert!(estimate > budget, "case {i}: {estimate} <= {budget}");
+                    }
+                    other => panic!(
+                        "case {i}: expected too_expensive, got {other:?}\n{}",
+                        case.line
+                    ),
+                },
+                SpecExpectation::Protocol => match self.read() {
+                    Response::Protocol { .. } => {}
+                    other => panic!(
+                        "case {i}: expected protocol error, got {other:?}\n{}",
+                        case.line
+                    ),
+                },
+            }
+        }
+    }
+
+    /// The acceptance gate: `NP_SPEC_FUZZ_CASES` seeded cases against a
+    /// live daemon — zero daemon panics, zero dropped connections, and
+    /// a typed response of the generated class for every single case.
+    #[test]
+    fn seeded_fuzz_draws_only_typed_responses_from_a_live_daemon() {
+        let cases = env_u64("NP_SPEC_FUZZ_CASES", 1000) as usize;
+        let seed = env_u64("NP_SPEC_FUZZ_SEED", 1);
+        let fuzzer = SpecFuzzer::new(seed);
+        let daemon = spawn_daemon();
+        let mut conn = Conn::open(&daemon.socket);
+        for i in 0..cases {
+            let case = fuzzer.case(i);
+            conn.drive(i, &case);
+            // A fresh connection every so often exercises the greeting
+            // path under fuzz load too.
+            if i % 250 == 249 {
+                conn = Conn::open(&daemon.socket);
+            }
+        }
+        // The daemon must still be ready after the whole barrage.
+        conn.writer
+            .write_all(b"{\"health\": {}}\n")
+            .expect("send health");
+        match conn.read() {
+            Response::Health(health) => assert!(health.ready, "{health:?}"),
+            other => panic!("expected health, got {other:?}"),
+        }
+        eprintln!("spec fuzz: {cases} cases (seed {seed}), all responses typed");
+    }
+}

@@ -291,12 +291,15 @@ impl JobRecord {
 
     /// The record's report status: `ok`, `drift` (quarantined by the
     /// golden gate), `cancelled` (never started before an interrupt),
-    /// or `error`.
+    /// `panicked` (the job unwound and was caught by the engine's
+    /// panic guard — distinguishable from an ordinary typed failure so
+    /// service layers can quarantine the offending input), or `error`.
     pub fn status(&self) -> &'static str {
         match &self.outcome {
             Ok(_) => "ok",
             Err(Error::Drift { .. }) => "drift",
             Err(Error::Cancelled) => "cancelled",
+            Err(Error::Panic(_)) => "panicked",
             Err(_) => "error",
         }
     }

@@ -78,6 +78,17 @@ pub enum Error {
         /// What was malformed about the line.
         reason: String,
     },
+    /// A scenario spec ([`crate::spec::ScenarioSpec`]) failed
+    /// validation: an unknown key, an out-of-range value, a non-finite
+    /// number, or a wrong type. Always names the offending field so an
+    /// untrusted client gets an actionable, typed rejection — never a
+    /// generic protocol error.
+    InvalidSpec {
+        /// The offending spec field (dotted path, e.g. `grid.resolution`).
+        field: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
     /// An artifact's output deviates from its golden reference beyond
     /// the artifact's tolerance policy. Carries per-cell diagnostics so
     /// the drift can be located without re-running anything.
@@ -156,6 +167,9 @@ impl fmt::Display for Error {
             Error::Cancelled => write!(f, "cancelled before the job started"),
             Error::Journal { reason } => write!(f, "journal: {reason}"),
             Error::Protocol { reason } => write!(f, "protocol: {reason}"),
+            Error::InvalidSpec { field, reason } => {
+                write!(f, "invalid spec: field `{field}`: {reason}")
+            }
             Error::Drift {
                 artifact,
                 policy,
@@ -264,6 +278,13 @@ mod tests {
             reason: "unknown request `runn`".into(),
         };
         assert!(format!("{e}").contains("unknown request `runn`"));
+        let e = Error::InvalidSpec {
+            field: "grid.resolution".into(),
+            reason: "must be an integer in [5, 1025]".into(),
+        };
+        let msg = format!("{e}");
+        assert!(msg.contains("`grid.resolution`"), "{msg}");
+        assert!(msg.contains("[5, 1025]"), "{msg}");
         let e = Error::Drift {
             artifact: "fig5".into(),
             policy: "relative(1e-9)".into(),

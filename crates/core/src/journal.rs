@@ -381,11 +381,11 @@ fn parse_entry(line: &str) -> Result<JournalEntry, String> {
     let name = str_field("artifact")?;
     let status = str_field("status")?;
     // `ok` entries carry their output; every non-ok status (`error`,
-    // `cancelled`, `drift` — the [`JobRecord::status`] vocabulary)
-    // carries the failure message and is re-run on resume.
+    // `cancelled`, `drift`, `panicked` — the [`JobRecord::status`]
+    // vocabulary) carries the failure message and is re-run on resume.
     let outcome = match status.as_str() {
         "ok" => Ok(str_field("output")?),
-        "error" | "cancelled" | "drift" => Err(str_field("error")?),
+        "error" | "cancelled" | "drift" | "panicked" => Err(str_field("error")?),
         other => return Err(format!("unknown status `{other}`")),
     };
     let digest = fields

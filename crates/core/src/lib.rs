@@ -12,8 +12,10 @@
 //! cancellation, and completion hooks used by the `repro` harness — the
 //! [`journal`] crash-safe run log that makes interrupted `repro` runs
 //! resumable — and the service layer behind the `nanopowerd` daemon: the
-//! [`proto`] JSON-lines protocol types and the [`service`] building
-//! blocks (artifact memo, admission control, telemetry counters):
+//! [`proto`] JSON-lines protocol types, the [`spec`] validated
+//! scenario-spec front door for untrusted requests, and the [`service`]
+//! building blocks (artifact memo, admission control, panic quarantine,
+//! telemetry counters):
 //!
 //! | crate | paper section | what it models |
 //! |---|---|---|
@@ -55,6 +57,7 @@ mod jsonio;
 pub mod proto;
 pub mod report;
 pub mod service;
+pub mod spec;
 
 pub use np_circuit as circuit;
 pub use np_device as device;

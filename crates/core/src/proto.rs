@@ -6,16 +6,26 @@
 //! answers each request line with zero or more streamed
 //! [`Response::Record`] lines and exactly one terminal line
 //! ([`Response::Report`], [`Response::Stats`], [`Response::Busy`],
+//! [`Response::TooExpensive`], [`Response::InvalidSpec`],
 //! [`Response::Protocol`], or [`Response::Shutdown`]).
 //!
 //! Four requests exist:
 //!
 //! ```text
-//! {"run": {"names": ["fig5", "table2"], "csv": false, "deadline_ms": 5000}}
+//! {"run": {"names": ["fig5", "table2"], "csv": false, "deadline_ms": 5000,
+//!          "specs": [{"node": 70, "activity": 0.2}]}}
 //! {"stats": {}}
 //! {"health": {}}
 //! {"shutdown": {}}
 //! ```
+//!
+//! A `run` body may carry registry artifact `names`, ad-hoc scenario
+//! `specs` ([`crate::spec::ScenarioSpec`]), or both; spec records are
+//! named `spec:<digest>`. Because specs are untrusted input, their
+//! failure modes are typed separately: a spec that fails validation is
+//! answered [`Response::InvalidSpec`] naming the offending field, and a
+//! request whose static cost estimate exceeds the daemon's budget is
+//! answered [`Response::TooExpensive`] before any work happens.
 //!
 //! Overload is always answered in band and typed, never by dropping the
 //! connection: a full admission queue answers [`Response::Busy`]
@@ -24,7 +34,9 @@
 //! request *was* queued, the daemon is saturated — shed load). A
 //! malformed line never drops the connection either: the daemon answers
 //! with a typed [`Response::Protocol`] error (backed by
-//! [`Error::Protocol`]) and keeps reading. Everything here is
+//! [`Error::Protocol`]) and keeps reading — and unknown keys inside a
+//! `run` body are rejected the same way, so a typo'd `deadlne_ms` can
+//! never silently run unbounded. Everything here is
 //! hand-rolled JSON over [`crate::engine::RunReport::to_json`]'s idiom —
 //! no serialization dependency — parsed by the same recursive-descent
 //! reader the crash-safe journal uses.
@@ -32,17 +44,22 @@
 use crate::engine::JobRecord;
 use crate::error::Error;
 use crate::jsonio::{self, Json};
+use crate::spec::ScenarioSpec;
 
 /// The protocol schema identifier sent in every hello line.
 pub const SCHEMA: &str = "nanopowerd/v1";
 
 /// The payload of a `run` request: which artifacts to render, in which
 /// form, under what per-request deadline.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct RunRequest {
     /// Artifact names to run, in submission order. Unknown names come
     /// back as `error` records, like `repro` treats them.
     pub names: Vec<String>,
+    /// Ad-hoc scenario specs to evaluate, validated at parse time.
+    /// Their records are named [`ScenarioSpec::job_name`] and run after
+    /// the named artifacts, in submission order.
+    pub specs: Vec<ScenarioSpec>,
     /// Render the CSV form instead of the text form.
     pub csv: bool,
     /// Per-request wall-clock budget in milliseconds; the daemon wires
@@ -52,7 +69,7 @@ pub struct RunRequest {
 }
 
 /// One client request line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Run artifacts and stream their records back.
     Run(RunRequest),
@@ -67,7 +84,9 @@ pub enum Request {
 
 impl Request {
     /// Parses one request line. Malformed lines produce
-    /// [`Error::Protocol`] with a reason the daemon echoes back.
+    /// [`Error::Protocol`] with a reason the daemon echoes back; a
+    /// malformed scenario spec inside a `run` body produces
+    /// [`Error::InvalidSpec`] naming the offending field.
     pub fn parse(line: &str) -> Result<Self, Error> {
         let value = jsonio::parse(line).map_err(|reason| Error::Protocol { reason })?;
         let obj = value.as_obj().ok_or_else(|| Error::Protocol {
@@ -78,10 +97,23 @@ impl Request {
         match keys.as_slice() {
             ["run"] => {
                 let body = &obj["run"];
-                if body.as_obj().is_none() {
+                let Some(body_obj) = body.as_obj() else {
                     return Err(Error::Protocol {
                         reason: "`run` body must be an object".into(),
                     });
+                };
+                // Unknown keys are protocol errors, not silent no-ops:
+                // a typo'd `deadlne_ms` must never run unbounded.
+                let mut body_keys: Vec<&str> = body_obj.keys().map(String::as_str).collect();
+                body_keys.sort_unstable();
+                for key in body_keys {
+                    if !["names", "specs", "csv", "deadline_ms"].contains(&key) {
+                        return Err(Error::Protocol {
+                            reason: format!(
+                                "unknown `run` key `{key}` (allowed: names, specs, csv, deadline_ms)"
+                            ),
+                        });
+                    }
                 }
                 let names = match body.get("names") {
                     Some(v) => {
@@ -113,8 +145,21 @@ impl Request {
                     })?),
                     None => None,
                 };
+                let specs = match body.get("specs") {
+                    Some(v) => {
+                        let items = v.as_arr().ok_or_else(|| Error::Protocol {
+                            reason: "`specs` must be an array of spec objects".into(),
+                        })?;
+                        items
+                            .iter()
+                            .map(ScenarioSpec::from_json)
+                            .collect::<Result<Vec<_>, _>>()?
+                    }
+                    None => Vec::new(),
+                };
                 Ok(Request::Run(RunRequest {
                     names,
+                    specs,
                     csv,
                     deadline_ms,
                 }))
@@ -137,6 +182,10 @@ impl Request {
             Request::Run(run) => {
                 let names: Vec<String> = run.names.iter().map(|n| jsonio::escape(n)).collect();
                 let mut body = format!("{{\"names\": [{}], \"csv\": {}", names.join(", "), run.csv);
+                if !run.specs.is_empty() {
+                    let specs: Vec<String> = run.specs.iter().map(ScenarioSpec::to_json).collect();
+                    body.push_str(&format!(", \"specs\": [{}]", specs.join(", ")));
+                }
                 if let Some(ms) = run.deadline_ms {
                     body.push_str(&format!(", \"deadline_ms\": {ms}"));
                 }
@@ -163,10 +212,12 @@ pub struct Hello {
 /// memo without executing.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecordMsg {
-    /// The artifact's name.
+    /// The artifact's name (`spec:<digest>` for scenario specs).
     pub name: String,
-    /// `ok`, `drift`, `cancelled`, or `error` —
-    /// [`JobRecord::status`].
+    /// `ok`, `drift`, `cancelled`, `panicked`, or `error`
+    /// ([`JobRecord::status`]) — plus `quarantined`, synthesized by the
+    /// daemon for a spec rejected from the panic quarantine without
+    /// re-executing.
     pub status: String,
     /// Wall-clock milliseconds the job took (0 for memo hits and
     /// cancelled placeholders).
@@ -237,6 +288,16 @@ pub struct StatsMsg {
     pub write_timeouts: u64,
     /// Malformed request lines answered with a protocol error.
     pub protocol_errors: u64,
+    /// Scenario specs rejected at validation with `invalid_spec`.
+    pub invalid_specs: u64,
+    /// Requests rejected by the static cost gate with `too_expensive`.
+    pub too_expensive: u64,
+    /// Spec evaluations that panicked (caught, reported `panicked`).
+    pub panicked: u64,
+    /// Spec records answered straight from the panic quarantine.
+    pub quarantined: u64,
+    /// Spec digests currently held in the panic quarantine.
+    pub quarantine_entries: u64,
     /// Entries currently resident in the artifact memo.
     pub memo_entries: u64,
     /// Approximate bytes resident in the artifact memo.
@@ -274,6 +335,9 @@ pub struct HealthMsg {
     pub spill_active: bool,
     /// Requests shed with `overloaded` over the daemon's lifetime.
     pub shed: u64,
+    /// Spec digests currently held in the panic quarantine (occupancy
+    /// against `--quarantine-max`).
+    pub quarantine_entries: u64,
 }
 
 /// One server response line.
@@ -304,6 +368,26 @@ pub enum Response {
         waited_ms: u64,
         /// The daemon's configured shed budget in milliseconds.
         budget_ms: u64,
+    },
+    /// The request's summed spec cost estimate exceeds the daemon's
+    /// `--max-spec-cost` budget; rejected before any work, admission,
+    /// or memoization happened. The connection stays open.
+    TooExpensive {
+        /// The request's static work-unit estimate
+        /// ([`ScenarioSpec::cost`] summed over its specs).
+        estimate: u64,
+        /// The daemon's configured budget in the same units.
+        budget: u64,
+    },
+    /// A scenario spec in the request failed validation; the offending
+    /// field is named so the client can fix it. The connection stays
+    /// open.
+    InvalidSpec {
+        /// The offending spec field (dotted path), from
+        /// [`Error::InvalidSpec`].
+        field: String,
+        /// Why the value was rejected.
+        reason: String,
     },
     /// The request line was malformed; the connection stays open.
     Protocol {
@@ -352,6 +436,8 @@ impl Response {
                 "{{\"stats\": {{\"accepted\": {}, \"served\": {}, \"memo_hits\": {}, \
                  \"cancelled\": {}, \"rejected\": {}, \"overloaded\": {}, \
                  \"conn_rejected\": {}, \"write_timeouts\": {}, \"protocol_errors\": {}, \
+                 \"invalid_specs\": {}, \"too_expensive\": {}, \"panicked\": {}, \
+                 \"quarantined\": {}, \"quarantine_entries\": {}, \
                  \"memo_entries\": {}, \"memo_bytes\": {}, \"memo_evictions\": {}, \
                  \"mesh_hits\": {}, \"mesh_misses\": {}}}}}",
                 s.accepted,
@@ -363,6 +449,11 @@ impl Response {
                 s.conn_rejected,
                 s.write_timeouts,
                 s.protocol_errors,
+                s.invalid_specs,
+                s.too_expensive,
+                s.panicked,
+                s.quarantined,
+                s.quarantine_entries,
                 s.memo_entries,
                 s.memo_bytes,
                 s.memo_evictions,
@@ -372,7 +463,8 @@ impl Response {
             Response::Health(h) => format!(
                 "{{\"health\": {{\"ready\": {}, \"inflight\": {}, \"capacity\": {}, \
                  \"oldest_inflight_ms\": {}, \"uptime_ms\": {}, \"memo_entries\": {}, \
-                 \"memo_bytes\": {}, \"spill_active\": {}, \"shed\": {}}}}}",
+                 \"memo_bytes\": {}, \"spill_active\": {}, \"shed\": {}, \
+                 \"quarantine_entries\": {}}}}}",
                 h.ready,
                 h.inflight,
                 h.capacity,
@@ -381,7 +473,8 @@ impl Response {
                 h.memo_entries,
                 h.memo_bytes,
                 h.spill_active,
-                h.shed
+                h.shed,
+                h.quarantine_entries
             ),
             Response::Busy { inflight, capacity } => {
                 format!("{{\"busy\": {{\"inflight\": {inflight}, \"capacity\": {capacity}}}}}")
@@ -391,6 +484,14 @@ impl Response {
                 budget_ms,
             } => format!(
                 "{{\"overloaded\": {{\"waited_ms\": {waited_ms}, \"budget_ms\": {budget_ms}}}}}"
+            ),
+            Response::TooExpensive { estimate, budget } => {
+                format!("{{\"too_expensive\": {{\"estimate\": {estimate}, \"budget\": {budget}}}}}")
+            }
+            Response::InvalidSpec { field, reason } => format!(
+                "{{\"error\": {{\"kind\": \"invalid_spec\", \"field\": {}, \"reason\": {}}}}}",
+                jsonio::escape(field),
+                jsonio::escape(reason)
             ),
             Response::Protocol { reason } => format!(
                 "{{\"error\": {{\"kind\": \"protocol\", \"reason\": {}}}}}",
@@ -480,6 +581,11 @@ impl Response {
                 conn_rejected: count("conn_rejected"),
                 write_timeouts: count("write_timeouts"),
                 protocol_errors: count("protocol_errors"),
+                invalid_specs: count("invalid_specs"),
+                too_expensive: count("too_expensive"),
+                panicked: count("panicked"),
+                quarantined: count("quarantined"),
+                quarantine_entries: count("quarantine_entries"),
                 memo_entries: count("memo_entries"),
                 memo_bytes: count("memo_bytes"),
                 memo_evictions: count("memo_evictions"),
@@ -500,6 +606,7 @@ impl Response {
                 memo_bytes: count("memo_bytes"),
                 spill_active: flag("spill_active"),
                 shed: count("shed"),
+                quarantine_entries: count("quarantine_entries"),
             }));
         }
         if let Some(busy) = obj.get("busy") {
@@ -516,12 +623,29 @@ impl Response {
                 budget_ms: count("budget_ms"),
             });
         }
+        if let Some(expensive) = obj.get("too_expensive") {
+            let count = |key: &str| expensive.get(key).and_then(Json::as_u64).unwrap_or(0);
+            return Ok(Response::TooExpensive {
+                estimate: count("estimate"),
+                budget: count("budget"),
+            });
+        }
         if let Some(error) = obj.get("error") {
             let reason = error
                 .get("reason")
                 .and_then(Json::as_str)
                 .unwrap_or("unspecified")
                 .to_owned();
+            if error.get("kind").and_then(Json::as_str) == Some("invalid_spec") {
+                return Ok(Response::InvalidSpec {
+                    field: error
+                        .get("field")
+                        .and_then(Json::as_str)
+                        .unwrap_or("spec")
+                        .to_owned(),
+                    reason,
+                });
+            }
             return Ok(Response::Protocol { reason });
         }
         if obj.get("shutdown").is_some() {
@@ -542,21 +666,81 @@ mod tests {
     fn run_request_round_trips() {
         let req = Request::Run(RunRequest {
             names: vec!["fig5".into(), "table2".into()],
+            specs: Vec::new(),
             csv: true,
             deadline_ms: Some(250),
         });
         let line = req.to_json();
-        assert_eq!(Request::parse(&line), Ok(req));
+        assert!(Request::parse(&line).is_ok_and(|parsed| parsed == req));
         // Omitted optional fields default.
         let req = Request::parse(r#"{"run": {"names": ["fig5"]}}"#).unwrap();
         assert_eq!(
             req,
             Request::Run(RunRequest {
                 names: vec!["fig5".into()],
+                specs: Vec::new(),
                 csv: false,
                 deadline_ms: None,
             })
         );
+    }
+
+    #[test]
+    fn spec_requests_round_trip() {
+        let line = r#"{"run": {"names": ["fig5"], "csv": true,
+            "specs": [{"node": 70}, {"node": 100, "grid": {"resolution": 33}}]}}"#;
+        let Ok(Request::Run(run)) = Request::parse(line) else {
+            panic!("spec request parses");
+        };
+        assert_eq!(run.specs.len(), 2);
+        assert_eq!(run.specs[1].grid.map(|g| g.resolution), Some(33));
+        let rendered = Request::to_json(&Request::Run(run.clone()));
+        assert!(
+            Request::parse(&rendered).is_ok_and(|round| round == Request::Run(run)),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn malformed_specs_are_invalid_spec_not_protocol() {
+        let cases = [
+            (r#"{"run": {"specs": [{"node": 90}]}}"#, "node"),
+            (
+                r#"{"run": {"specs": [{"node": 70, "grid": {"resolution": 2000}}]}}"#,
+                "grid.resolution",
+            ),
+            (
+                r#"{"run": {"specs": [{"node": 70, "activty": 0.1}]}}"#,
+                "activty",
+            ),
+        ];
+        for (line, field) in cases {
+            match Request::parse(line) {
+                Err(Error::InvalidSpec { field: f, .. }) => assert_eq!(f, field, "{line}"),
+                other => panic!("{line} -> {other:?}"),
+            }
+        }
+        // A non-array `specs` is a protocol-shape error, not a spec error.
+        assert!(matches!(
+            Request::parse(r#"{"run": {"specs": {"node": 70}}}"#),
+            Err(Error::Protocol { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_run_keys_are_rejected_not_ignored() {
+        // The original bug: a typo'd `deadlne_ms` was silently dropped,
+        // turning a bounded request into an unbounded one.
+        match Request::parse(r#"{"run": {"names": ["fig5"], "deadlne_ms": 100}}"#) {
+            Err(Error::Protocol { reason }) => {
+                assert!(reason.contains("`deadlne_ms`"), "{reason}");
+                assert!(
+                    reason.contains("deadline_ms"),
+                    "lists allowed keys: {reason}"
+                );
+            }
+            other => panic!("typo'd key must be rejected, got {other:?}"),
+        }
     }
 
     #[test]
@@ -657,6 +841,11 @@ mod tests {
             conn_rejected: 12,
             write_timeouts: 13,
             protocol_errors: 3,
+            invalid_specs: 21,
+            too_expensive: 22,
+            panicked: 23,
+            quarantined: 24,
+            quarantine_entries: 25,
             memo_entries: 5,
             memo_bytes: 8192,
             memo_evictions: 14,
@@ -687,8 +876,21 @@ mod tests {
             memo_bytes: 4096,
             spill_active: true,
             shed: 3,
+            quarantine_entries: 4,
         });
         assert_eq!(Response::parse(&health.to_json()), Ok(health));
+
+        let expensive = Response::TooExpensive {
+            estimate: 200_050,
+            budget: 100_000,
+        };
+        assert_eq!(Response::parse(&expensive.to_json()), Ok(expensive));
+
+        let invalid = Response::InvalidSpec {
+            field: "grid.resolution".into(),
+            reason: "must be an integer in [5, 1025], got 2000".into(),
+        };
+        assert_eq!(Response::parse(&invalid.to_json()), Ok(invalid));
 
         let err = Response::Protocol {
             reason: "unknown request `runn`".into(),

@@ -33,8 +33,13 @@
 //!   admitted request has been executing
 //!   ([`AdmissionGate::oldest_inflight_age`]), which is what the
 //!   daemon's stuck-worker watchdog and `health` endpoint read.
+//! - [`Quarantine`] — a bounded LRU of scenario-spec digests whose
+//!   evaluation panicked, so a repeat offender is rejected O(1) with a
+//!   typed `quarantined` record instead of burning a worker slot on a
+//!   panic the daemon already caught once.
 //! - [`ServiceCounters`] — the accepted/served/memo-hit/cancelled/
-//!   rejected/shed counters surfaced by the `{"stats": {}}` request.
+//!   rejected/shed/spec-rejection counters surfaced by the
+//!   `{"stats": {}}` request.
 
 use crate::engine::fnv1a64;
 use crate::error::Error;
@@ -598,6 +603,107 @@ impl Drop for AdmissionPermit<'_> {
     }
 }
 
+/// Everything behind the quarantine's one lock: the offending digests
+/// (keyed like the memo, FNV-1a over the spec's canonical form), each
+/// with the panic message it earned, plus their LRU order
+/// (front = coldest).
+#[derive(Debug, Default)]
+struct QuarantineState {
+    entries: HashMap<u64, String>,
+    order: VecDeque<u64>,
+}
+
+/// A bounded LRU of scenario-spec digests whose evaluation panicked.
+///
+/// A worker panic is caught and reported as a typed `panicked` record —
+/// but re-running the same spec would panic again, burning a worker
+/// slot each time an abusive (or just unlucky) client repeats it. The
+/// quarantine remembers the offending spec's canonical digest so a
+/// repeat is rejected O(1) with a `quarantined` record carrying the
+/// original panic message, without re-executing anything.
+///
+/// Bounded like the memo (`--quarantine-max`, LRU eviction) so a
+/// panic-spraying client cannot grow daemon memory without limit;
+/// occupancy is exposed through the `health` endpoint.
+#[derive(Debug)]
+pub struct Quarantine {
+    state: Mutex<QuarantineState>,
+    max_entries: usize,
+    rejections: AtomicU64,
+}
+
+impl Quarantine {
+    /// Default digest capacity (`--quarantine-max`).
+    pub const DEFAULT_MAX: usize = 1024;
+
+    /// An empty quarantine holding at most `max_entries` digests
+    /// (min 1).
+    pub fn new(max_entries: usize) -> Self {
+        Quarantine {
+            state: Mutex::new(QuarantineState::default()),
+            max_entries: max_entries.max(1),
+            rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether `digest` is quarantined; a hit returns the original
+    /// panic message, counts a rejection, and marks the digest
+    /// most-recently-used (repeat offenders stay resident).
+    pub fn check(&self, digest: u64) -> Option<String> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let message = state.entries.get(&digest).cloned()?;
+        touch(&mut state.order, digest);
+        self.rejections.fetch_add(1, Ordering::Relaxed);
+        Some(message)
+    }
+
+    /// Quarantines `digest` with the panic message a repeat will be
+    /// answered with, evicting the least-recently-used digest past the
+    /// capacity.
+    pub fn insert(&self, digest: u64, message: String) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.entries.insert(digest, message);
+        touch(&mut state.order, digest);
+        while state.entries.len() > self.max_entries {
+            let Some(cold) = state.order.pop_front() else {
+                break;
+            };
+            state.entries.remove(&cold);
+        }
+    }
+
+    /// Digests currently quarantined — the `health` occupancy field.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entries
+            .len()
+    }
+
+    /// Whether the quarantine holds no digests.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The digest capacity.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
+    }
+
+    /// Lifetime count of repeats rejected from quarantine.
+    pub fn rejections(&self) -> u64 {
+        self.rejections.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Quarantine {
+    /// An empty quarantine at [`Quarantine::DEFAULT_MAX`] capacity.
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_MAX)
+    }
+}
+
 /// Lifetime service counters, surfaced by the `{"stats": {}}` request.
 ///
 /// All counters are monotone and relaxed — they are telemetry, not
@@ -623,6 +729,14 @@ pub struct ServiceCounters {
     pub write_timeouts: AtomicU64,
     /// Malformed request lines answered with a protocol error.
     pub protocol_errors: AtomicU64,
+    /// Scenario specs rejected at validation with `invalid_spec`.
+    pub invalid_specs: AtomicU64,
+    /// Requests rejected by the static spec cost gate.
+    pub too_expensive: AtomicU64,
+    /// Spec evaluations that panicked (caught and reported `panicked`).
+    pub panicked: AtomicU64,
+    /// Spec records answered straight from the panic quarantine.
+    pub quarantined: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServiceCounters`].
@@ -646,6 +760,14 @@ pub struct CounterSnapshot {
     pub write_timeouts: u64,
     /// Malformed request lines.
     pub protocol_errors: u64,
+    /// Scenario specs rejected at validation.
+    pub invalid_specs: u64,
+    /// Requests rejected by the static spec cost gate.
+    pub too_expensive: u64,
+    /// Spec evaluations that panicked.
+    pub panicked: u64,
+    /// Spec records answered from the panic quarantine.
+    pub quarantined: u64,
 }
 
 impl ServiceCounters {
@@ -672,6 +794,10 @@ impl ServiceCounters {
             conn_rejected: self.conn_rejected.load(Ordering::Relaxed),
             write_timeouts: self.write_timeouts.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            invalid_specs: self.invalid_specs.load(Ordering::Relaxed),
+            too_expensive: self.too_expensive.load(Ordering::Relaxed),
+            panicked: self.panicked.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
         }
     }
 }
@@ -986,6 +1112,59 @@ mod tests {
         drop(fresh);
         let oldest = gate.oldest_inflight_age().expect("stuck one remains");
         assert!(oldest >= Duration::from_millis(30), "{oldest:?}");
+    }
+
+    #[test]
+    fn quarantine_rejects_repeats_with_the_original_message() {
+        let q = Quarantine::new(8);
+        assert!(q.is_empty());
+        assert_eq!(q.check(1), None, "unknown digest passes");
+        assert_eq!(q.rejections(), 0);
+        q.insert(1, "panicked: boom".into());
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.check(1).as_deref(), Some("panicked: boom"));
+        assert_eq!(q.check(1).as_deref(), Some("panicked: boom"));
+        assert_eq!(q.rejections(), 2);
+        assert_eq!(q.check(2), None, "other digests unaffected");
+    }
+
+    #[test]
+    fn quarantine_evicts_least_recently_used_past_capacity() {
+        let q = Quarantine::new(2);
+        q.insert(1, "one".into());
+        q.insert(2, "two".into());
+        // Touch 1 so 2 becomes the cold digest.
+        assert!(q.check(1).is_some());
+        q.insert(3, "three".into());
+        assert_eq!(q.len(), 2);
+        assert!(q.check(2).is_none(), "LRU digest evicted");
+        assert!(q.check(1).is_some());
+        assert!(q.check(3).is_some());
+        // Eviction proceeds strictly cold-to-hot: 1 was touched after 3
+        // was inserted, so the next insert evicts 3.
+        assert!(q.check(1).is_some());
+        q.insert(4, "four".into());
+        assert!(q.check(3).is_none(), "second-coldest evicted next");
+        assert!(q.check(1).is_some() && q.check(4).is_some());
+    }
+
+    #[test]
+    fn quarantine_reinsert_updates_in_place() {
+        let q = Quarantine::new(2);
+        q.insert(1, "first message".into());
+        q.insert(1, "second message".into());
+        assert_eq!(q.len(), 1, "reinsert replaces, not duplicates");
+        assert_eq!(q.check(1).as_deref(), Some("second message"));
+    }
+
+    #[test]
+    fn quarantine_clamps_zero_capacity_to_one() {
+        let q = Quarantine::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.insert(1, "a".into());
+        q.insert(2, "b".into());
+        assert_eq!(q.len(), 1);
+        assert!(q.check(2).is_some(), "newest digest survives");
     }
 
     #[test]

@@ -9,10 +9,15 @@
 #   2. Assert the load run completed with zero errors, that repeats hit
 #      the cross-request artifact memo, and that BENCH_serve.json
 #      parses and carries the nanopower-bench/v1 schema.
-#   3. Assert the daemon's lifetime counters are consistent (served ==
-#      accepted, no protocol errors) and that a shutdown request stops
-#      the process cleanly.
-#   4. Crash recovery: run a spill-backed daemon, kill -9 it mid-life,
+#   3. Drive the untrusted scenario-spec pipeline over the raw
+#      protocol: a valid spec renders under its digest name, the same
+#      scenario with reordered keys memo-hits, and out-of-range,
+#      unknown-key, over-budget, and typo'd-key requests each draw
+#      their typed rejection with the connection surviving.
+#   4. Assert the daemon's lifetime counters are consistent (served ==
+#      accepted, exactly the typed rejections the spec leg provoked)
+#      and that a shutdown request stops the process cleanly.
+#   5. Crash recovery: run a spill-backed daemon, kill -9 it mid-life,
 #      restart on the same (now stale) socket and the same spill file,
 #      and assert the memo rehydrates BEFORE any request is served.
 set -euo pipefail
@@ -56,7 +61,64 @@ python3 -m json.tool "$WORK/BENCH_serve.json" > /dev/null
 grep -qF '"schema": "nanopower-bench/v1"' "$WORK/BENCH_serve.json"
 grep -qF '"name": "serve.p99"' "$WORK/BENCH_serve.json"
 
-echo "== 3. counters consistent, shutdown clean =="
+echo "== 3. scenario specs: render, memoize, reject typed =="
+python3 - "$SOCK" <<'EOF'
+import json, socket, sys
+
+sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+sock.connect(sys.argv[1])
+rfile = sock.makefile("r")
+
+def send(obj):
+    sock.sendall((json.dumps(obj) + "\n").encode())
+
+def recv():
+    return json.loads(rfile.readline())
+
+hello = recv()
+assert hello["hello"] == "nanopowerd/v1", hello
+
+# A valid spec renders through the builder path under a digest name.
+send({"run": {"specs": [{"node": 70, "activity": 0.2, "grid": {"resolution": 9}}]}})
+record = recv()["record"]
+assert record["status"] == "ok" and record["name"].startswith("spec:"), record
+report = recv()["report"]
+assert report["ok"] == 1 and report["failures"] == 0, report
+first = (record["name"], record["digest"])
+
+# The same scenario with reordered keys and explicit defaults is the
+# same canonical spec: memo hit, identical digest, no re-execution.
+send({"run": {"specs": [{"grid": {"resolution": 9}, "workload_ratio": 1,
+                         "activity": 0.2, "node": 70}]}})
+record = recv()["record"]
+assert record["memo"] is True, record
+assert (record["name"], record["digest"]) == first, (record, first)
+recv()
+
+# Out-of-range and unknown-key specs draw typed invalid_spec errors
+# naming the field; the connection survives every one.
+send({"run": {"specs": [{"node": 70, "activity": 42}]}})
+err = recv()["error"]
+assert err["kind"] == "invalid_spec" and err["field"] == "activity", err
+send({"run": {"specs": [{"node": 70, "nodee": 1}]}})
+err = recv()["error"]
+assert err["kind"] == "invalid_spec" and err["field"] == "nodee", err
+
+# A spec over the cost budget is refused before any work runs.
+send({"run": {"specs": [{"node": 70, "netlist": {"cells": 10000000}}]}})
+expensive = recv()["too_expensive"]
+assert expensive["estimate"] > expensive["budget"], expensive
+
+# A typo'd run key is a typed protocol error, not a silent default.
+send({"run": {"names": ["fig5"], "deadlne_ms": 5}})
+err = recv()["error"]
+assert err["kind"] == "protocol" and "deadlne_ms" in err["reason"], err
+
+sock.close()
+print("spec leg: render + memo + typed rejections OK")
+EOF
+
+echo "== 4. counters consistent, shutdown clean =="
 "$DAEMON" stats --socket "$SOCK" | tee "$WORK/stats.json"
 python3 - "$WORK/stats.json" <<'EOF'
 import json, sys
@@ -64,7 +126,13 @@ stats = json.load(open(sys.argv[1]))["stats"]
 assert stats["served"] == stats["accepted"], stats
 assert stats["served"] > 0, stats
 assert stats["memo_hits"] > 0, stats
-assert stats["protocol_errors"] == 0, stats
+# The spec leg deliberately drew exactly one typo'd-key protocol error,
+# two invalid specs, and one over-budget refusal -- all typed, none
+# fatal, and nothing was quarantined.
+assert stats["protocol_errors"] == 1, stats
+assert stats["invalid_specs"] == 2, stats
+assert stats["too_expensive"] == 1, stats
+assert stats["panicked"] == 0 and stats["quarantined"] == 0, stats
 EOF
 "$DAEMON" shutdown --socket "$SOCK" > /dev/null
 for _ in $(seq 1 100); do
@@ -77,7 +145,7 @@ fi
 wait "$daemon_pid" || { echo "daemon exited nonzero"; exit 1; }
 daemon_pid=""
 
-echo "== 4. kill -9 a spill-backed daemon, restart, memo rehydrates =="
+echo "== 5. kill -9 a spill-backed daemon, restart, memo rehydrates =="
 SPILL="$WORK/memo.spill"
 "$DAEMON" serve --socket "$SOCK" --memo-spill "$SPILL" 2> "$WORK/daemon2.err" &
 daemon_pid=$!
